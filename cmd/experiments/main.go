@@ -1,0 +1,110 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated testbed.
+//
+//	experiments                      # everything
+//	experiments -run table2          # one experiment
+//	experiments -run table4 -capacity 5
+//
+// Valid -run values: table2, table3, table4, table5, table6, figure1,
+// figure2, figure3, figure4, figure5, sweep (bandwidth vs message size),
+// all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nxcluster/internal/bench"
+	"nxcluster/internal/knapsack"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run")
+	items := flag.Int("items", 50, "knapsack items (paper: 50)")
+	capacity := flag.Int("capacity", 4, "knapsack capacity; controls tree size (4 = ~2.6M nodes, 5 = ~20.6M)")
+	rounds := flag.Int("rounds", 4, "rounds per Table 2 measurement")
+	flag.Parse()
+
+	kcfg := bench.KnapsackConfig{Items: *items, Capacity: *capacity}
+
+	var knapReport *bench.KnapsackReport
+	needKnap := func() *bench.KnapsackReport {
+		if knapReport == nil {
+			start := time.Now()
+			r, err := bench.RunKnapsack(kcfg)
+			if err != nil {
+				log.Fatalf("experiments: knapsack sweep: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "[knapsack sweep: %d items, capacity %d, %d nodes/run, host time %v]\n",
+				*items, *capacity, knapsack.NormalizedTreeNodes(*items, *capacity), time.Since(start).Round(time.Millisecond))
+			knapReport = r
+		}
+		return knapReport
+	}
+
+	section := func(s string, err error) {
+		if err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+		fmt.Println(s)
+	}
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+
+	if want("figure1") {
+		s, err := bench.Figure1()
+		section(s, err)
+	}
+	if want("figure2") {
+		s, err := bench.Figure2()
+		section(s, err)
+	}
+	if want("figure3") {
+		s, err := bench.Figure3()
+		section(s, err)
+	}
+	if want("figure4") {
+		s, err := bench.Figure4()
+		section(s, err)
+	}
+	if want("figure5") {
+		s, err := bench.Figure5()
+		section(s, err)
+	}
+	if want("sweep") {
+		sweeps, err := bench.RunBandwidthSweep(bench.Table2Config{Rounds: *rounds})
+		if err != nil {
+			log.Fatalf("experiments: sweep: %v", err)
+		}
+		fmt.Println(bench.FormatSweep(sweeps))
+	}
+	if want("table2") {
+		rows, err := bench.RunTable2(bench.Table2Config{Rounds: *rounds})
+		if err != nil {
+			log.Fatalf("experiments: table2: %v", err)
+		}
+		fmt.Println(bench.FormatTable2(rows))
+	}
+	if want("table3") {
+		fmt.Println(bench.FormatTable3())
+	}
+	if want("table4") {
+		fmt.Println(bench.FormatTable4(needKnap()))
+	}
+	if want("table5") {
+		fmt.Println(bench.FormatTable5(needKnap()))
+	}
+	if want("table6") {
+		fmt.Println(bench.FormatTable6(needKnap()))
+	}
+
+	switch *run {
+	case "all", "sweep", "table2", "table3", "table4", "table5", "table6",
+		"figure1", "figure2", "figure3", "figure4", "figure5":
+	default:
+		log.Fatalf("experiments: unknown -run %q", *run)
+	}
+}

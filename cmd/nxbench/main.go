@@ -1,0 +1,142 @@
+// Command nxbench measures communication latency and bandwidth over real
+// TCP, directly or through a running Nexus Proxy pair — the measurement the
+// paper's Table 2 reports for the simulated testbed. Run it in two roles:
+//
+//	nxbench -serve -port 6100                 # echo/ack server
+//	nxbench -target host:6100 [-outer host:7000 -inner host:7010]
+//
+// With -outer/-inner the client connects through NXProxyConnect.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"time"
+
+	"nxcluster/internal/proxy"
+	"nxcluster/internal/transport"
+)
+
+func main() {
+	serve := flag.Bool("serve", false, "run the measurement server")
+	port := flag.Int("port", 6100, "server port")
+	target := flag.String("target", "", "server address to measure against")
+	outer := flag.String("outer", "", "Nexus Proxy outer server (with -inner: measure through the proxy)")
+	inner := flag.String("inner", "", "Nexus Proxy inner server")
+	rounds := flag.Int("rounds", 16, "rounds per measurement")
+	flag.Parse()
+
+	env := transport.NewTCPEnv("localhost")
+	if *serve {
+		runServer(env, *port)
+		return
+	}
+	if *target == "" {
+		log.Fatal("nxbench: need -serve or -target")
+	}
+	cfg := proxy.Config{OuterServer: *outer, InnerServer: *inner}
+	dial := func() (transport.Conn, error) {
+		if cfg.Enabled() {
+			return proxy.NXProxyConnect(env, cfg, *target)
+		}
+		return env.Dial(*target)
+	}
+	c, err := dial()
+	if err != nil {
+		log.Fatalf("nxbench: connect: %v", err)
+	}
+	defer c.Close(env)
+	st := transport.Stream{Env: env, Conn: c}
+
+	mode := "direct"
+	if cfg.Enabled() {
+		mode = "indirect (via Nexus Proxy)"
+	}
+	fmt.Printf("target %s, %s, %d rounds\n", *target, mode, *rounds)
+
+	if err := pingPong(st, 1); err != nil { // warmup
+		log.Fatalf("nxbench: %v", err)
+	}
+	start := time.Now()
+	for i := 0; i < *rounds; i++ {
+		if err := pingPong(st, 1); err != nil {
+			log.Fatalf("nxbench: %v", err)
+		}
+	}
+	lat := time.Since(start) / time.Duration(2**rounds)
+	fmt.Printf("latency: %.3f ms (one way)\n", float64(lat)/float64(time.Millisecond))
+
+	for _, size := range []int{4096, 1 << 20} {
+		if err := pingPong(st, size); err != nil {
+			log.Fatalf("nxbench: %v", err)
+		}
+		start := time.Now()
+		for i := 0; i < *rounds; i++ {
+			if err := pingPong(st, size); err != nil {
+				log.Fatalf("nxbench: %v", err)
+			}
+		}
+		elapsed := time.Since(start)
+		bps := float64(size) * float64(*rounds) / elapsed.Seconds()
+		fmt.Printf("bandwidth (%7d byte msgs): %10.1f KB/s\n", size, bps/1024)
+	}
+}
+
+func pingPong(st transport.Stream, size int) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(size))
+	if _, err := st.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := st.Write(make([]byte, size)); err != nil {
+		return err
+	}
+	one := make([]byte, 1)
+	_, err := io.ReadFull(st, one)
+	return err
+}
+
+func runServer(env *transport.TCPEnv, port int) {
+	l, err := env.Listen(port)
+	if err != nil {
+		log.Fatalf("nxbench: listen: %v", err)
+	}
+	log.Printf("nxbench: serving on %s", l.Addr())
+	for {
+		c, err := l.Accept(env)
+		if err != nil {
+			return
+		}
+		conn := c
+		env.Spawn("conn", func(e transport.Env) {
+			st := transport.Stream{Env: e, Conn: conn}
+			var hdr [4]byte
+			buf := make([]byte, 64*1024)
+			for {
+				if _, err := io.ReadFull(st, hdr[:]); err != nil {
+					_ = conn.Close(e)
+					return
+				}
+				remaining := int(binary.BigEndian.Uint32(hdr[:]))
+				for remaining > 0 {
+					n := len(buf)
+					if n > remaining {
+						n = remaining
+					}
+					got, err := st.Read(buf[:n])
+					if err != nil {
+						_ = conn.Close(e)
+						return
+					}
+					remaining -= got
+				}
+				if _, err := st.Write([]byte{1}); err != nil {
+					return
+				}
+			}
+		})
+	}
+}

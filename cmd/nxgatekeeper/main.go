@@ -1,0 +1,57 @@
+// Command nxgatekeeper runs a Globus-style gatekeeper on real TCP. It
+// authenticates submissions against a shared-secret credential and
+// dispatches jobs either to a fork job manager (on this host) or, with
+// -allocator, to the RMF Q system beyond the firewall.
+//
+// Usage:
+//
+//	nxgatekeeper -secret 0123abcd -subject /O=Grid/CN=demo [-port 2119] [-allocator host:7100]
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"log"
+
+	"nxcluster/internal/auth"
+	"nxcluster/internal/gram"
+	"nxcluster/internal/programs"
+	"nxcluster/internal/transport"
+)
+
+func main() {
+	port := flag.Int("port", gram.DefaultPort, "port to listen on")
+	secret := flag.String("secret", "", "shared secret key, hex (required)")
+	subject := flag.String("subject", "/O=Grid/CN=demo", "authorized subject")
+	local := flag.String("local-user", "demo", "local account the subject maps to")
+	allocator := flag.String("allocator", "", "RMF allocator address for jobmanager=rmf")
+	verbose := flag.Bool("v", false, "trace submissions")
+	flag.Parse()
+	if *secret == "" {
+		log.Fatal("nxgatekeeper: -secret is required")
+	}
+	key, err := hex.DecodeString(*secret)
+	if err != nil {
+		log.Fatalf("nxgatekeeper: bad -secret: %v", err)
+	}
+
+	kr := auth.NewKeyring()
+	kr.Grant(auth.Credential{Subject: *subject, Key: key}, *local)
+	gk := gram.NewGatekeeper(gram.Config{
+		Keyring:       kr,
+		Registry:      programs.Demo(),
+		AllocatorAddr: *allocator,
+	})
+	if *verbose {
+		gk.SetTrace(func(format string, args ...interface{}) {
+			log.Printf(format, args...)
+		})
+	}
+	env := transport.NewTCPEnv("localhost")
+	err = gk.Serve(env, *port, func(addr string) {
+		log.Printf("nxgatekeeper: listening on %s (subject %s)", addr, *subject)
+	})
+	if err != nil {
+		log.Fatalf("nxgatekeeper: %v", err)
+	}
+}

@@ -1,0 +1,50 @@
+// Command nxrun submits an RSL job request to a gatekeeper and waits for
+// completion, like globusrun.
+//
+// Usage:
+//
+//	nxrun -gatekeeper host:2119 -secret 0123abcd -subject /O=Grid/CN=demo \
+//	      '&(executable=hostname)(count=2)(jobmanager=rmf)'
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"nxcluster/internal/auth"
+	"nxcluster/internal/gram"
+	"nxcluster/internal/transport"
+)
+
+func main() {
+	gk := flag.String("gatekeeper", "localhost:2119", "gatekeeper address")
+	secret := flag.String("secret", "", "shared secret key, hex (required)")
+	subject := flag.String("subject", "/O=Grid/CN=demo", "credential subject")
+	timeout := flag.Duration("timeout", time.Minute, "wait timeout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("nxrun: exactly one RSL argument required")
+	}
+	if *secret == "" {
+		log.Fatal("nxrun: -secret is required")
+	}
+	key, err := hex.DecodeString(*secret)
+	if err != nil {
+		log.Fatalf("nxrun: bad -secret: %v", err)
+	}
+	cred := auth.Credential{Subject: *subject, Key: key}
+	env := transport.NewTCPEnv("localhost")
+
+	contact, err := gram.Submit(env, *gk, cred, flag.Arg(0))
+	if err != nil {
+		log.Fatalf("nxrun: submit: %v", err)
+	}
+	fmt.Printf("job contact: %s\n", contact)
+	if err := gram.Wait(env, *gk, cred, contact, 100*time.Millisecond, *timeout); err != nil {
+		log.Fatalf("nxrun: %v", err)
+	}
+	fmt.Println("job completed")
+}

@@ -1,0 +1,36 @@
+// Command rmf-allocator runs the RMF resource allocator daemon on real TCP.
+// Q servers register with it at startup; Q clients ask it which resources
+// are best for a job.
+//
+// Usage:
+//
+//	rmf-allocator [-port 7100]
+package main
+
+import (
+	"flag"
+	"log"
+
+	"nxcluster/internal/rmf"
+	"nxcluster/internal/transport"
+)
+
+func main() {
+	port := flag.Int("port", rmf.AllocatorPort, "port to listen on")
+	verbose := flag.Bool("v", false, "trace allocation decisions")
+	flag.Parse()
+
+	env := transport.NewTCPEnv("localhost")
+	alloc := rmf.NewAllocator()
+	if *verbose {
+		alloc.SetTrace(func(format string, args ...interface{}) {
+			log.Printf(format, args...)
+		})
+	}
+	err := alloc.Serve(env, *port, func(addr string) {
+		log.Printf("rmf-allocator: listening on %s", addr)
+	})
+	if err != nil {
+		log.Fatalf("rmf-allocator: %v", err)
+	}
+}

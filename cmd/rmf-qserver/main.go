@@ -1,0 +1,42 @@
+// Command rmf-qserver runs an RMF Q server on real TCP: the per-resource
+// job-execution daemon of the paper's Q system. It registers with the
+// allocator at startup and executes submitted processes from the demo
+// program registry.
+//
+// Usage:
+//
+//	rmf-qserver -name node0 -cluster compas [-port 7101] [-allocator host:7100]
+package main
+
+import (
+	"flag"
+	"log"
+
+	"nxcluster/internal/programs"
+	"nxcluster/internal/rmf"
+	"nxcluster/internal/transport"
+)
+
+func main() {
+	name := flag.String("name", "node0", "resource name")
+	cluster := flag.String("cluster", "default", "cluster label")
+	cpus := flag.Int("cpus", 1, "advertised processor count")
+	port := flag.Int("port", rmf.QServerPort, "port to listen on")
+	allocator := flag.String("allocator", "", "allocator address to register with (host:port)")
+	verbose := flag.Bool("v", false, "trace job activity")
+	flag.Parse()
+
+	env := transport.NewTCPEnv("localhost")
+	q := rmf.NewQServer(*name, *cluster, *cpus, programs.Demo())
+	if *verbose {
+		q.SetTrace(func(format string, args ...interface{}) {
+			log.Printf(format, args...)
+		})
+	}
+	err := q.Serve(env, *port, *allocator, func(addr string) {
+		log.Printf("rmf-qserver: %s (%s, %d cpus) listening on %s", *name, *cluster, *cpus, addr)
+	})
+	if err != nil {
+		log.Fatalf("rmf-qserver: %v", err)
+	}
+}

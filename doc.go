@@ -1,0 +1,14 @@
+// Package repro is the root of a from-scratch Go reproduction of
+// "Performance Evaluation of a Firewall-compliant Globus-based Wide-area
+// Cluster System" (Tanaka, Sato, Nakada, Sekiguchi, Hirano — HPDC 2000).
+//
+// The library lives under internal/ (see DESIGN.md for the inventory), the
+// runnable tools under cmd/, and the demonstrations under examples/. The
+// top-level test files regenerate the paper's evaluation:
+//
+//	go test -bench=.      # tables 2, 4, 5, 6 and the figure flows
+//	go run ./cmd/experiments
+//
+// See README.md for the quickstart and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

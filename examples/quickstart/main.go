@@ -1,0 +1,142 @@
+// Quickstart: run the Nexus Proxy on real TCP sockets in one process.
+//
+// It starts an inner server (the daemon inside the firewall, on its single
+// pre-opened nxport) and an outer server (outside the firewall), then
+// demonstrates both relay modes from the paper:
+//
+//   - active open (Figure 3): a "firewalled" client reaches a public echo
+//     server via NXProxyConnect;
+//   - passive open (Figure 4): the firewalled process binds via NXProxyBind,
+//     advertises the outer server's public address, and a remote peer
+//     connects to it through the outer -> inner -> client chain.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"nxcluster/internal/proxy"
+	"nxcluster/internal/transport"
+)
+
+func main() {
+	env := transport.NewTCPEnv("localhost")
+
+	// Inner server on the nxport.
+	inner := proxy.NewInnerServer(proxy.RelayConfig{})
+	innerReady := make(chan string, 1)
+	env.Spawn("inner", func(e transport.Env) {
+		if err := inner.Serve(e, 0, func(a string) { innerReady <- a }); err != nil {
+			log.Fatalf("inner: %v", err)
+		}
+	})
+	innerAddr := <-innerReady
+	fmt.Printf("inner server on nxport: %s\n", innerAddr)
+
+	// Outer server, configured to splice through the inner server.
+	outer := proxy.NewOuterServer(innerAddr, proxy.RelayConfig{})
+	outerReady := make(chan string, 1)
+	env.Spawn("outer", func(e transport.Env) {
+		if err := outer.Serve(e, 0, func(a string) { outerReady <- a }); err != nil {
+			log.Fatalf("outer: %v", err)
+		}
+	})
+	cfg := proxy.Config{OuterServer: <-outerReady, InnerServer: innerAddr}
+	fmt.Printf("outer server:           %s\n\n", cfg.OuterServer)
+
+	activeOpen(env, cfg)
+	passiveOpen(env, cfg)
+
+	st := outer.Stats()
+	fmt.Printf("\nouter server relayed %d active opens, %d passive splices, %d bytes\n",
+		st.ConnectRelays, st.BindRelays, st.Bytes)
+}
+
+// activeOpen demonstrates NXProxyConnect (paper Figure 3).
+func activeOpen(env transport.Env, cfg proxy.Config) {
+	// A public echo server ("PB", outside the firewall).
+	echo, err := env.Listen(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env.Spawn("echo", func(e transport.Env) {
+		for {
+			c, err := echo.Accept(e)
+			if err != nil {
+				return
+			}
+			conn := c
+			e.Spawn("echo-conn", func(e2 transport.Env) {
+				buf := make([]byte, 256)
+				for {
+					n, err := conn.Read(e2, buf)
+					if err != nil {
+						return
+					}
+					if _, err := conn.Write(e2, buf[:n]); err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+
+	// "PA" inside the firewall calls NXProxyConnect instead of connect().
+	c, err := proxy.NXProxyConnect(env, cfg, echo.Addr())
+	if err != nil {
+		log.Fatalf("NXProxyConnect: %v", err)
+	}
+	defer c.Close(env)
+	msg := "hello through the relay"
+	if _, err := c.Write(env, []byte(msg)); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(transport.Stream{Env: env, Conn: c}, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("active open  (Figure 3): PA -> outer -> PB echoed %q\n", buf)
+}
+
+// passiveOpen demonstrates NXProxyBind/NXProxyAccept (paper Figure 4).
+func passiveOpen(env transport.Env, cfg proxy.Config) {
+	pl, err := proxy.NXProxyBind(env, cfg)
+	if err != nil {
+		log.Fatalf("NXProxyBind: %v", err)
+	}
+	defer pl.Close(env)
+	fmt.Printf("passive open (Figure 4): PA advertises %s (bind %s)\n", pl.Addr(), pl.BindID())
+
+	done := make(chan string, 1)
+	env.Spawn("pa", func(e transport.Env) {
+		c, err := proxy.NXProxyAccept(e, pl)
+		if err != nil {
+			log.Fatalf("NXProxyAccept: %v", err)
+		}
+		buf := make([]byte, 256)
+		n, err := c.Read(e, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, _ = c.Write(e, []byte("ack:"+string(buf[:n])))
+		done <- string(buf[:n])
+	})
+
+	// "PB" dials the advertised outer address like any socket.
+	c, err := env.Dial(pl.Addr())
+	if err != nil {
+		log.Fatalf("dial advertised address: %v", err)
+	}
+	defer c.Close(env)
+	if _, err := c.Write(env, []byte("knock knock")); err != nil {
+		log.Fatal(err)
+	}
+	reply := make([]byte, 15)
+	if _, err := io.ReadFull(transport.Stream{Env: env, Conn: c}, reply); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("passive open (Figure 4): PB -> outer -> inner -> PA got %q, reply %q\n", <-done, reply)
+}

@@ -1,0 +1,73 @@
+// Wide-area MPI: run an MPI program across the simulated Figure 5 testbed,
+// with RWCP-site ranks communicating through the Nexus Proxy and ETL ranks
+// directly — the MPICH-G configuration of the paper's Table 3.
+//
+// The program computes a distributed dot product with Allreduce, then
+// reports each rank's placement and the proxy relay counters, demonstrating
+// that collectives crossing the firewall really flow through the relay.
+//
+// Run with: go run ./examples/wideareampi
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nxcluster/internal/cluster"
+	"nxcluster/internal/knapsack"
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/nexus"
+)
+
+func main() {
+	tb := cluster.NewTestbed(cluster.Options{})
+	defer tb.K.Shutdown()
+
+	placements := tb.Placements(cluster.SystemWide, true)
+	w := mpi.NewWorld(placements)
+	fmt.Printf("launching %d ranks on the wide-area cluster (proxy enabled for RWCP site)\n\n", w.Size())
+
+	w.Launch(func(c *mpi.Comm) error {
+		// Each rank contributes rank+1 squared; the exact global sum is
+		// n(n+1)(2n+1)/6 for n = size.
+		v := int64(c.Rank()+1) * int64(c.Rank()+1)
+		sum, err := c.AllreduceInt64(v, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		n := int64(c.Size())
+		if want := n * (n + 1) * (2*n + 1) / 6; sum != want {
+			return fmt.Errorf("rank %d: allreduce = %d, want %d", c.Rank(), sum, want)
+		}
+
+		// A short knapsack burst per rank exercises Compute on each host's
+		// virtual CPUs (heterogeneous speeds).
+		best, _ := knapsack.SolveExhaustive(knapsack.Normalized(20, 3))
+		b := nexus.NewBuffer()
+		b.PutString(fmt.Sprintf("rank %2d on %-10s allreduce=%d local-knapsack-best=%d", c.Rank(), c.Name(c.Rank()), sum, best))
+		parts, err := c.Gather(0, b.Bytes())
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for _, p := range parts {
+				line, _ := nexus.FromBytes(p).GetString()
+				fmt.Println(line)
+			}
+		}
+		return c.Barrier()
+	})
+
+	if err := tb.K.Run(); err != nil {
+		log.Fatalf("simulation: %v", err)
+	}
+	if err := w.Err(); err != nil {
+		log.Fatalf("mpi: %v", err)
+	}
+
+	fmt.Printf("\nvirtual time elapsed: %.3f s\n", tb.K.Now().Seconds())
+	fmt.Printf("outer server: %d active relays, %d passive splices, %d bytes relayed\n",
+		tb.Outer.Stats().ConnectRelays, tb.Outer.Stats().BindRelays, tb.Outer.Stats().Bytes)
+	fmt.Printf("firewall: %d connections allowed, %d denied\n",
+		tb.Firewall.AllowedCount(), tb.Firewall.DeniedCount())
+}

@@ -1,0 +1,3 @@
+module nxcluster
+
+go 1.22

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"nxcluster/internal/cluster"
+	"nxcluster/internal/knapsack"
+	"nxcluster/internal/mpi"
+)
+
+// TestKnapsackSurvivesWANOutage injects a WAN outage into the middle of a
+// wide-area run: the IMnet link drops for 200 virtual seconds, stalling
+// every RWCP<->ETL stream (steal requests, work batches), then comes back.
+// The computation must complete with exactly the right totals — the
+// reliable-stream layer stalls rather than corrupts — and the outage must
+// cost wall-clock time.
+func TestKnapsackSurvivesWANOutage(t *testing.T) {
+	run := func(outage bool) *knapsack.Result {
+		tb := cluster.NewTestbed(cluster.Options{})
+		defer tb.K.Shutdown()
+		in := knapsack.Normalized(50, 3)
+		if outage {
+			// Drop the IMnet at t=20s for 200s of virtual time.
+			tb.K.After(20*time.Second, func() {
+				if !tb.Net.SetLinkDown(cluster.RWCPOuter, "etl-gw") {
+					t.Error("could not take IMnet down")
+				}
+			})
+			tb.K.After(220*time.Second, func() {
+				tb.Net.SetLinkUp(cluster.RWCPOuter, "etl-gw")
+			})
+		}
+		w := mpi.NewWorld(tb.Placements(cluster.SystemWide, true))
+		var res *knapsack.Result
+		w.Launch(func(c *mpi.Comm) error {
+			r, err := knapsack.Run(c, in, knapsack.DefaultParams())
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				res = r
+			}
+			return nil
+		})
+		if err := tb.K.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	healthy := run(false)
+	outage := run(true)
+	want := knapsack.NormalizedTreeNodes(50, 3)
+	if healthy.TotalTraversed != want || outage.TotalTraversed != want {
+		t.Fatalf("work conservation broken: healthy=%d outage=%d want=%d",
+			healthy.TotalTraversed, outage.TotalTraversed, want)
+	}
+	if healthy.Best != outage.Best {
+		t.Fatalf("results diverge: %d vs %d", healthy.Best, outage.Best)
+	}
+	if outage.Elapsed <= healthy.Elapsed {
+		t.Fatalf("outage run (%v) not slower than healthy run (%v)",
+			outage.Elapsed, healthy.Elapsed)
+	}
+	// The outage costs at most roughly its duration plus recovery, not a
+	// livelock: generous bound of outage length x3.
+	if outage.Elapsed > healthy.Elapsed+600*time.Second {
+		t.Fatalf("outage cost %v, implausibly large", outage.Elapsed-healthy.Elapsed)
+	}
+}

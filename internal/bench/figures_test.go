@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1And5Render(t *testing.T) {
+	f1, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "IMnet", "hops", "rwcp-sun"} {
+		if !strings.Contains(f1, want) {
+			t.Errorf("Figure1 missing %q:\n%s", want, f1)
+		}
+	}
+	f5, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 5", "outer server", "nxport", "FIREWALL"} {
+		if !strings.Contains(f5, want) {
+			t.Errorf("Figure5 missing %q:\n%s", want, f5)
+		}
+	}
+}
+
+func TestFigure2Trace(t *testing.T) {
+	out, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Figure 2",
+		"authenticated", // gatekeeper auth
+		"job request",   // step 1
+		"Q client",      // step 2
+		"selected",      // steps 3-4 (allocator)
+		"accepted",      // step 5 (Q server)
+		"done",          // step 6
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3Trace(t *testing.T) {
+	out, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 3", "NXProxyConnect", "connect request", "relaying"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure4Trace(t *testing.T) {
+	out, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Figure 4", "NXProxyBind", "advertised", "splicing via inner",
+		"inner: relaying", "NXProxyAccept",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure4 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SweepPoint is one message size's direct and indirect bandwidth on a path.
+type SweepPoint struct {
+	// Size is the message size in bytes.
+	Size int
+	// Direct and Indirect are bandwidths in bytes/second.
+	Direct, Indirect float64
+}
+
+// BandwidthSweep is the full curve behind the paper's narrative ("as
+// message size increases, the communication overhead caused by the Nexus
+// Proxy can be negligible"): bandwidth versus message size for a path,
+// direct and through the relays, including the crossover where the relay
+// pipeline stops being the bottleneck.
+type BandwidthSweep struct {
+	// Path names the endpoints.
+	Path string
+	// Points are ordered by increasing message size.
+	Points []SweepPoint
+}
+
+// SweepSizes are the default message sizes measured.
+var SweepSizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// RunBandwidthSweep measures bandwidth across message sizes for both Table 2
+// paths. Each (path, mode) pair runs on a fresh testbed, like Table 2.
+func RunBandwidthSweep(cfg Table2Config) ([]BandwidthSweep, error) {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 2
+	}
+	saved := Table2Sizes
+	Table2Sizes = SweepSizes
+	defer func() { Table2Sizes = saved }()
+
+	rows, err := RunTable2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	byPath := map[string]*BandwidthSweep{}
+	var order []string
+	for _, r := range rows {
+		sw := byPath[r.Path]
+		if sw == nil {
+			sw = &BandwidthSweep{Path: r.Path}
+			for _, size := range SweepSizes {
+				sw.Points = append(sw.Points, SweepPoint{Size: size})
+			}
+			byPath[r.Path] = sw
+			order = append(order, r.Path)
+		}
+		for i, size := range SweepSizes {
+			if r.Indirect {
+				sw.Points[i].Indirect = r.Bandwidth[size]
+			} else {
+				sw.Points[i].Direct = r.Bandwidth[size]
+			}
+		}
+	}
+	out := make([]BandwidthSweep, 0, len(order))
+	for _, p := range order {
+		out = append(out, *byPath[p])
+	}
+	return out, nil
+}
+
+// FormatSweep renders the curves with the proxy overhead per size.
+func FormatSweep(sweeps []BandwidthSweep) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Bandwidth vs message size (direct / via Nexus Proxy)")
+	for _, sw := range sweeps {
+		fmt.Fprintf(&b, "%s\n", sw.Path)
+		fmt.Fprintf(&b, "  %10s %14s %14s %10s\n", "size", "direct", "indirect", "overhead")
+		for _, pt := range sw.Points {
+			overhead := "n/a"
+			if pt.Indirect > 0 {
+				overhead = fmt.Sprintf("%.1fx", pt.Direct/pt.Indirect)
+			}
+			fmt.Fprintf(&b, "  %10d %14s %14s %10s\n",
+				pt.Size, fmtBandwidth(pt.Direct), fmtBandwidth(pt.Indirect), overhead)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBandwidthSweepShape checks the paper's crossover narrative: on the
+// LAN path the proxy penalty shrinks as messages grow but stays bounded by
+// the relay pipeline; on the WAN path the penalty converges to ~1x because
+// the IMnet is the bottleneck either way.
+func TestBandwidthSweepShape(t *testing.T) {
+	sweeps, err := RunBandwidthSweep(Table2Config{Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweeps) != 2 {
+		t.Fatalf("%d sweeps", len(sweeps))
+	}
+	lan, wan := sweeps[0], sweeps[1]
+	if !strings.Contains(lan.Path, "COMPaS") || !strings.Contains(wan.Path, "ETL") {
+		t.Fatalf("unexpected sweep order: %q, %q", lan.Path, wan.Path)
+	}
+
+	overhead := func(pt SweepPoint) float64 { return pt.Direct / pt.Indirect }
+
+	// LAN: the small-message overhead is at least several times the
+	// large-message overhead (monotone amortization of per-message cost).
+	first, last := lan.Points[0], lan.Points[len(lan.Points)-1]
+	if overhead(first) < 2*overhead(last) {
+		t.Errorf("LAN overhead did not shrink with size: %.1fx -> %.1fx",
+			overhead(first), overhead(last))
+	}
+	// WAN: at 1 MB the overhead is negligible (the paper's headline).
+	wlast := wan.Points[len(wan.Points)-1]
+	if ratio := overhead(wlast); ratio > 1.3 {
+		t.Errorf("WAN 1MB overhead = %.2fx, want ~1x", ratio)
+	}
+	// Bandwidth is non-decreasing in message size for every series.
+	for _, sw := range sweeps {
+		for i := 1; i < len(sw.Points); i++ {
+			if sw.Points[i].Direct+1 < sw.Points[i-1].Direct ||
+				sw.Points[i].Indirect+1 < sw.Points[i-1].Indirect {
+				t.Errorf("%s: bandwidth decreased between %d and %d bytes",
+					sw.Path, sw.Points[i-1].Size, sw.Points[i].Size)
+			}
+		}
+	}
+
+	out := FormatSweep(sweeps)
+	for _, want := range []string{"Bandwidth vs message size", "overhead", "1048576"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatSweep missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("\n%s", out)
+}

@@ -1,0 +1,147 @@
+package gass
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nxcluster/internal/transport"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	s.Put("input.dat", []byte("fifty items"))
+	got, err := s.Get("/input.dat") // leading slash normalization
+	if err != nil || string(got) != "fifty items" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if _, err := s.Get("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing = %v", err)
+	}
+	s.Put("/jobs/1/out", []byte("x"))
+	s.Put("/jobs/2/out", []byte("y"))
+	if l := s.List("/jobs"); len(l) != 2 || l[0] != "/jobs/1/out" {
+		t.Fatalf("List = %v", l)
+	}
+	if err := s.Delete("/jobs/1/out"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("/jobs/1/out"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+	// Mutating the returned slice must not corrupt the store.
+	data, _ := s.Get("/input.dat")
+	data[0] = 'X'
+	again, _ := s.Get("/input.dat")
+	if again[0] == 'X' {
+		t.Fatal("Get aliases internal storage")
+	}
+}
+
+func TestParseAndBuildURL(t *testing.T) {
+	hp, path, err := ParseURL("x-gass://rwcp-outer:7020/jobs/1/stdout")
+	if err != nil || hp != "rwcp-outer:7020" || path != "/jobs/1/stdout" {
+		t.Fatalf("ParseURL = %q, %q, %v", hp, path, err)
+	}
+	if URL("h:1", "a/b") != "x-gass://h:1/a/b" {
+		t.Fatal("URL build")
+	}
+	for _, bad := range []string{"", "http://h:1/p", "x-gass://hostonly"} {
+		if _, _, err := ParseURL(bad); err == nil {
+			t.Errorf("ParseURL(%q) succeeded", bad)
+		}
+	}
+}
+
+func startServer(t *testing.T) (*transport.TCPEnv, *Server, string) {
+	t.Helper()
+	env := transport.NewTCPEnv("localhost")
+	srv := NewServer(NewStore())
+	ready := make(chan string, 1)
+	env.Spawn("gass", func(e transport.Env) {
+		_ = srv.Serve(e, 0, func(addr string) { ready <- addr })
+	})
+	addr := <-ready
+	t.Cleanup(func() { srv.Close(env) })
+	return env, srv, addr
+}
+
+func TestPublishFetchOverTCP(t *testing.T) {
+	env, _, addr := startServer(t)
+	payload := bytes.Repeat([]byte("knapsack"), 1000)
+	url := URL(addr, "/stage/input.dat")
+	if err := Publish(env, url, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fetch(env, url)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch = %d bytes, %v", len(got), err)
+	}
+	if _, err := Fetch(env, URL(addr, "/no/such")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing fetch = %v", err)
+	}
+}
+
+func TestClientCache(t *testing.T) {
+	env, srv, addr := startServer(t)
+	url := URL(addr, "/data")
+	srv.Store.Put("/data", []byte("v1"))
+	cl := NewClient()
+	if got, err := cl.Get(env, url); err != nil || string(got) != "v1" {
+		t.Fatalf("first Get = %q, %v", got, err)
+	}
+	// Server-side change is hidden by the cache until invalidation, like
+	// the GASS file cache.
+	srv.Store.Put("/data", []byte("v2"))
+	if got, _ := cl.Get(env, url); string(got) != "v1" {
+		t.Fatalf("cached Get = %q, want v1", got)
+	}
+	if cl.CacheSize() != 1 {
+		t.Fatalf("CacheSize = %d", cl.CacheSize())
+	}
+	cl.Invalidate(url)
+	if got, _ := cl.Get(env, url); string(got) != "v2" {
+		t.Fatalf("post-invalidate Get = %q, want v2", got)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	env, _, addr := startServer(t)
+	url := URL(addr, "/empty")
+	if err := Publish(env, url, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fetch(env, url)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty fetch = %v, %v", got, err)
+	}
+}
+
+func TestQuickPublishFetchRoundTrip(t *testing.T) {
+	env, _, addr := startServer(t)
+	prop := func(name uint16, data []byte) bool {
+		url := URL(addr, "/q/"+itoa(int(name)))
+		if err := Publish(env, url, data); err != nil {
+			return false
+		}
+		got, err := Fetch(env, url)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	digits := "0123456789"
+	if n == 0 {
+		return "0"
+	}
+	var out []byte
+	for n > 0 {
+		out = append([]byte{digits[n%10]}, out...)
+		n /= 10
+	}
+	return string(out)
+}

@@ -1,0 +1,385 @@
+// Package gram implements the Globus Resource Allocation Manager layer the
+// paper's RMF plugs into: a gatekeeper daemon that authenticates job
+// requests, parses their RSL, and forks a job manager to run them.
+//
+// Two job manager types exist, selected by the RSL jobmanager attribute:
+//
+//   - "fork" runs the processes directly on the gatekeeper's host, the
+//     plain Globus behaviour;
+//   - "rmf" is the paper's contribution hook: the job manager creates a Q
+//     client which allocates resources inside the firewall via the RMF
+//     resource allocator and submits the processes to their Q servers
+//     (paper Figure 2: "when the RMF type GRAM is used, computing resources
+//     inside the firewall can be utilized via a Globus gatekeeper which is
+//     running outside the firewall").
+//
+// DUROC-style multirequests (+ specs) co-allocate one job across several
+// gatekeepers; see SubmitMulti.
+package gram
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nxcluster/internal/auth"
+	"nxcluster/internal/nexus"
+	"nxcluster/internal/rmf"
+	"nxcluster/internal/rsl"
+	"nxcluster/internal/transport"
+)
+
+// DefaultPort is the conventional gatekeeper port (Globus used 2119).
+const DefaultPort = 2119
+
+// Wire ops on an authenticated gatekeeper connection.
+const (
+	opSubmit = int32(1)
+	opStatus = int32(2)
+	opCancel = int32(3)
+	opList   = int32(4)
+)
+
+// ErrBadRequest reports an unusable job request.
+var ErrBadRequest = errors.New("gram: bad request")
+
+// Config wires a gatekeeper's dependencies.
+type Config struct {
+	// Keyring authorizes submitting subjects.
+	Keyring *auth.Keyring
+	// Registry resolves executables for fork-type jobs.
+	Registry *rmf.Registry
+	// AllocatorAddr is the RMF resource allocator for rmf-type jobs.
+	AllocatorAddr string
+	// DefaultJobManager applies when the RSL names none ("fork").
+	DefaultJobManager string
+}
+
+// managedJob is a job manager's record.
+type managedJob struct {
+	contact  string
+	subject  string
+	state    rmf.State
+	errMsg   string
+	handle   *rmf.JobHandle // rmf jobs
+	pending  int            // fork jobs: processes still running
+	canceled bool
+}
+
+// Gatekeeper authenticates and dispatches job requests.
+type Gatekeeper struct {
+	cfg      Config
+	mu       sync.Mutex
+	nextJob  int
+	jobs     map[string]*managedJob
+	listener transport.Listener
+	trace    func(format string, args ...interface{})
+}
+
+// NewGatekeeper creates a gatekeeper.
+func NewGatekeeper(cfg Config) *Gatekeeper {
+	if cfg.DefaultJobManager == "" {
+		cfg.DefaultJobManager = "fork"
+	}
+	return &Gatekeeper{cfg: cfg, jobs: make(map[string]*managedJob)}
+}
+
+// SetTrace installs a tracing callback (the Figure 2 renderer).
+func (g *Gatekeeper) SetTrace(fn func(string, ...interface{})) { g.trace = fn }
+
+func (g *Gatekeeper) tracef(format string, args ...interface{}) {
+	if g.trace != nil {
+		g.trace(format, args...)
+	}
+}
+
+// Serve binds the gatekeeper port and accepts submissions; it blocks its
+// process.
+func (g *Gatekeeper) Serve(env transport.Env, port int, ready func(addr string)) error {
+	l, err := env.Listen(port)
+	if err != nil {
+		return fmt.Errorf("gram: listen: %w", err)
+	}
+	g.listener = l
+	if ready != nil {
+		ready(l.Addr())
+	}
+	for {
+		c, err := l.Accept(env)
+		if err != nil {
+			return nil
+		}
+		conn := c
+		env.SpawnService("gatekeeper:conn", func(e transport.Env) { g.handle(e, conn) })
+	}
+}
+
+// Close shuts the listener down.
+func (g *Gatekeeper) Close(env transport.Env) {
+	if g.listener != nil {
+		_ = g.listener.Close(env)
+	}
+}
+
+func (g *Gatekeeper) handle(env transport.Env, c transport.Conn) {
+	defer c.Close(env)
+	subject, err := auth.Accept(env, c, g.cfg.Keyring)
+	if err != nil {
+		g.tracef("gatekeeper: authentication failed: %v", err)
+		return
+	}
+	local, _ := g.cfg.Keyring.LocalUser(subject)
+	g.tracef("gatekeeper: authenticated %s (local user %s)", subject, local)
+
+	st := transport.Stream{Env: env, Conn: c}
+	req, err := nexus.ReadFrame(st, 0)
+	if err != nil {
+		return
+	}
+	op, err := req.GetInt32()
+	if err != nil {
+		return
+	}
+	resp := nexus.NewBuffer()
+	switch op {
+	case opSubmit:
+		rslText, err := req.GetString()
+		if err != nil {
+			putErr(resp, err)
+			break
+		}
+		contact, err := g.submit(env, subject, rslText)
+		if err != nil {
+			putErr(resp, err)
+			break
+		}
+		resp.PutBool(true)
+		resp.PutString(contact)
+	case opStatus:
+		contact, err := req.GetString()
+		if err != nil {
+			putErr(resp, err)
+			break
+		}
+		state, msg, err := g.jobStatus(contact)
+		if err != nil {
+			putErr(resp, err)
+			break
+		}
+		resp.PutBool(true)
+		resp.PutInt32(int32(state))
+		resp.PutString(msg)
+	case opCancel:
+		contact, err := req.GetString()
+		if err != nil {
+			putErr(resp, err)
+			break
+		}
+		if err := g.cancel(contact, subject); err != nil {
+			putErr(resp, err)
+			break
+		}
+		resp.PutBool(true)
+	case opList:
+		contacts := g.listJobs(subject)
+		resp.PutBool(true)
+		resp.PutInt32(int32(len(contacts)))
+		for _, c := range contacts {
+			resp.PutString(c)
+		}
+	default:
+		putErr(resp, fmt.Errorf("gram: unknown op %d", op))
+	}
+	_ = nexus.WriteFrame(st, resp)
+}
+
+func putErr(b *nexus.Buffer, err error) {
+	b.PutBool(false)
+	b.PutString(err.Error())
+}
+
+// submit parses the RSL and forks the job manager (Figure 2 step 2: "the
+// job manager invoked by the gatekeeper creates a Q client process").
+func (g *Gatekeeper) submit(env transport.Env, subject, rslText string) (string, error) {
+	spec, err := rsl.Parse(rslText)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if spec.IsMulti() {
+		return "", fmt.Errorf("%w: multirequests are co-allocated client-side (SubmitMulti)", ErrBadRequest)
+	}
+	executable := spec.GetString("executable", "")
+	if executable == "" {
+		return "", fmt.Errorf("%w: missing executable", ErrBadRequest)
+	}
+	count := spec.GetInt("count", 1)
+	if count < 1 {
+		return "", fmt.Errorf("%w: bad count", ErrBadRequest)
+	}
+	jmType := spec.GetString("jobmanager", g.cfg.DefaultJobManager)
+	envPairs, err := spec.Pairs("environment")
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	envMap := make(map[string]string, len(envPairs))
+	for _, kv := range envPairs {
+		envMap[kv[0]] = kv[1]
+	}
+	procSpec := rmf.ProcessSpec{
+		Executable: executable,
+		Args:       spec.GetStrings("arguments"),
+		Env:        envMap,
+		StdinURL:   spec.GetString("stdin", ""),
+		StdoutURL:  spec.GetString("stdout", ""),
+	}
+
+	g.mu.Lock()
+	g.nextJob++
+	contact := fmt.Sprintf("job-%d", g.nextJob)
+	job := &managedJob{contact: contact, subject: subject, state: rmf.StatePending}
+	g.jobs[contact] = job
+	g.mu.Unlock()
+	g.tracef("gatekeeper: job request %s from %s: %s x%d via %s jobmanager",
+		contact, subject, executable, count, jmType)
+
+	switch jmType {
+	case "fork":
+		g.startFork(env, job, procSpec, count)
+	case "rmf":
+		if g.cfg.AllocatorAddr == "" {
+			return "", fmt.Errorf("%w: gatekeeper has no RMF allocator configured", ErrBadRequest)
+		}
+		cluster := spec.GetString("cluster", "")
+		g.startRMF(env, job, procSpec, count, cluster)
+	default:
+		return "", fmt.Errorf("%w: unknown jobmanager %q", ErrBadRequest, jmType)
+	}
+	return contact, nil
+}
+
+// startFork runs count processes on the gatekeeper's own host.
+func (g *Gatekeeper) startFork(env transport.Env, job *managedJob, spec rmf.ProcessSpec, count int) {
+	prog, ok := g.cfg.Registry.Lookup(spec.Executable)
+	if !ok {
+		g.fail(job, fmt.Errorf("no such executable %q", spec.Executable))
+		return
+	}
+	job.state = rmf.StateActive
+	job.pending = count
+	for i := 0; i < count; i++ {
+		i := i
+		env.Spawn(fmt.Sprintf("fork:%s:%d", job.contact, i), func(e transport.Env) {
+			ctx := &rmf.JobContext{
+				JobID:    fmt.Sprintf("%s/%d", job.contact, i),
+				Resource: e.Hostname(),
+				Args:     spec.Args,
+				Env:      spec.Env,
+			}
+			err := prog(e, ctx)
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			job.pending--
+			if err != nil && job.errMsg == "" {
+				job.errMsg = err.Error()
+			}
+			if job.pending == 0 && job.state == rmf.StateActive && !job.canceled {
+				if job.errMsg != "" {
+					job.state = rmf.StateFailed
+				} else {
+					job.state = rmf.StateDone
+				}
+			}
+		})
+	}
+}
+
+// startRMF runs the job through the paper's Q system.
+func (g *Gatekeeper) startRMF(env transport.Env, job *managedJob, spec rmf.ProcessSpec, count int, cluster string) {
+	job.state = rmf.StateActive
+	env.Spawn("jobmanager:"+job.contact, func(e transport.Env) {
+		g.tracef("job manager %s: creating Q client", job.contact)
+		h, err := rmf.SubmitJob(e, g.cfg.AllocatorAddr, rmf.JobRequest{
+			Count:   count,
+			Cluster: cluster,
+			Spec:    spec,
+		})
+		if err != nil {
+			g.fail(job, err)
+			return
+		}
+		g.mu.Lock()
+		job.handle = h
+		g.mu.Unlock()
+		if err := h.Wait(e, 10*time.Millisecond, 0); err != nil {
+			g.fail(job, err)
+			return
+		}
+		g.mu.Lock()
+		if !job.canceled {
+			job.state = rmf.StateDone
+		}
+		g.mu.Unlock()
+		g.tracef("job manager %s: all processes done", job.contact)
+	})
+}
+
+func (g *Gatekeeper) fail(job *managedJob, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if job.canceled {
+		return // cancellation message wins
+	}
+	job.state = rmf.StateFailed
+	job.errMsg = err.Error()
+	g.tracef("job %s failed: %v", job.contact, err)
+}
+
+// cancel marks a job canceled. A pending or active job moves to FAILED with
+// a cancellation message; already-running processes finish their current
+// work (the Q system has no preemption, like the paper's), but the job
+// manager stops tracking them. Only the submitting subject may cancel.
+func (g *Gatekeeper) cancel(contact, subject string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	job, ok := g.jobs[contact]
+	if !ok {
+		return fmt.Errorf("gram: unknown job contact %q", contact)
+	}
+	if job.subject != subject {
+		return fmt.Errorf("gram: job %s belongs to another subject", contact)
+	}
+	if job.state == rmf.StateDone || job.state == rmf.StateFailed {
+		return fmt.Errorf("gram: job %s already finished (%s)", contact, job.state)
+	}
+	job.canceled = true
+	job.state = rmf.StateFailed
+	job.errMsg = "canceled by " + subject
+	g.tracef("gatekeeper: job %s canceled by %s", contact, subject)
+	return nil
+}
+
+// listJobs returns the subject's job contacts, sorted.
+func (g *Gatekeeper) listJobs(subject string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []string
+	for contact, job := range g.jobs {
+		if job.subject == subject {
+			out = append(out, contact)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *Gatekeeper) jobStatus(contact string) (rmf.State, string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	job, ok := g.jobs[contact]
+	if !ok {
+		return rmf.StateFailed, "", fmt.Errorf("gram: unknown job contact %q", contact)
+	}
+	return job.state, job.errMsg, nil
+}

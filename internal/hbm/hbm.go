@@ -1,0 +1,330 @@
+// Package hbm implements a Heartbeat Monitor in the mold of the Globus HBM
+// service: long-running processes (gatekeepers, relay servers, Q servers)
+// register with a monitor daemon and send periodic heartbeats; the monitor
+// classifies each process as UP, LATE or DOWN from beat arrival times, and
+// operators (or tests) query it for liveness. In a metacomputing testbed
+// spanning firewalls this is how a site learns that a remote component died
+// rather than merely stalled.
+package hbm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nxcluster/internal/nexus"
+	"nxcluster/internal/transport"
+)
+
+// ErrUnknown is returned for status queries on unregistered processes.
+var ErrUnknown = errors.New("hbm: unknown process")
+
+// Health is a monitored process's classification.
+type Health int
+
+// Health states: a process is UP while beats arrive on time, LATE once a
+// beat is overdue by less than the grace period, and DOWN beyond it.
+const (
+	Up Health = iota
+	Late
+	Down
+)
+
+// String renders the health state.
+func (h Health) String() string {
+	switch h {
+	case Up:
+		return "UP"
+	case Late:
+		return "LATE"
+	default:
+		return "DOWN"
+	}
+}
+
+// Wire ops.
+const (
+	opBeat   = int32(1) // fields: name (registers implicitly)
+	opStatus = int32(2) // fields: name
+	opList   = int32(3)
+)
+
+// record tracks one process.
+type record struct {
+	name     string
+	lastBeat time.Duration
+	beats    int64
+}
+
+// Monitor is the heartbeat collector daemon.
+type Monitor struct {
+	// Interval is the expected beat period.
+	Interval time.Duration
+	// Grace is how far past the interval a beat may be before the process
+	// is DOWN (default: 3x Interval).
+	Grace time.Duration
+
+	mu       sync.Mutex
+	procs    map[string]*record
+	listener transport.Listener
+}
+
+// NewMonitor creates a monitor expecting beats every interval.
+func NewMonitor(interval time.Duration) *Monitor {
+	return &Monitor{
+		Interval: interval,
+		Grace:    3 * interval,
+		procs:    make(map[string]*record),
+	}
+}
+
+// beat records a heartbeat at the monitor's current time.
+func (m *Monitor) beat(name string, now time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := m.procs[name]
+	if r == nil {
+		r = &record{name: name}
+		m.procs[name] = r
+	}
+	r.lastBeat = now
+	r.beats++
+}
+
+// Status classifies a process at time now.
+func (m *Monitor) Status(name string, now time.Duration) (Health, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.procs[name]
+	if !ok {
+		return Down, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	return m.classify(r, now), nil
+}
+
+func (m *Monitor) classify(r *record, now time.Duration) Health {
+	overdue := now - r.lastBeat
+	switch {
+	case overdue <= m.Interval:
+		return Up
+	case overdue <= m.Interval+m.Grace:
+		return Late
+	default:
+		return Down
+	}
+}
+
+// Snapshot lists every process's health at time now, sorted by name.
+func (m *Monitor) Snapshot(now time.Duration) map[string]Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Health, len(m.procs))
+	for name, r := range m.procs {
+		out[name] = m.classify(r, now)
+	}
+	return out
+}
+
+// Beats reports the total heartbeat count for a process.
+func (m *Monitor) Beats(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r, ok := m.procs[name]; ok {
+		return r.beats
+	}
+	return 0
+}
+
+// Serve runs the monitor's wire protocol; it blocks its process.
+func (m *Monitor) Serve(env transport.Env, port int, ready func(addr string)) error {
+	l, err := env.Listen(port)
+	if err != nil {
+		return fmt.Errorf("hbm: listen: %w", err)
+	}
+	m.listener = l
+	if ready != nil {
+		ready(l.Addr())
+	}
+	for {
+		c, err := l.Accept(env)
+		if err != nil {
+			return nil
+		}
+		conn := c
+		env.SpawnService("hbm:conn", func(e transport.Env) { m.handle(e, conn) })
+	}
+}
+
+// Close shuts the listener down.
+func (m *Monitor) Close(env transport.Env) {
+	if m.listener != nil {
+		_ = m.listener.Close(env)
+	}
+}
+
+func (m *Monitor) handle(env transport.Env, c transport.Conn) {
+	defer c.Close(env)
+	st := transport.Stream{Env: env, Conn: c}
+	req, err := nexus.ReadFrame(st, 0)
+	if err != nil {
+		return
+	}
+	op, err := req.GetInt32()
+	if err != nil {
+		return
+	}
+	resp := nexus.NewBuffer()
+	switch op {
+	case opBeat:
+		name, err := req.GetString()
+		if err != nil || name == "" {
+			resp.PutBool(false)
+			resp.PutString("hbm: bad beat")
+			break
+		}
+		m.beat(name, env.Now())
+		resp.PutBool(true)
+	case opStatus:
+		name, err := req.GetString()
+		if err != nil {
+			resp.PutBool(false)
+			resp.PutString(err.Error())
+			break
+		}
+		h, err := m.Status(name, env.Now())
+		if err != nil {
+			resp.PutBool(false)
+			resp.PutString(err.Error())
+			break
+		}
+		resp.PutBool(true)
+		resp.PutInt32(int32(h))
+	case opList:
+		snap := m.Snapshot(env.Now())
+		names := make([]string, 0, len(snap))
+		for n := range snap {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		resp.PutBool(true)
+		resp.PutInt32(int32(len(names)))
+		for _, n := range names {
+			resp.PutString(n)
+			resp.PutInt32(int32(snap[n]))
+		}
+	default:
+		resp.PutBool(false)
+		resp.PutString("hbm: unknown op")
+	}
+	_ = nexus.WriteFrame(st, resp)
+}
+
+// Beat sends one heartbeat for name to the monitor at addr.
+func Beat(env transport.Env, addr, name string) error {
+	req := nexus.NewBuffer()
+	req.PutInt32(opBeat)
+	req.PutString(name)
+	_, err := roundTrip(env, addr, req)
+	return err
+}
+
+// QueryStatus asks the monitor for a process's health.
+func QueryStatus(env transport.Env, addr, name string) (Health, error) {
+	req := nexus.NewBuffer()
+	req.PutInt32(opStatus)
+	req.PutString(name)
+	resp, err := roundTrip(env, addr, req)
+	if err != nil {
+		return Down, err
+	}
+	h, err := resp.GetInt32()
+	return Health(h), err
+}
+
+// QueryAll asks the monitor for every process's health.
+func QueryAll(env transport.Env, addr string) (map[string]Health, error) {
+	req := nexus.NewBuffer()
+	req.PutInt32(opList)
+	resp, err := roundTrip(env, addr, req)
+	if err != nil {
+		return nil, err
+	}
+	n, err := resp.GetInt32()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Health, n)
+	for i := int32(0); i < n; i++ {
+		name, e1 := resp.GetString()
+		h, e2 := resp.GetInt32()
+		if e1 != nil || e2 != nil {
+			return nil, errors.New("hbm: malformed list reply")
+		}
+		out[name] = Health(h)
+	}
+	return out, nil
+}
+
+func roundTrip(env transport.Env, addr string, req *nexus.Buffer) (*nexus.Buffer, error) {
+	c, err := env.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("hbm: dial %s: %w", addr, err)
+	}
+	defer c.Close(env)
+	st := transport.Stream{Env: env, Conn: c}
+	if err := nexus.WriteFrame(st, req); err != nil {
+		return nil, err
+	}
+	resp, err := nexus.ReadFrame(st, 0)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := resp.GetBool()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		msg, _ := resp.GetString()
+		return nil, errors.New(msg)
+	}
+	return resp, nil
+}
+
+// Reporter periodically beats on behalf of a named process. Start launches
+// the beat loop as a service process; Stop ends it.
+type Reporter struct {
+	// MonitorAddr is the monitor's "host:port".
+	MonitorAddr string
+	// Name identifies this process to the monitor.
+	Name string
+	// Interval between beats (use the monitor's).
+	Interval time.Duration
+
+	stopped bool
+	mu      sync.Mutex
+}
+
+// Start launches the beat loop.
+func (r *Reporter) Start(env transport.Env) {
+	env.SpawnService("hbm:reporter:"+r.Name, func(e transport.Env) {
+		for {
+			r.mu.Lock()
+			stopped := r.stopped
+			r.mu.Unlock()
+			if stopped {
+				return
+			}
+			_ = Beat(e, r.MonitorAddr, r.Name) // best effort
+			e.Sleep(r.Interval)
+		}
+	})
+}
+
+// Stop ends the beat loop after its current sleep.
+func (r *Reporter) Stop() {
+	r.mu.Lock()
+	r.stopped = true
+	r.mu.Unlock()
+}

@@ -1,0 +1,143 @@
+package hbm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+	"nxcluster/internal/transport"
+)
+
+func TestHealthString(t *testing.T) {
+	for h, want := range map[Health]string{Up: "UP", Late: "LATE", Down: "DOWN"} {
+		if h.String() != want {
+			t.Errorf("%d = %s", h, h.String())
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	m := NewMonitor(time.Second) // grace 3s
+	m.beat("p", 10*time.Second)
+	cases := []struct {
+		now  time.Duration
+		want Health
+	}{
+		{10 * time.Second, Up},
+		{11 * time.Second, Up},
+		{12 * time.Second, Late},
+		{14 * time.Second, Late},
+		{14*time.Second + 1, Down},
+		{time.Hour, Down},
+	}
+	for _, tc := range cases {
+		h, err := m.Status("p", tc.now)
+		if err != nil || h != tc.want {
+			t.Errorf("Status at %v = %v, %v; want %v", tc.now, h, err, tc.want)
+		}
+	}
+	if _, err := m.Status("ghost", 0); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown status = %v", err)
+	}
+}
+
+// TestMonitorDetectsDeadProcessInSim runs the full loop: a reporter beats,
+// the monitor sees UP; the reporter stops, the monitor transitions the
+// process to DOWN; a second reporter keeps beating throughout.
+func TestMonitorDetectsDeadProcessInSim(t *testing.T) {
+	k := sim.New()
+	n := simnet.New(k)
+	n.AddHost("mon", simnet.HostConfig{})
+	n.AddHost("svc", simnet.HostConfig{})
+	n.Connect("mon", "svc", simnet.LinkConfig{Latency: time.Millisecond})
+
+	m := NewMonitor(time.Second)
+	n.Node("mon").SpawnDaemonOn("monitor", func(e transport.Env) {
+		_ = m.Serve(e, 7300, nil)
+	})
+
+	flaky := &Reporter{MonitorAddr: "mon:7300", Name: "flaky", Interval: time.Second}
+	steady := &Reporter{MonitorAddr: "mon:7300", Name: "steady", Interval: time.Second}
+	var atFive, atTwenty Health
+	var steadyLater Health
+	n.Node("svc").SpawnOn("driver", func(e transport.Env) {
+		flaky.Start(e)
+		steady.Start(e)
+		e.Sleep(5 * time.Second)
+		var err error
+		atFive, err = QueryStatus(e, "mon:7300", "flaky")
+		if err != nil {
+			t.Error(err)
+		}
+		flaky.Stop()
+		e.Sleep(15 * time.Second)
+		atTwenty, err = QueryStatus(e, "mon:7300", "flaky")
+		if err != nil {
+			t.Error(err)
+		}
+		steadyLater, err = QueryStatus(e, "mon:7300", "steady")
+		if err != nil {
+			t.Error(err)
+		}
+		all, err := QueryAll(e, "mon:7300")
+		if err != nil {
+			t.Error(err)
+		}
+		if len(all) != 2 {
+			t.Errorf("QueryAll = %v", all)
+		}
+		steady.Stop()
+	})
+	k.RunUntil(60 * time.Second)
+	k.Shutdown()
+
+	if atFive != Up {
+		t.Fatalf("flaky at t=5s: %v, want UP", atFive)
+	}
+	if atTwenty != Down {
+		t.Fatalf("flaky at t=20s: %v, want DOWN", atTwenty)
+	}
+	if steadyLater != Up {
+		t.Fatalf("steady at t=20s: %v, want UP", steadyLater)
+	}
+	if m.Beats("steady") < 15 {
+		t.Fatalf("steady beat only %d times", m.Beats("steady"))
+	}
+}
+
+func TestMonitorOverTCP(t *testing.T) {
+	env := transport.NewTCPEnv("localhost")
+	m := NewMonitor(50 * time.Millisecond)
+	ready := make(chan string, 1)
+	env.Spawn("mon", func(e transport.Env) {
+		_ = m.Serve(e, 0, func(a string) { ready <- a })
+	})
+	addr := <-ready
+	defer m.Close(env)
+
+	if err := Beat(env, addr, "proc1"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := QueryStatus(env, addr, "proc1")
+	if err != nil || h != Up {
+		t.Fatalf("status = %v, %v", h, err)
+	}
+	env.Sleep(300 * time.Millisecond) // interval+grace = 200ms
+	h, err = QueryStatus(env, addr, "proc1")
+	if err != nil || h != Down {
+		t.Fatalf("status after silence = %v, %v", h, err)
+	}
+	// Recovery: a fresh beat brings it back UP.
+	if err := Beat(env, addr, "proc1"); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = QueryStatus(env, addr, "proc1")
+	if h != Up {
+		t.Fatalf("status after recovery = %v", h)
+	}
+	if _, err := QueryStatus(env, addr, "ghost"); err == nil {
+		t.Fatal("unknown process accepted")
+	}
+}

@@ -1,0 +1,150 @@
+package knapsack
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+)
+
+// TestSchedulerParameterFuzz runs the parallel solver under randomized
+// scheduler parameters, world sizes, topologies and instances, asserting
+// the two invariants that must hold for every combination: exact work
+// conservation (every node expanded exactly once) and optimality.
+func TestSchedulerParameterFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260705))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		ranks := 2 + rng.Intn(6)
+		params := Params{
+			Interval:      1 + rng.Intn(200),
+			StealUnit:     1 + rng.Intn(6),
+			BackUnit:      1 + rng.Intn(6),
+			BackThreshold: rng.Intn(3) - 1, // -1 disable, 0 auto, 1 aggressive
+			MasterReserve: rng.Intn(3) - 1,
+			ShareInterval: rng.Intn(3)*100 - 1, // -1 disable, or 99/199
+			NodeCost:      time.Duration(rng.Intn(300)) * time.Microsecond,
+		}
+		var in *Instance
+		var wantBest, wantNodes int64
+		if rng.Intn(2) == 0 {
+			n, cap := 10+rng.Intn(20), 2+rng.Intn(3)
+			in = Normalized(n, cap)
+			wantNodes = NormalizedTreeNodes(n, cap)
+			wantBest, _ = SolveExhaustive(in)
+		} else {
+			in = Random(10+rng.Intn(6), 100, rng.Int63())
+			wantBest, wantNodes = SolveExhaustive(in)
+		}
+
+		k := sim.New()
+		net := simnet.New(k)
+		net.AddRouter("sw", "")
+		pls := make([]mpi.Placement, ranks)
+		for i := range pls {
+			name := fmt.Sprintf("n%d", i)
+			net.AddHost(name, simnet.HostConfig{Speed: 0.5 + rng.Float64()*1.5})
+			net.Connect(name, "sw", simnet.LinkConfig{
+				Latency:   time.Duration(rng.Intn(5000)) * time.Microsecond,
+				Bandwidth: 1 << 20,
+			})
+			pls[i] = mpi.Placement{Name: name, Spawn: net.Node(name).SpawnOn}
+		}
+		w := mpi.NewWorld(pls)
+		var res *Result
+		w.Launch(func(c *mpi.Comm) error {
+			r, err := Run(c, in, params)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				res = r
+			}
+			return nil
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, params, err)
+		}
+		k.Shutdown()
+		if err := w.Err(); err != nil {
+			t.Fatalf("trial %d (%+v): %v", trial, params, err)
+		}
+		if res.TotalTraversed != wantNodes {
+			t.Fatalf("trial %d (%+v): traversed %d, want %d",
+				trial, params, res.TotalTraversed, wantNodes)
+		}
+		if res.Best != wantBest {
+			t.Fatalf("trial %d (%+v): best %d, want %d", trial, params, res.Best, wantBest)
+		}
+	}
+}
+
+// TestHierarchicalParameterFuzz applies the same invariants to the
+// hierarchical scheme with random group shapes.
+func TestHierarchicalParameterFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		groups := 1 + rng.Intn(3)
+		params := Params{
+			Interval:   1 + rng.Intn(100),
+			StealUnit:  1 + rng.Intn(4),
+			BackUnit:   1 + rng.Intn(4),
+			BulkFactor: 1 + rng.Intn(6),
+			NodeCost:   time.Duration(rng.Intn(200)) * time.Microsecond,
+		}
+		n, cap := 12+rng.Intn(12), 2+rng.Intn(3)
+		in := Normalized(n, cap)
+		wantBest, wantNodes := SolveExhaustive(in)
+
+		k := sim.New()
+		net := simnet.New(k)
+		net.AddRouter("core", "")
+		var pls []mpi.Placement
+		for g := 0; g < groups; g++ {
+			sw := fmt.Sprintf("sw%d", g)
+			net.AddRouter(sw, "")
+			net.Connect(sw, "core", simnet.LinkConfig{Latency: 10 * time.Millisecond, Bandwidth: 256 << 10})
+			members := 1 + rng.Intn(4)
+			for m := 0; m < members; m++ {
+				name := fmt.Sprintf("g%dm%d", g, m)
+				net.AddHost(name, simnet.HostConfig{})
+				net.Connect(name, sw, simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 12 << 20})
+				pls = append(pls, mpi.Placement{Name: name, Spawn: net.Node(name).SpawnOn})
+			}
+		}
+		w := mpi.NewWorld(pls)
+		var res *Result
+		w.Launch(func(c *mpi.Comm) error {
+			r, err := RunHierarchical(c, in, params, func(name string) string { return name[:2] })
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				res = r
+			}
+			return nil
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("trial %d (groups=%d %+v): %v", trial, groups, params, err)
+		}
+		k.Shutdown()
+		if err := w.Err(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.TotalTraversed != wantNodes || res.Best != wantBest {
+			t.Fatalf("trial %d (groups=%d %+v): traversed=%d/%d best=%d/%d",
+				trial, groups, params, res.TotalTraversed, wantNodes, res.Best, wantBest)
+		}
+	}
+}

@@ -1,0 +1,400 @@
+package knapsack
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nxcluster/internal/mpi"
+)
+
+// RunHierarchical executes the parallel branch-and-bound with a two-level
+// master/worker hierarchy: each cluster gets a sub-master, workers steal
+// only from their cluster's sub-master (LAN traffic), and sub-masters
+// exchange coarse work with the global master (rank 0) in bulk. This is the
+// natural extension of the paper's flat scheme for metacomputing — steal
+// round trips through the Nexus Proxy cost tens of milliseconds, so keeping
+// them on the LAN and amortizing WAN exchanges over BulkFactor-sized
+// batches reduces the wide-area overhead further (compare the
+// BenchmarkAblationHierarchy results).
+//
+// groupOf maps a rank's placement name to its cluster label; ranks with the
+// same label form one group, and the lowest rank in each group serves as
+// its sub-master. Rank 0 is the global master (and its own group's
+// sub-master). Termination is hierarchical: a sub-master reports idle
+// upstream only when its own stack is empty and every group worker is
+// waiting on it, which (with per-source FIFO delivery) guarantees no work
+// remains in flight below it.
+func RunHierarchical(c *mpi.Comm, in *Instance, p Params, groupOf func(name string) string) (*Result, error) {
+	p = p.withDefaults().resolve(in)
+	if p.BulkFactor <= 0 {
+		p.BulkFactor = 4
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	topo := buildHierarchy(c, groupOf)
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	start := c.Env().Now()
+
+	var (
+		local   RankStats
+		handled int64
+		err     error
+	)
+	local.Rank = c.Rank()
+	local.Name = c.Name(c.Rank())
+	switch {
+	case c.Rank() == 0:
+		handled, local, err = runGlobalMaster(c, in, p, topo)
+	case topo.subMaster[c.Rank()] == c.Rank():
+		local, err = runSubMaster(c, in, p, topo)
+	default:
+		local, err = runWorker(c, in, p, topo.subMaster[c.Rank()])
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := c.Env().Now() - start
+	return collectResult(c, local, handled, elapsed)
+}
+
+// hierarchy captures the rank topology.
+type hierarchy struct {
+	// subMaster[r] is rank r's sub-master (its own rank for sub-masters).
+	subMaster []int
+	// children[m] lists the ranks that steal directly from m.
+	children map[int][]int
+	// subMasters lists every sub-master rank except the global master.
+	subMasters []int
+}
+
+// buildHierarchy derives the deterministic topology every rank computes
+// identically from the placement names.
+func buildHierarchy(c *mpi.Comm, groupOf func(string) string) *hierarchy {
+	groups := make(map[string][]int)
+	var order []string
+	for r := 0; r < c.Size(); r++ {
+		g := groupOf(c.Name(r))
+		if _, seen := groups[g]; !seen {
+			order = append(order, g)
+		}
+		groups[g] = append(groups[g], r)
+	}
+	sort.Strings(order)
+	h := &hierarchy{subMaster: make([]int, c.Size()), children: make(map[int][]int)}
+	for _, g := range order {
+		ranks := groups[g]
+		sort.Ints(ranks)
+		sm := ranks[0]
+		for _, r := range ranks {
+			h.subMaster[r] = sm
+			if r != sm {
+				h.children[sm] = append(h.children[sm], r)
+			}
+		}
+		if sm != 0 {
+			h.subMasters = append(h.subMasters, sm)
+			h.children[0] = append(h.children[0], sm)
+		}
+	}
+	sort.Ints(h.children[0])
+	return h
+}
+
+// runGlobalMaster is the paper's master whose direct children are its own
+// group's workers plus the other clusters' sub-masters; sub-masters get
+// BulkFactor-sized batches.
+func runGlobalMaster(c *mpi.Comm, in *Instance, p Params, topo *hierarchy) (int64, RankStats, error) {
+	solver := NewSolver(in)
+	solver.PruneBound = p.PruneBound
+	children := topo.children[0]
+	isSub := make(map[int]bool, len(topo.subMasters))
+	for _, sm := range topo.subMasters {
+		isSub[sm] = true
+	}
+	var pending []int
+	var handled int64
+	reserve := p.MasterReserve
+	if reserve < 0 {
+		reserve = 0
+	}
+	unit := func(child int) int {
+		if isSub[child] {
+			return p.StealUnit * p.BulkFactor
+		}
+		return p.StealUnit
+	}
+	serve := func() error {
+		for len(pending) > 0 && solver.Stack.Len() > reserve {
+			to := pending[0]
+			pending = pending[1:]
+			batch := solver.Stack.TakeBottom(unit(to))
+			if err := c.Send(to, tagWork, EncodeNodes(batch)); err != nil {
+				return err
+			}
+			handled++
+		}
+		return nil
+	}
+	handleMsg := func(m mpi.Message) error {
+		switch m.Tag {
+		case tagSteal:
+			pending = append(pending, m.Src)
+		case tagBack:
+			ns, err := DecodeNodes(m.Data)
+			if err != nil {
+				return err
+			}
+			solver.Stack.PushAll(ns)
+		default:
+			return fmt.Errorf("knapsack global master: unexpected tag %d from %d", m.Tag, m.Src)
+		}
+		return nil
+	}
+	for {
+		if solver.Stack.Len() > 0 {
+			ran := solver.BranchN(p.Interval)
+			if p.NodeCost > 0 && ran > 0 {
+				c.Env().Compute(time.Duration(ran) * p.NodeCost)
+			}
+			for c.Iprobe(mpi.AnySource, mpi.AnyTag) {
+				m, err := c.Recv(mpi.AnySource, mpi.AnyTag)
+				if err != nil {
+					return 0, RankStats{}, err
+				}
+				if err := handleMsg(m); err != nil {
+					return 0, RankStats{}, err
+				}
+			}
+			if err := serve(); err != nil {
+				return 0, RankStats{}, err
+			}
+			continue
+		}
+		if len(pending) == len(children) {
+			break
+		}
+		m, err := c.Recv(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return 0, RankStats{}, err
+		}
+		if err := handleMsg(m); err != nil {
+			return 0, RankStats{}, err
+		}
+		if err := serve(); err != nil {
+			return 0, RankStats{}, err
+		}
+	}
+	for _, child := range children {
+		if err := c.Send(child, tagTerm, nil); err != nil {
+			return 0, RankStats{}, err
+		}
+	}
+	st := RankStats{Rank: 0, Name: c.Name(0), Traversed: solver.Traversed, bestForReduce: solver.Best}
+	return handled, st, nil
+}
+
+// runSubMaster works its own stack, serves its group's workers locally, and
+// escalates to the global master only when its entire subtree runs dry.
+func runSubMaster(c *mpi.Comm, in *Instance, p Params, topo *hierarchy) (RankStats, error) {
+	solver := NewWorker(in)
+	solver.PruneBound = p.PruneBound
+	group := topo.children[c.Rank()]
+	var st RankStats
+	st.Rank = c.Rank()
+	st.Name = c.Name(c.Rank())
+
+	var pending []int
+	requested := false
+	opsSinceShare := 0
+	reserve := p.MasterReserve
+	if reserve < 0 {
+		reserve = 0
+	}
+	serve := func() error {
+		for len(pending) > 0 && solver.Stack.Len() > reserve {
+			to := pending[0]
+			pending = pending[1:]
+			batch := solver.Stack.TakeBottom(p.StealUnit)
+			if err := c.Send(to, tagWork, EncodeNodes(batch)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	handleGroupMsg := func(m mpi.Message) error {
+		switch m.Tag {
+		case tagSteal:
+			pending = append(pending, m.Src)
+		case tagBack:
+			ns, err := DecodeNodes(m.Data)
+			if err != nil {
+				return err
+			}
+			solver.Stack.PushAll(ns)
+		default:
+			return fmt.Errorf("knapsack sub-master %d: unexpected tag %d from %d", c.Rank(), m.Tag, m.Src)
+		}
+		return nil
+	}
+
+	for {
+		if solver.Stack.Len() > 0 {
+			ran := solver.BranchN(p.Interval)
+			opsSinceShare += ran
+			if p.NodeCost > 0 && ran > 0 {
+				c.Env().Compute(time.Duration(ran) * p.NodeCost)
+			}
+			for c.Iprobe(mpi.AnySource, mpi.AnyTag) {
+				m, err := c.Recv(mpi.AnySource, mpi.AnyTag)
+				if err != nil {
+					return st, err
+				}
+				if err := handleGroupMsg(m); err != nil {
+					return st, err
+				}
+			}
+			if err := serve(); err != nil {
+				return st, err
+			}
+			// Voluntary upstream sharing keeps other clusters fed; the
+			// threshold must stay small — depth-first stacks are shallow,
+			// so a group's surplus shows up as time, not stack depth.
+			if p.ShareInterval > 0 && opsSinceShare >= p.ShareInterval &&
+				solver.Stack.Len() > p.BackUnit+1 && len(pending) == 0 {
+				batch := solver.Stack.TakeBottom(p.BackUnit)
+				st.SentBack += int64(len(batch))
+				opsSinceShare = 0
+				if err := c.Send(0, tagBack, EncodeNodes(batch)); err != nil {
+					return st, err
+				}
+			}
+			continue
+		}
+		// Stack dry: escalate only when the whole subtree is idle.
+		if len(pending) == len(group) && !requested {
+			st.Steals++
+			requested = true
+			if err := c.Send(0, tagSteal, nil); err != nil {
+				return st, err
+			}
+		}
+		m, err := c.Recv(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return st, err
+		}
+		switch {
+		case m.Src == 0 && m.Tag == tagWork:
+			ns, err := DecodeNodes(m.Data)
+			if err != nil {
+				return st, err
+			}
+			solver.Stack.PushAll(ns)
+			requested = false
+			if err := serve(); err != nil {
+				return st, err
+			}
+		case m.Src == 0 && m.Tag == tagTerm:
+			for _, w := range group {
+				if err := c.Send(w, tagTerm, nil); err != nil {
+					return st, err
+				}
+			}
+			st.Traversed = solver.Traversed
+			st.bestForReduce = solver.Best
+			return st, nil
+		default:
+			if err := handleGroupMsg(m); err != nil {
+				return st, err
+			}
+			if err := serve(); err != nil {
+				return st, err
+			}
+		}
+	}
+}
+
+// runWorker is the flat scheme's slave pointed at its sub-master.
+func runWorker(c *mpi.Comm, in *Instance, p Params, master int) (RankStats, error) {
+	worker := NewWorker(in)
+	worker.PruneBound = p.PruneBound
+	var st RankStats
+	st.Rank = c.Rank()
+	st.Name = c.Name(c.Rank())
+	opsSinceShare := 0
+	sendBack := func(k int) error {
+		batch := worker.Stack.TakeBottom(k)
+		st.SentBack += int64(len(batch))
+		opsSinceShare = 0
+		return c.Send(master, tagBack, EncodeNodes(batch))
+	}
+	for {
+		if worker.Stack.Len() == 0 {
+			st.Steals++
+			if err := c.Send(master, tagSteal, nil); err != nil {
+				return st, err
+			}
+			m, err := c.Recv(master, mpi.AnyTag)
+			if err != nil {
+				return st, err
+			}
+			if m.Tag == tagTerm {
+				break
+			}
+			if m.Tag != tagWork {
+				return st, fmt.Errorf("knapsack worker %d: unexpected tag %d", c.Rank(), m.Tag)
+			}
+			ns, err := DecodeNodes(m.Data)
+			if err != nil {
+				return st, err
+			}
+			worker.Stack.PushAll(ns)
+			continue
+		}
+		ran := worker.BranchN(p.Interval)
+		opsSinceShare += ran
+		if p.NodeCost > 0 && ran > 0 {
+			c.Env().Compute(time.Duration(ran) * p.NodeCost)
+		}
+		switch {
+		case p.BackThreshold > 0 && worker.Stack.Len() > p.BackThreshold:
+			if err := sendBack(p.BackUnit); err != nil {
+				return st, err
+			}
+		case p.ShareInterval > 0 && opsSinceShare >= p.ShareInterval && worker.Stack.Len() > p.BackUnit+1:
+			if err := sendBack(p.BackUnit); err != nil {
+				return st, err
+			}
+		}
+	}
+	st.Traversed = worker.Traversed
+	st.bestForReduce = worker.Best
+	return st, nil
+}
+
+// collectResult performs the final allreduce/gather shared by both schemes.
+func collectResult(c *mpi.Comm, local RankStats, handled int64, elapsed time.Duration) (*Result, error) {
+	best, err := c.AllreduceInt64(local.bestForReduce, mpi.OpMax)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := c.Gather(0, encodeStats(local))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Best: best, Elapsed: elapsed, MasterHandled: handled}
+	if c.Rank() == 0 {
+		for r, part := range parts {
+			st, err := decodeStats(r, part)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats = append(res.Stats, st)
+			res.TotalTraversed += st.Traversed
+		}
+	}
+	return res, nil
+}

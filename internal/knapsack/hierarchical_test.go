@@ -1,0 +1,150 @@
+package knapsack
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+)
+
+// runHier executes the hierarchical solver on a two-cluster simulated
+// topology: clusterA hosts a0..a(na-1) and clusterB hosts b0..b(nb-1),
+// joined by a slow WAN link.
+func runHier(t *testing.T, na, nb int, in *Instance, p Params) *Result {
+	t.Helper()
+	k := sim.New()
+	net := simnet.New(k)
+	net.AddRouter("swA", "")
+	net.AddRouter("swB", "")
+	lan := simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 12 << 20}
+	net.Connect("swA", "swB", simnet.LinkConfig{Latency: 20 * time.Millisecond, Bandwidth: 187 << 10})
+	var pls []mpi.Placement
+	for i := 0; i < na; i++ {
+		name := fmt.Sprintf("a%d", i)
+		net.AddHost(name, simnet.HostConfig{})
+		net.Connect(name, "swA", lan)
+		pls = append(pls, mpi.Placement{Name: name, Spawn: net.Node(name).SpawnOn})
+	}
+	for i := 0; i < nb; i++ {
+		name := fmt.Sprintf("b%d", i)
+		net.AddHost(name, simnet.HostConfig{})
+		net.Connect(name, "swB", lan)
+		pls = append(pls, mpi.Placement{Name: name, Spawn: net.Node(name).SpawnOn})
+	}
+	groupOf := func(name string) string { return name[:1] }
+	w := mpi.NewWorld(pls)
+	var res *Result
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := RunHierarchical(c, in, p, groupOf)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("no result")
+	}
+	return res
+}
+
+func TestHierarchicalCorrectness(t *testing.T) {
+	in := Normalized(30, 4)
+	wantNodes := NormalizedTreeNodes(30, 4)
+	p := Params{Interval: 25, StealUnit: 2, NodeCost: 200 * time.Microsecond}
+	res := runHier(t, 3, 4, in, p)
+	if res.TotalTraversed != wantNodes {
+		t.Fatalf("traversed %d, want %d (work conservation)", res.TotalTraversed, wantNodes)
+	}
+	// Unit weights: optimum = top 4 profits.
+	want, _ := SolveExhaustive(in)
+	if res.Best != want {
+		t.Fatalf("best = %d, want %d", res.Best, want)
+	}
+	// Both clusters contributed.
+	var aNodes, bNodes int64
+	for _, st := range res.Stats {
+		if strings.HasPrefix(st.Name, "a") {
+			aNodes += st.Traversed
+		} else {
+			bNodes += st.Traversed
+		}
+	}
+	if aNodes == 0 || bNodes == 0 {
+		t.Fatalf("cluster contribution a=%d b=%d", aNodes, bNodes)
+	}
+}
+
+func TestHierarchicalMatchesRandomOptimum(t *testing.T) {
+	in := Random(16, 300, 11)
+	want := BruteForce(in)
+	p := Params{Interval: 20, StealUnit: 2, NodeCost: 100 * time.Microsecond}
+	res := runHier(t, 2, 3, in, p)
+	if res.Best != want {
+		t.Fatalf("best = %d, want %d", res.Best, want)
+	}
+}
+
+func TestHierarchicalSingleGroupDegeneratesToFlat(t *testing.T) {
+	in := Normalized(24, 3)
+	p := Params{Interval: 25, StealUnit: 2, NodeCost: 100 * time.Microsecond}
+	res := runHier(t, 4, 0, in, p)
+	if res.TotalTraversed != NormalizedTreeNodes(24, 3) {
+		t.Fatalf("traversed %d", res.TotalTraversed)
+	}
+}
+
+func TestHierarchicalReducesWANSteals(t *testing.T) {
+	// The global master's handled count (WAN-crossing exchanges for the
+	// remote cluster) must be far below what the flat scheme's remote
+	// slaves would generate individually.
+	in := Normalized(40, 4)
+	p := Params{Interval: 25, StealUnit: 2, NodeCost: 500 * time.Microsecond}
+	res := runHier(t, 4, 8, in, p)
+	// In the hierarchy only rank a0 (global) and b's sub-master talk across
+	// the WAN; remote workers' steals all terminate at their sub-master.
+	var remoteWorkerSteals int64
+	var subMasterSteals int64
+	for _, st := range res.Stats {
+		if strings.HasPrefix(st.Name, "b") {
+			if st.Rank == 4 { // lowest b rank = sub-master
+				subMasterSteals += st.Steals
+			} else {
+				remoteWorkerSteals += st.Steals
+			}
+		}
+	}
+	if remoteWorkerSteals == 0 {
+		t.Fatal("remote workers never stole locally")
+	}
+	if subMasterSteals*5 > remoteWorkerSteals {
+		t.Fatalf("sub-master escalations (%d) not well below local steals (%d)",
+			subMasterSteals, remoteWorkerSteals)
+	}
+}
+
+func TestBuildHierarchyTopology(t *testing.T) {
+	// Synthetic Comm is heavy; validate via a real tiny world instead.
+	in := Normalized(16, 3)
+	p := Params{Interval: 10, StealUnit: 1, NodeCost: 50 * time.Microsecond}
+	res := runHier(t, 2, 2, in, p)
+	if len(res.Stats) != 4 {
+		t.Fatalf("stats = %d ranks", len(res.Stats))
+	}
+	if res.Stats[0].Name != "a0" {
+		t.Fatalf("rank0 = %s", res.Stats[0].Name)
+	}
+}

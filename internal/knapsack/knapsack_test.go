@@ -1,0 +1,216 @@
+package knapsack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNoPruningTraversesFullTree(t *testing.T) {
+	for _, n := range []int{1, 4, 10, 16} {
+		in := NoPruning(n)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		best, traversed := SolveExhaustive(in)
+		if want := FullTreeNodes(n); traversed != want {
+			t.Fatalf("n=%d traversed %d nodes, want %d (full tree)", n, traversed, want)
+		}
+		if best != in.TotalProfit() {
+			t.Fatalf("n=%d best=%d, want all-items profit %d", n, best, in.TotalProfit())
+		}
+	}
+}
+
+func TestSolveMatchesBruteForceRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		in := Random(14, 100, seed)
+		want := BruteForce(in)
+		got, _ := Solve(in)
+		if got != want {
+			t.Fatalf("seed %d: Solve=%d brute=%d", seed, got, want)
+		}
+		gotEx, _ := SolveExhaustive(in)
+		if gotEx != want {
+			t.Fatalf("seed %d: SolveExhaustive=%d brute=%d", seed, gotEx, want)
+		}
+	}
+}
+
+func TestSolveMatchesBruteForceCorrelated(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := StronglyCorrelated(13, 50, seed)
+		want := BruteForce(in)
+		got, _ := Solve(in)
+		if got != want {
+			t.Fatalf("seed %d: Solve=%d brute=%d", seed, got, want)
+		}
+	}
+}
+
+func TestBoundPruningReducesWork(t *testing.T) {
+	in := Random(18, 1000, 7)
+	_, pruned := Solve(in)
+	_, full := SolveExhaustive(in)
+	if pruned >= full {
+		t.Fatalf("bound pruning traversed %d >= exhaustive %d", pruned, full)
+	}
+}
+
+func TestQuickSolverOptimality(t *testing.T) {
+	prop := func(seed int64, corr bool) bool {
+		var in *Instance
+		if corr {
+			in = StronglyCorrelated(12, 40, seed)
+		} else {
+			in = Random(12, 80, seed)
+		}
+		got, _ := Solve(in)
+		return got == BruteForce(in)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStackTakeTop(t *testing.T) {
+	var s Stack
+	for i := 0; i < 5; i++ {
+		s.Push(Node{Index: int32(i)})
+	}
+	top := s.TakeTop(2)
+	if len(top) != 2 || top[0].Index != 3 || top[1].Index != 4 {
+		t.Fatalf("TakeTop(2) = %v", top)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	rest := s.TakeTop(10)
+	if len(rest) != 3 {
+		t.Fatalf("TakeTop(10) returned %d", len(rest))
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty succeeded")
+	}
+}
+
+func TestEncodeDecodeNodes(t *testing.T) {
+	ns := []Node{{Index: 1, Value: 100, Capacity: 50}, {Index: 30, Value: -2, Capacity: 0}}
+	got, err := DecodeNodes(EncodeNodes(ns))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ns) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range ns {
+		if got[i] != ns[i] {
+			t.Fatalf("node %d = %+v, want %+v", i, got[i], ns[i])
+		}
+	}
+	if _, err := DecodeNodes([]byte{0, 0, 0}); err == nil {
+		t.Fatal("truncated batch decoded")
+	}
+}
+
+func TestQuickNodeCodecRoundTrip(t *testing.T) {
+	prop := func(idx int32, val, cap int64) bool {
+		ns := []Node{{Index: idx, Value: val, Capacity: cap}}
+		got, err := DecodeNodes(EncodeNodes(ns))
+		return err == nil && len(got) == 1 && got[0] == ns[0]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadInstances(t *testing.T) {
+	if err := (&Instance{}).Validate(); err == nil {
+		t.Fatal("empty instance validated")
+	}
+	if err := (&Instance{Items: []Item{{1, 1}}, Capacity: -1}).Validate(); err == nil {
+		t.Fatal("negative capacity validated")
+	}
+	if err := (&Instance{Items: []Item{{-1, 1}}, Capacity: 1}).Validate(); err == nil {
+		t.Fatal("negative profit validated")
+	}
+}
+
+func TestBruteForceSmall(t *testing.T) {
+	in := &Instance{
+		Items:    []Item{{Profit: 60, Weight: 10}, {Profit: 100, Weight: 20}, {Profit: 120, Weight: 30}},
+		Capacity: 50,
+	}
+	if got := BruteForce(in); got != 220 {
+		t.Fatalf("BruteForce = %d, want 220", got)
+	}
+	best, _ := Solve(in)
+	if best != 220 {
+		t.Fatalf("Solve = %d, want 220", best)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.Interval <= 0 || p.StealUnit <= 0 || p.BackUnit <= 0 {
+		t.Fatalf("DefaultParams has non-positive knobs: %+v", p)
+	}
+	var zero Params
+	wd := zero.withDefaults()
+	if wd.Interval <= 0 || wd.StealUnit <= 0 || wd.BackUnit <= 0 {
+		t.Fatalf("withDefaults left non-positive knobs: %+v", wd)
+	}
+}
+
+func TestInstanceCodecRoundTrip(t *testing.T) {
+	for _, in := range []*Instance{
+		Normalized(50, 4),
+		Random(20, 500, 3),
+		StronglyCorrelated(15, 100, 9),
+	} {
+		got, err := DecodeInstance(EncodeInstance(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Capacity != in.Capacity || len(got.Items) != len(in.Items) {
+			t.Fatalf("shape mismatch")
+		}
+		for i := range in.Items {
+			if got.Items[i] != in.Items[i] {
+				t.Fatalf("item %d mismatch", i)
+			}
+		}
+	}
+	if _, err := DecodeInstance([]byte{1, 2}); err == nil {
+		t.Fatal("truncated instance decoded")
+	}
+	// An encoded-but-invalid instance must fail validation on decode.
+	bad := &Instance{Items: []Item{{Profit: -1, Weight: 1}}, Capacity: 1}
+	if _, err := DecodeInstance(EncodeInstance(bad)); err == nil {
+		t.Fatal("invalid instance decoded")
+	}
+}
+
+func TestQuickInstanceCodec(t *testing.T) {
+	prop := func(cap uint16, profits []uint16) bool {
+		if len(profits) == 0 {
+			return true
+		}
+		in := &Instance{Capacity: int64(cap)}
+		for _, p := range profits {
+			in.Items = append(in.Items, Item{Profit: int64(p), Weight: int64(p % 7)})
+		}
+		got, err := DecodeInstance(EncodeInstance(in))
+		if err != nil {
+			return false
+		}
+		for i := range in.Items {
+			if got.Items[i] != in.Items[i] {
+				return false
+			}
+		}
+		return got.Capacity == in.Capacity
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package knapsack
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+)
+
+// runParallel executes the solver on a simulated homogeneous LAN cluster and
+// returns the master's Result.
+func runParallel(t *testing.T, ranks int, in *Instance, p Params) *Result {
+	t.Helper()
+	k := sim.New()
+	net := simnet.New(k)
+	net.AddRouter("sw", "")
+	pls := make([]mpi.Placement, ranks)
+	for i := range pls {
+		name := fmt.Sprintf("node%d", i)
+		net.AddHost(name, simnet.HostConfig{})
+		net.Connect(name, "sw", simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 12 << 20})
+		pls[i] = mpi.Placement{Name: name, Spawn: net.Node(name).SpawnOn}
+	}
+	w := mpi.NewWorld(pls)
+	var res *Result
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := Run(c, in, p)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("master produced no result")
+	}
+	return res
+}
+
+func TestParallelMatchesSequentialNoPruning(t *testing.T) {
+	in := NoPruning(14)
+	wantBest, wantNodes := SolveExhaustive(in)
+	res := runParallel(t, 4, in, Params{Interval: 50, StealUnit: 3, NodeCost: time.Microsecond})
+	if res.Best != wantBest {
+		t.Fatalf("parallel best = %d, want %d", res.Best, wantBest)
+	}
+	// Work conservation: every node expanded exactly once across ranks.
+	if res.TotalTraversed != wantNodes {
+		t.Fatalf("total traversed = %d, want %d", res.TotalTraversed, wantNodes)
+	}
+}
+
+func TestParallelMatchesSequentialRandom(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		in := Random(16, 200, seed)
+		wantBest := BruteForce(in)
+		res := runParallel(t, 5, in, Params{Interval: 30, StealUnit: 2, NodeCost: 500 * time.Nanosecond})
+		if res.Best != wantBest {
+			t.Fatalf("seed %d: parallel best = %d, want %d", seed, res.Best, wantBest)
+		}
+	}
+}
+
+func TestParallelSingleRankDegeneratesToSequential(t *testing.T) {
+	in := NoPruning(10)
+	res := runParallel(t, 1, in, Params{Interval: 100, NodeCost: time.Microsecond})
+	if res.Best != in.TotalProfit() {
+		t.Fatalf("best = %d", res.Best)
+	}
+	if res.TotalTraversed != FullTreeNodes(10) {
+		t.Fatalf("traversed = %d", res.TotalTraversed)
+	}
+	if res.MasterHandled != 0 {
+		t.Fatalf("handled = %d steals with no slaves", res.MasterHandled)
+	}
+}
+
+func TestParallelStatsAccounting(t *testing.T) {
+	in := NoPruning(13)
+	res := runParallel(t, 4, in, Params{Interval: 40, StealUnit: 2, NodeCost: time.Microsecond})
+	if len(res.Stats) != 4 {
+		t.Fatalf("stats for %d ranks", len(res.Stats))
+	}
+	var steals int64
+	for _, st := range res.Stats[1:] {
+		if st.Steals == 0 {
+			t.Errorf("slave %d never stole", st.Rank)
+		}
+		steals += st.Steals
+	}
+	// Every slave's final steal request is left unanswered at termination,
+	// so the master handles exactly (total steals - nslaves).
+	if res.MasterHandled != steals-3 {
+		t.Fatalf("master handled %d, slaves requested %d (want handled = requests-3)", res.MasterHandled, steals)
+	}
+	if res.Stats[0].Steals != 0 {
+		t.Fatal("master reported steal requests")
+	}
+}
+
+func TestParallelLoadBalanceOnHeterogeneousCluster(t *testing.T) {
+	// A 2x-speed host and a 0.5x host: self-scheduling should give the fast
+	// host substantially more nodes.
+	in := NoPruning(15)
+	k := sim.New()
+	net := simnet.New(k)
+	net.AddRouter("sw", "")
+	speeds := []float64{1, 2, 0.5}
+	pls := make([]mpi.Placement, 3)
+	for i, sp := range speeds {
+		name := fmt.Sprintf("node%d", i)
+		net.AddHost(name, simnet.HostConfig{Speed: sp})
+		net.Connect(name, "sw", simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 12 << 20})
+		pls[i] = mpi.Placement{Name: name, Spawn: net.Node(name).SpawnOn}
+	}
+	w := mpi.NewWorld(pls)
+	var res *Result
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := Run(c, in, Params{Interval: 50, StealUnit: 4, NodeCost: 2 * time.Microsecond})
+		if c.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	fast, slow := res.Stats[1], res.Stats[2]
+	if fast.Traversed <= slow.Traversed {
+		t.Fatalf("fast slave traversed %d <= slow slave %d; self-scheduling failed",
+			fast.Traversed, slow.Traversed)
+	}
+}
+
+func TestParallelBackUnitReturnsWork(t *testing.T) {
+	in := NoPruning(14)
+	res := runParallel(t, 3, in, Params{
+		Interval: 20, StealUnit: 8, BackUnit: 4, BackThreshold: 10,
+		NodeCost: time.Microsecond,
+	})
+	if res.Best != in.TotalProfit() {
+		t.Fatalf("best = %d", res.Best)
+	}
+	if res.TotalTraversed != FullTreeNodes(14) {
+		t.Fatalf("traversed = %d, want %d", res.TotalTraversed, FullTreeNodes(14))
+	}
+	var sentBack int64
+	for _, st := range res.Stats {
+		sentBack += st.SentBack
+	}
+	if sentBack == 0 {
+		t.Fatal("BackThreshold=10 never triggered a send-back")
+	}
+}
+
+func TestParallelSpeedupOnSimulatedCluster(t *testing.T) {
+	// The headline property behind Table 4: in virtual time, 4 workers beat
+	// 1 worker substantially on the normalized workload.
+	in := NoPruning(15)
+	p := Params{Interval: 100, StealUnit: 4, NodeCost: 2 * time.Microsecond}
+	t1 := runParallel(t, 1, in, p).Elapsed
+	t4 := runParallel(t, 4, in, p).Elapsed
+	speedup := float64(t1) / float64(t4)
+	if speedup < 2.0 {
+		t.Fatalf("speedup on 4 ranks = %.2f (t1=%v t4=%v), want >= 2", speedup, t1, t4)
+	}
+}
+
+func TestParallelWithBoundPruningStillOptimal(t *testing.T) {
+	in := Random(16, 500, 42)
+	want := BruteForce(in)
+	res := runParallel(t, 4, in, Params{Interval: 25, StealUnit: 2, NodeCost: time.Microsecond, PruneBound: true})
+	if res.Best != want {
+		t.Fatalf("pruned parallel best = %d, want %d", res.Best, want)
+	}
+	_, seqNodes := SolveExhaustive(in)
+	if res.TotalTraversed > seqNodes {
+		t.Fatalf("pruned parallel traversed %d > exhaustive %d", res.TotalTraversed, seqNodes)
+	}
+}

@@ -1,0 +1,242 @@
+package knapsack
+
+import (
+	"sort"
+
+	"nxcluster/internal/nexus"
+)
+
+// Node is one search-tree node, exactly the paper's representation: "each
+// node of a search tree is represented by a set of index, value, and
+// capacity", where index is the first item not yet fixed, value the profit
+// of items fixed to 1, and capacity the remaining weight budget.
+type Node struct {
+	Index    int32
+	Value    int64
+	Capacity int64
+}
+
+// Stack is the LIFO the search tree lives on; nodes are pushed by the branch
+// operation and popped for expansion.
+type Stack struct {
+	nodes []Node
+}
+
+// Push adds a node.
+func (s *Stack) Push(n Node) { s.nodes = append(s.nodes, n) }
+
+// Pop removes and returns the most recent node.
+func (s *Stack) Pop() (Node, bool) {
+	if len(s.nodes) == 0 {
+		return Node{}, false
+	}
+	n := s.nodes[len(s.nodes)-1]
+	s.nodes = s.nodes[:len(s.nodes)-1]
+	return n, true
+}
+
+// TakeTop removes and returns up to k nodes from the top of the stack —
+// the unit of work stealing ("the master sends stealunit nodes on top of its
+// stack to the slave").
+func (s *Stack) TakeTop(k int) []Node {
+	if k > len(s.nodes) {
+		k = len(s.nodes)
+	}
+	out := make([]Node, k)
+	copy(out, s.nodes[len(s.nodes)-k:])
+	s.nodes = s.nodes[:len(s.nodes)-k]
+	return out
+}
+
+// TakeBottom removes and returns up to k nodes from the bottom of the
+// stack: the oldest, shallowest nodes, whose subtrees are the largest. This
+// is what a slave ships back to the master for redistribution — returning
+// coarse work keeps the master able to feed other processors while the
+// slave retains the deep nodes it is actively expanding.
+func (s *Stack) TakeBottom(k int) []Node {
+	if k > len(s.nodes) {
+		k = len(s.nodes)
+	}
+	out := make([]Node, k)
+	copy(out, s.nodes[:k])
+	s.nodes = append(s.nodes[:0], s.nodes[k:]...)
+	return out
+}
+
+// PushAll pushes nodes in order.
+func (s *Stack) PushAll(ns []Node) { s.nodes = append(s.nodes, ns...) }
+
+// Len reports the stack depth.
+func (s *Stack) Len() int { return len(s.nodes) }
+
+// Solver holds the state of a branch-and-bound search over one instance.
+type Solver struct {
+	in *Instance
+	// PruneBound enables fractional-relaxation bound pruning. The paper's
+	// normalized experiments run with it off so the entire space is traced;
+	// real solves want it on.
+	PruneBound bool
+
+	Stack     Stack
+	Best      int64
+	Traversed int64 // nodes popped ("the number of nodes which is traversed")
+
+	// densityOrder lists item indices by decreasing profit density; the
+	// fractional-relaxation bound must fill in this order to be a valid
+	// upper bound.
+	densityOrder []int
+}
+
+// NewSolver prepares a solver with the root node pushed, as the paper's
+// master does.
+func NewSolver(in *Instance) *Solver {
+	s := &Solver{in: in, Best: -1}
+	s.Stack.Push(Node{Index: 0, Value: 0, Capacity: in.Capacity})
+	return s
+}
+
+// NewWorker prepares a solver with an empty stack (a slave steals its work).
+func NewWorker(in *Instance) *Solver {
+	return &Solver{in: in, Best: -1}
+}
+
+func (s *Solver) initDensityOrder() {
+	s.densityOrder = make([]int, s.in.N())
+	for i := range s.densityOrder {
+		s.densityOrder[i] = i
+	}
+	items := s.in.Items
+	sort.SliceStable(s.densityOrder, func(a, b int) bool {
+		ia, ib := items[s.densityOrder[a]], items[s.densityOrder[b]]
+		// Zero-weight items have infinite density.
+		if ia.Weight == 0 || ib.Weight == 0 {
+			return ib.Weight != 0
+		}
+		return ia.Profit*ib.Weight > ib.Profit*ia.Weight
+	})
+}
+
+// bound computes the fractional-relaxation upper bound for a node: current
+// value plus a greedy fractional fill of the remaining capacity with the
+// not-yet-fixed items, taken in decreasing profit density.
+func (s *Solver) bound(n Node) int64 {
+	if s.densityOrder == nil {
+		s.initDensityOrder()
+	}
+	b := n.Value
+	cap := n.Capacity
+	for _, i := range s.densityOrder {
+		if i < int(n.Index) {
+			continue // already fixed by this node
+		}
+		it := s.in.Items[i]
+		if it.Weight <= cap {
+			b += it.Profit
+			cap -= it.Weight
+		} else {
+			b += it.Profit * cap / it.Weight
+			// Fractional fill exhausts the capacity in LP-relaxation terms;
+			// rounding down keeps it a valid integer bound.
+			break
+		}
+	}
+	return b
+}
+
+// Branch performs one branch operation, the paper's three steps: pop a
+// node, check it, and push its (one or two) children. It reports whether a
+// node was available.
+func (s *Solver) Branch() bool {
+	n, ok := s.Stack.Pop()
+	if !ok {
+		return false
+	}
+	s.Traversed++
+	if n.Value > s.Best {
+		s.Best = n.Value
+	}
+	if int(n.Index) >= s.in.N() {
+		return true // leaf: all items fixed
+	}
+	if s.PruneBound && s.bound(n) <= s.Best {
+		return true // cannot beat the incumbent
+	}
+	it := s.in.Items[n.Index]
+	// Child 0: item not taken. Always feasible.
+	s.Stack.Push(Node{Index: n.Index + 1, Value: n.Value, Capacity: n.Capacity})
+	// Child 1: item taken, if it fits.
+	if it.Weight <= n.Capacity {
+		s.Stack.Push(Node{Index: n.Index + 1, Value: n.Value + it.Profit, Capacity: n.Capacity - it.Weight})
+	}
+	return true
+}
+
+// BranchN performs up to k branch operations ("the master repeats the branch
+// operation interval times") and returns how many ran before the stack
+// emptied.
+func (s *Solver) BranchN(k int) int {
+	for i := 0; i < k; i++ {
+		if !s.Branch() {
+			return i
+		}
+	}
+	return k
+}
+
+// Run exhausts the stack and returns the best value found.
+func (s *Solver) Run() int64 {
+	for s.Branch() {
+	}
+	return s.Best
+}
+
+// Solve runs a sequential branch-and-bound with bound pruning enabled and
+// returns (optimum, nodes traversed).
+func Solve(in *Instance) (int64, int64) {
+	s := NewSolver(in)
+	s.PruneBound = true
+	best := s.Run()
+	return best, s.Traversed
+}
+
+// SolveExhaustive runs the paper's normalized sequential search (no bound
+// pruning) and returns (optimum, nodes traversed).
+func SolveExhaustive(in *Instance) (int64, int64) {
+	s := NewSolver(in)
+	best := s.Run()
+	return best, s.Traversed
+}
+
+// EncodeNodes serializes a work batch for an MPI message.
+func EncodeNodes(ns []Node) []byte {
+	b := nexus.NewBuffer()
+	b.PutInt32(int32(len(ns)))
+	for _, n := range ns {
+		b.PutInt32(n.Index)
+		b.PutInt64(n.Value)
+		b.PutInt64(n.Capacity)
+	}
+	return b.Bytes()
+}
+
+// DecodeNodes parses a work batch.
+func DecodeNodes(data []byte) ([]Node, error) {
+	b := nexus.FromBytes(data)
+	k, err := b.GetInt32()
+	if err != nil {
+		return nil, err
+	}
+	ns := make([]Node, k)
+	for i := range ns {
+		if ns[i].Index, err = b.GetInt32(); err != nil {
+			return nil, err
+		}
+		if ns[i].Value, err = b.GetInt64(); err != nil {
+			return nil, err
+		}
+		if ns[i].Capacity, err = b.GetInt64(); err != nil {
+			return nil, err
+		}
+	}
+	return ns, nil
+}

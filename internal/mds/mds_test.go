@@ -1,0 +1,207 @@
+package mds
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nxcluster/internal/transport"
+)
+
+func hostEntry(cluster string, cpus int) map[string][]string {
+	return map[string][]string{
+		"objectclass": {"resource"},
+		"cluster":     {cluster},
+		"freecpus":    {itoa(cpus)},
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func TestAddGetDelete(t *testing.T) {
+	d := NewDirectory()
+	if err := d.Add("hn=rwcp-sun, ou=rwcp, o=grid", hostEntry("rwcp", 4)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := d.Get("HN=rwcp-sun,OU=rwcp,O=grid") // key case + spacing insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.First("cluster") != "rwcp" || e.Int("freecpus", 0) != 4 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if err := d.Delete("hn=rwcp-sun, ou=rwcp, o=grid"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Get("hn=rwcp-sun, ou=rwcp, o=grid"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+}
+
+func TestModify(t *testing.T) {
+	d := NewDirectory()
+	_ = d.Add("hn=a, o=grid", hostEntry("rwcp", 4))
+	if err := d.Modify("hn=a, o=grid", map[string][]string{"freecpus": {"2"}}); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := d.Get("hn=a, o=grid")
+	if e.Int("freecpus", 0) != 2 || e.First("cluster") != "rwcp" {
+		t.Fatalf("modify lost data: %+v", e)
+	}
+	if err := d.Modify("hn=missing, o=grid", nil); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Modify missing = %v", err)
+	}
+}
+
+func TestBadDNRejected(t *testing.T) {
+	d := NewDirectory()
+	for _, bad := range []string{"", "nokey", "=v", "a=1,,b=2"} {
+		if err := d.Add(bad, nil); err == nil {
+			t.Errorf("Add(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSearchSubtreeAndFilters(t *testing.T) {
+	d := NewDirectory()
+	_ = d.Add("hn=rwcp-sun, ou=rwcp, o=grid", hostEntry("rwcp", 4))
+	_ = d.Add("hn=compas00, ou=rwcp, o=grid", hostEntry("compas", 1))
+	_ = d.Add("hn=etl-o2k, ou=etl, o=grid", hostEntry("etl", 16))
+	_ = d.Add("ou=rwcp, o=grid", map[string][]string{"objectclass": {"site"}})
+
+	all, err := d.Search("o=grid", nil)
+	if err != nil || len(all) != 4 {
+		t.Fatalf("search all = %d, %v", len(all), err)
+	}
+	rwcp, err := d.Search("ou=rwcp, o=grid", nil)
+	if err != nil || len(rwcp) != 3 {
+		t.Fatalf("search rwcp subtree = %d, %v", len(rwcp), err)
+	}
+	big, err := d.Search("o=grid", And(Eq("objectclass", "resource"), Ge("freecpus", 4)))
+	if err != nil || len(big) != 2 {
+		t.Fatalf("search cpus>=4 = %d, %v", len(big), err)
+	}
+	notEtl, err := d.Search("o=grid", And(Eq("objectclass", "resource"), Not(Eq("cluster", "etl"))))
+	if err != nil || len(notEtl) != 2 {
+		t.Fatalf("search not etl = %d, %v", len(notEtl), err)
+	}
+	either, err := d.Search("o=grid", Or(Eq("cluster", "etl"), Eq("cluster", "compas")))
+	if err != nil || len(either) != 2 {
+		t.Fatalf("search or = %d, %v", len(either), err)
+	}
+	// Presence
+	pres, err := d.Search("o=grid", Eq("cluster", "*"))
+	if err != nil || len(pres) != 3 {
+		t.Fatalf("presence = %d, %v", len(pres), err)
+	}
+	// Deterministic order.
+	if all[0].DN > all[1].DN {
+		t.Fatal("results not sorted")
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	f, err := ParseFilter("(&(objectclass=resource)(freecpus>=4)(!(cluster=etl)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Entry{Attrs: map[string][]string{
+		"objectclass": {"resource"}, "freecpus": {"8"}, "cluster": {"rwcp"},
+	}}
+	if !f.Matches(e) {
+		t.Fatal("filter should match")
+	}
+	e.Attrs["cluster"] = []string{"etl"}
+	if f.Matches(e) {
+		t.Fatal("negation failed")
+	}
+	for _, bad := range []string{"", "(", "(a=b", "(&)", "(a>=x)", "(a)", "(a=b)x"} {
+		if _, err := ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestQuickFilterRoundTrip(t *testing.T) {
+	// Property: a built filter's String() re-parses to a filter with the
+	// same verdict on arbitrary single-attribute entries.
+	prop := func(val uint8, threshold uint8) bool {
+		f := And(Eq("objectclass", "resource"), Ge("freecpus", int(threshold)))
+		parsed, err := ParseFilter(f.String())
+		if err != nil {
+			return false
+		}
+		e := &Entry{Attrs: map[string][]string{
+			"objectclass": {"resource"},
+			"freecpus":    {itoa(int(val))},
+		}}
+		return f.Matches(e) == parsed.Matches(e)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerClientOverTCP(t *testing.T) {
+	env := transport.NewTCPEnv("localhost")
+	srv := NewServer(NewDirectory())
+	ready := make(chan string, 1)
+	env.Spawn("mds", func(e transport.Env) {
+		_ = srv.Serve(e, 0, func(addr string) { ready <- addr })
+	})
+	addr := <-ready
+	defer srv.Close(env)
+
+	cl := Client{Addr: addr}
+	if err := cl.Add(env, "hn=rwcp-sun, ou=rwcp, o=grid", hostEntry("rwcp", 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Add(env, "hn=etl-o2k, ou=etl, o=grid", hostEntry("etl", 16)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := cl.Get(env, "hn=rwcp-sun, ou=rwcp, o=grid")
+	if err != nil || e.First("cluster") != "rwcp" {
+		t.Fatalf("Get = %+v, %v", e, err)
+	}
+	res, err := cl.Search(env, "o=grid", "(freecpus>=8)")
+	if err != nil || len(res) != 1 || res[0].First("cluster") != "etl" {
+		t.Fatalf("Search = %v, %v", res, err)
+	}
+	if err := cl.Modify(env, "hn=etl-o2k, ou=etl, o=grid", map[string][]string{"freecpus": {"0"}}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = cl.Search(env, "o=grid", "(freecpus>=8)")
+	if err != nil || len(res) != 0 {
+		t.Fatalf("Search after modify = %v, %v", res, err)
+	}
+	if err := cl.Delete(env, "hn=etl-o2k, ou=etl, o=grid"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(env, "hn=etl-o2k, ou=etl, o=grid"); err == nil {
+		t.Fatal("Get after delete succeeded")
+	}
+	// Bad filter surfaces as server error.
+	if _, err := cl.Search(env, "o=grid", "(((("); err == nil {
+		t.Fatal("bad filter accepted")
+	}
+}

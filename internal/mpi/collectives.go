@@ -1,0 +1,212 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Op selects a reduction operator.
+type Op int
+
+// Reduction operators over int64/float64 values.
+const (
+	OpSum Op = iota
+	OpMin
+	OpMax
+)
+
+func (o Op) applyInt(a, b int64) int64 {
+	switch o {
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+func (o Op) applyFloat(a, b float64) float64 {
+	switch o {
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// Barrier blocks until every rank has entered it. Rank 0 gathers arrival
+// notifications and releases the others; two message waves, as in early
+// MPICH central-counter barriers.
+func (c *Comm) Barrier() error {
+	if c.Size() == 1 {
+		return nil
+	}
+	if c.rank == 0 {
+		// Receive from each specific source: per-source FIFO matching keeps
+		// back-to-back barriers from stealing each other's arrivals.
+		for i := 1; i < c.Size(); i++ {
+			if _, err := c.recv(i, tagBarrier); err != nil {
+				return err
+			}
+		}
+		for i := 1; i < c.Size(); i++ {
+			if err := c.send(i, tagBarrierDone, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.send(0, tagBarrier, nil); err != nil {
+		return err
+	}
+	_, err := c.recv(0, tagBarrierDone)
+	return err
+}
+
+// Bcast distributes root's buffer to every rank and returns it. Non-root
+// callers may pass nil.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	if c.Size() == 1 {
+		return data, nil
+	}
+	if c.rank == root {
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			if err := c.send(i, tagBcast, data); err != nil {
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	m, err := c.recv(root, tagBcast)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// ReduceInt64 combines each rank's value with op at root; only root receives
+// the result (other ranks get the zero value).
+func (c *Comm) ReduceInt64(root int, v int64, op Op) (int64, error) {
+	if c.rank == root {
+		acc := v
+		// Per-source receives: see Barrier for why AnySource would be wrong.
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			m, err := c.recv(i, tagReduce)
+			if err != nil {
+				return 0, err
+			}
+			acc = op.applyInt(acc, int64(binary.BigEndian.Uint64(m.Data)))
+		}
+		return acc, nil
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v))
+	return 0, c.send(root, tagReduce, buf[:])
+}
+
+// AllreduceInt64 combines each rank's value with op and returns the result
+// on every rank.
+func (c *Comm) AllreduceInt64(v int64, op Op) (int64, error) {
+	acc, err := c.ReduceInt64(0, v, op)
+	if err != nil {
+		return 0, err
+	}
+	var buf [8]byte
+	if c.rank == 0 {
+		binary.BigEndian.PutUint64(buf[:], uint64(acc))
+	}
+	out, err := c.Bcast(0, buf[:])
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(out)), nil
+}
+
+// AllreduceFloat64 combines each rank's float with op on every rank.
+func (c *Comm) AllreduceFloat64(v float64, op Op) (float64, error) {
+	// Float bits order-compare incorrectly, so reduce at rank 0 in value
+	// space and broadcast the bits.
+	if c.rank == 0 {
+		acc := v
+		for i := 1; i < c.Size(); i++ {
+			m, err := c.recv(i, tagReduce)
+			if err != nil {
+				return 0, err
+			}
+			acc = op.applyFloat(acc, bitsToFloat(m.Data))
+		}
+		out, err := c.Bcast(0, floatToBits(acc))
+		if err != nil {
+			return 0, err
+		}
+		return bitsToFloat(out), nil
+	}
+	if err := c.send(0, tagReduce, floatToBits(v)); err != nil {
+		return 0, err
+	}
+	out, err := c.Bcast(0, nil)
+	if err != nil {
+		return 0, err
+	}
+	return bitsToFloat(out), nil
+}
+
+// Gather collects each rank's buffer at root in rank order; only root gets
+// the slices (nil elsewhere).
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	if c.rank == root {
+		out := make([][]byte, c.Size())
+		out[root] = data
+		for i := 0; i < c.Size(); i++ {
+			if i == root {
+				continue
+			}
+			m, err := c.recv(i, tagGather)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = m.Data
+		}
+		return out, nil
+	}
+	return nil, c.send(root, tagGather, data)
+}
+
+func floatToBits(v float64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], floatBits(v))
+	return buf[:]
+}
+
+func bitsToFloat(b []byte) float64 {
+	return floatFromBits(binary.BigEndian.Uint64(b))
+}
+
+// floatBits and floatFromBits isolate the math import to two tiny helpers.
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,131 @@
+package mpi
+
+import "fmt"
+
+// Additional internal tags for the extended collectives.
+const (
+	tagScatter   = -16
+	tagAllgather = -17
+	tagAlltoall  = -18
+)
+
+// Scatter distributes parts[i] from root to rank i and returns this rank's
+// part. Non-root callers may pass nil.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: scatter root %d out of range", root)
+	}
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("mpi: scatter wants %d parts, got %d", c.Size(), len(parts))
+		}
+		for i, part := range parts {
+			if i == root {
+				continue
+			}
+			if err := c.send(i, tagScatter, part); err != nil {
+				return nil, err
+			}
+		}
+		return parts[root], nil
+	}
+	m, err := c.recv(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	return m.Data, nil
+}
+
+// Allgather collects each rank's buffer on every rank, in rank order:
+// gather at rank 0 followed by a broadcast of the concatenated parts.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	// Rank 0 re-encodes; everyone decodes the broadcast.
+	var packed []byte
+	if c.rank == 0 {
+		packed = packParts(parts)
+	}
+	packed, err = c.Bcast(0, packed)
+	if err != nil {
+		return nil, err
+	}
+	return unpackParts(packed, c.Size())
+}
+
+// Alltoall sends parts[i] to rank i and returns the buffers received from
+// every rank, in rank order. parts must have Size elements.
+func (c *Comm) Alltoall(parts [][]byte) ([][]byte, error) {
+	if len(parts) != c.Size() {
+		return nil, fmt.Errorf("mpi: alltoall wants %d parts, got %d", c.Size(), len(parts))
+	}
+	out := make([][]byte, c.Size())
+	out[c.rank] = parts[c.rank]
+	// Everyone sends first (the transport buffers), then receives
+	// per-source, which avoids ordered-rendezvous deadlocks.
+	for i := 0; i < c.Size(); i++ {
+		if i == c.rank {
+			continue
+		}
+		if err := c.send(i, tagAlltoall, parts[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.Size(); i++ {
+		if i == c.rank {
+			continue
+		}
+		m, err := c.recv(i, tagAlltoall)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m.Data
+	}
+	return out, nil
+}
+
+// Sendrecv performs a combined send to `to` and receive from `from` with
+// user tags, safe against head-on exchanges.
+func (c *Comm) Sendrecv(to, sendTag int, data []byte, from, recvTag int) (Message, error) {
+	if sendTag < 0 || (recvTag < 0 && recvTag != AnyTag) {
+		return Message{}, ErrInvalidTag
+	}
+	if err := c.send(to, sendTag, data); err != nil {
+		return Message{}, err
+	}
+	return c.Recv(from, recvTag)
+}
+
+// packParts length-prefixes and concatenates buffers.
+func packParts(parts [][]byte) []byte {
+	total := 4 * len(parts)
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]byte, 0, total)
+	for _, p := range parts {
+		out = append(out, byte(len(p)>>24), byte(len(p)>>16), byte(len(p)>>8), byte(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+// unpackParts splits a packed buffer back into n parts.
+func unpackParts(packed []byte, n int) ([][]byte, error) {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(packed) < 4 {
+			return nil, fmt.Errorf("mpi: truncated allgather packet")
+		}
+		l := int(packed[0])<<24 | int(packed[1])<<16 | int(packed[2])<<8 | int(packed[3])
+		packed = packed[4:]
+		if len(packed) < l {
+			return nil, fmt.Errorf("mpi: truncated allgather part")
+		}
+		out = append(out, packed[:l:l])
+		packed = packed[l:]
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestScatterSim(t *testing.T) {
+	k, w := simWorld(t, 4)
+	w.Launch(func(c *Comm) error {
+		var parts [][]byte
+		if c.Rank() == 1 {
+			for i := 0; i < c.Size(); i++ {
+				parts = append(parts, []byte{byte('A' + i)})
+			}
+		}
+		got, err := c.Scatter(1, parts)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0] != byte('A'+c.Rank()) {
+			return fmt.Errorf("rank %d scattered %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterErrors(t *testing.T) {
+	k, w := simWorld(t, 2)
+	w.Launch(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(9, nil); err == nil {
+				return fmt.Errorf("bad root accepted")
+			}
+			if _, err := c.Scatter(0, [][]byte{{1}}); err == nil {
+				return fmt.Errorf("wrong part count accepted")
+			}
+			// Unblock rank 1, which waits on a real scatter.
+			return sendAll(c)
+		}
+		_, err := c.Scatter(0, nil)
+		return err
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sendAll(c *Comm) error {
+	parts := make([][]byte, c.Size())
+	for i := range parts {
+		parts[i] = []byte{9}
+	}
+	_, err := c.Scatter(0, parts)
+	return err
+}
+
+func TestAllgatherSim(t *testing.T) {
+	k, w := simWorld(t, 5)
+	w.Launch(func(c *Comm) error {
+		mine := bytes.Repeat([]byte{byte(c.Rank())}, c.Rank()+1) // ragged sizes
+		parts, err := c.Allgather(mine)
+		if err != nil {
+			return err
+		}
+		if len(parts) != c.Size() {
+			return fmt.Errorf("got %d parts", len(parts))
+		}
+		for i, p := range parts {
+			if len(p) != i+1 {
+				return fmt.Errorf("part %d has len %d", i, len(p))
+			}
+			for _, b := range p {
+				if b != byte(i) {
+					return fmt.Errorf("part %d content %v", i, p)
+				}
+			}
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallSim(t *testing.T) {
+	k, w := simWorld(t, 4)
+	w.Launch(func(c *Comm) error {
+		parts := make([][]byte, c.Size())
+		for i := range parts {
+			parts[i] = []byte{byte(c.Rank()), byte(i)} // (src, dst)
+		}
+		got, err := c.Alltoall(parts)
+		if err != nil {
+			return err
+		}
+		for i, p := range got {
+			if len(p) != 2 || p[0] != byte(i) || p[1] != byte(c.Rank()) {
+				return fmt.Errorf("rank %d slot %d = %v", c.Rank(), i, p)
+			}
+		}
+		if _, err := c.Alltoall(nil); err == nil {
+			return fmt.Errorf("wrong part count accepted")
+		}
+		return c.Barrier()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvHeadOnExchange(t *testing.T) {
+	k, w := simWorld(t, 2)
+	w.Launch(func(c *Comm) error {
+		peer := 1 - c.Rank()
+		m, err := c.Sendrecv(peer, 5, []byte{byte(c.Rank())}, peer, 5)
+		if err != nil {
+			return err
+		}
+		if m.Src != peer || m.Data[0] != byte(peer) {
+			return fmt.Errorf("rank %d got %v from %d", c.Rank(), m.Data, m.Src)
+		}
+		if _, err := c.Sendrecv(peer, -1, nil, peer, 5); err != ErrInvalidTag {
+			return fmt.Errorf("bad tag accepted: %v", err)
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackParts(t *testing.T) {
+	parts := [][]byte{{1, 2}, nil, {3}}
+	got, err := unpackParts(packParts(parts), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || !bytes.Equal(got[0], []byte{1, 2}) || len(got[1]) != 0 || !bytes.Equal(got[2], []byte{3}) {
+		t.Fatalf("round trip = %v", got)
+	}
+	if _, err := unpackParts([]byte{0, 0}, 1); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := unpackParts([]byte{0, 0, 0, 5, 1}, 1); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package mpi
+
+import "errors"
+
+// ErrRequestDone is returned when waiting on an already-consumed request.
+var ErrRequestDone = errors.New("mpi: request already completed")
+
+// Request is a non-blocking operation handle, like MPI_Request. Requests
+// belong to the rank that created them and must be completed (Wait/Test)
+// on that rank.
+type Request struct {
+	c      *Comm
+	isSend bool
+	src    int
+	tag    int
+	done   bool
+	msg    Message
+	err    error
+}
+
+// Isend starts a non-blocking send. Transmission is eager — the message is
+// buffered by the transport — so the returned request is already complete;
+// it exists so codes written against the MPI idiom port directly.
+func (c *Comm) Isend(to, tag int, data []byte) (*Request, error) {
+	if tag < 0 {
+		return nil, ErrInvalidTag
+	}
+	err := c.send(to, tag, data)
+	return &Request{c: c, isSend: true, done: true, err: err}, err
+}
+
+// Irecv posts a non-blocking receive for (src, tag); wildcards allowed.
+// Completion happens in Test or Wait.
+func (c *Comm) Irecv(src, tag int) (*Request, error) {
+	if tag < 0 && tag != AnyTag {
+		return nil, ErrInvalidTag
+	}
+	return &Request{c: c, src: src, tag: tag}, nil
+}
+
+// Test checks for completion without blocking. For receives it consumes a
+// matching message if one has arrived.
+func (r *Request) Test() (Message, bool, error) {
+	if r.done {
+		return r.msg, true, r.err
+	}
+	if r.c.Iprobe(r.src, r.tag) {
+		r.msg, r.err = r.c.Recv(r.src, r.tag)
+		r.done = true
+		return r.msg, true, r.err
+	}
+	return Message{}, false, nil
+}
+
+// Wait blocks until the request completes and returns the message (for
+// receives).
+func (r *Request) Wait() (Message, error) {
+	if r.done {
+		return r.msg, r.err
+	}
+	r.msg, r.err = r.c.Recv(r.src, r.tag)
+	r.done = true
+	return r.msg, r.err
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.done }
+
+// WaitAll completes every request, returning the first error.
+func WaitAll(reqs ...*Request) error {
+	var firstErr error
+	for _, r := range reqs {
+		if _, err := r.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

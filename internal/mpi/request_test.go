@@ -1,0 +1,111 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestIsendIrecvOverlap(t *testing.T) {
+	k, w := simWorld(t, 2)
+	w.Launch(func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Send in reverse tag order; the receiver posted both already.
+			c.Env().Sleep(time.Second)
+			if _, err := c.Isend(0, 2, []byte("two")); err != nil {
+				return err
+			}
+			if _, err := c.Isend(0, 1, []byte("one")); err != nil {
+				return err
+			}
+			return nil
+		}
+		r1, err := c.Irecv(1, 1)
+		if err != nil {
+			return err
+		}
+		r2, err := c.Irecv(1, 2)
+		if err != nil {
+			return err
+		}
+		// Nothing has arrived yet.
+		if _, done, _ := r1.Test(); done {
+			return fmt.Errorf("Test true before send")
+		}
+		if err := WaitAll(r1, r2); err != nil {
+			return err
+		}
+		m1, _ := r1.Wait() // idempotent after completion
+		m2, _ := r2.Wait()
+		if string(m1.Data) != "one" || string(m2.Data) != "two" {
+			return fmt.Errorf("payloads %q/%q", m1.Data, m2.Data)
+		}
+		if !r1.Done() {
+			return fmt.Errorf("Done=false after Wait")
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTestPollsToCompletion(t *testing.T) {
+	k, w := simWorld(t, 2)
+	w.Launch(func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Env().Sleep(500 * time.Millisecond)
+			_, err := c.Isend(0, 7, []byte("x"))
+			return err
+		}
+		r, err := c.Irecv(AnySource, AnyTag)
+		if err != nil {
+			return err
+		}
+		for {
+			m, done, err := r.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				if string(m.Data) != "x" || m.Tag != 7 {
+					return fmt.Errorf("m = %+v", m)
+				}
+				return nil
+			}
+			c.Env().Sleep(50 * time.Millisecond)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestTagValidation(t *testing.T) {
+	k, w := simWorld(t, 1)
+	w.Launch(func(c *Comm) error {
+		if _, err := c.Isend(0, -3, nil); !errors.Is(err, ErrInvalidTag) {
+			return fmt.Errorf("Isend bad tag = %v", err)
+		}
+		if _, err := c.Irecv(0, -3); !errors.Is(err, ErrInvalidTag) {
+			return fmt.Errorf("Irecv bad tag = %v", err)
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

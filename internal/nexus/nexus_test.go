@@ -1,0 +1,239 @@
+package nexus
+
+import (
+	"testing"
+	"time"
+
+	"nxcluster/internal/firewall"
+	"nxcluster/internal/proxy"
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+	"nxcluster/internal/transport"
+)
+
+func TestRSRRoundTripTCP(t *testing.T) {
+	env := transport.NewTCPEnv("localhost")
+	ctx, err := Init(env, proxy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Shutdown(env)
+
+	got := make(chan string, 1)
+	ep := ctx.NewEndpoint()
+	ep.Register(1, func(e transport.Env, b *Buffer) {
+		s, err := b.GetString()
+		if err != nil {
+			t.Errorf("handler decode: %v", err)
+			return
+		}
+		got <- s
+	})
+
+	sp, err := ctx.Attach(env, ep.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer()
+	b.PutString("remote service request")
+	if err := sp.Send(env, 1, b); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "remote service request" {
+			t.Fatalf("handler got %q", s)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RSR never delivered")
+	}
+	if sp.Sent() != 1 {
+		t.Fatalf("Sent = %d, want 1", sp.Sent())
+	}
+	if ctx.Delivered() != 1 {
+		t.Fatalf("Delivered = %d, want 1", ctx.Delivered())
+	}
+}
+
+func TestUnknownHandlerDropped(t *testing.T) {
+	env := transport.NewTCPEnv("localhost")
+	ctx, err := Init(env, proxy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Shutdown(env)
+	ep := ctx.NewEndpoint()
+	sp, err := ctx.Attach(env, ep.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Send(env, 99, NewBuffer()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100 && ctx.Dropped() == 0; i++ {
+		env.Sleep(5 * time.Millisecond)
+	}
+	if ctx.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", ctx.Dropped())
+	}
+}
+
+func TestAttachBadAddress(t *testing.T) {
+	env := transport.NewTCPEnv("localhost")
+	ctx, err := Init(env, proxy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Shutdown(env)
+	if _, err := ctx.Attach(env, "x-nexus://localhost:1/9"); err == nil {
+		t.Fatal("attach to dead port succeeded")
+	}
+	if _, err := ctx.Attach(env, "garbage"); err == nil {
+		t.Fatal("attach to garbage address succeeded")
+	}
+}
+
+func TestOrderingPreservedPerStartpoint(t *testing.T) {
+	env := transport.NewTCPEnv("localhost")
+	ctx, err := Init(env, proxy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctx.Shutdown(env)
+
+	const n = 200
+	got := make(chan int64, n)
+	ep := ctx.NewEndpoint()
+	ep.Register(1, func(e transport.Env, b *Buffer) {
+		v, _ := b.GetInt64()
+		got <- v
+	})
+	sp, err := ctx.Attach(env, ep.Address())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < n; i++ {
+		b := NewBuffer()
+		b.PutInt64(i)
+		if err := sp.Send(env, 1, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		select {
+		case v := <-got:
+			if v != i {
+				t.Fatalf("RSR %d arrived out of order (got %d)", i, v)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("RSR %d never arrived", i)
+		}
+	}
+}
+
+// TestNexusOverProxyInSim runs the full stack the paper describes: two Nexus
+// contexts on opposite sides of a firewall communicating via the Nexus
+// Proxy, inside the simulator.
+func TestNexusOverProxyInSim(t *testing.T) {
+	k := sim.New()
+	n := simnet.New(k)
+	n.AddHost("pa", simnet.HostConfig{Site: "rwcp"})
+	n.AddHost("inner", simnet.HostConfig{Site: "rwcp"})
+	n.AddHost("outer", simnet.HostConfig{})
+	n.AddHost("pb", simnet.HostConfig{})
+	lan := simnet.LinkConfig{Latency: 500 * time.Microsecond, Bandwidth: 12 << 20}
+	n.Connect("pa", "inner", lan)
+	n.Connect("inner", "outer", lan)
+	n.Connect("outer", "pb", simnet.LinkConfig{Latency: 2 * time.Millisecond, Bandwidth: 187 << 10})
+	fw := firewall.New("rwcp")
+	fw.AllowIncomingPort(7010, "nxport")
+	n.SetFirewall("rwcp", fw)
+
+	innerSrv := proxy.NewInnerServer(proxy.RelayConfig{})
+	n.Node("inner").SpawnDaemonOn("inner", func(env transport.Env) { _ = innerSrv.Serve(env, 7010, nil) })
+	outerSrv := proxy.NewOuterServer("inner:7010", proxy.RelayConfig{})
+	n.Node("outer").SpawnDaemonOn("outer", func(env transport.Env) { _ = outerSrv.Serve(env, 7000, nil) })
+
+	cfg := proxy.Config{OuterServer: "outer:7000", InnerServer: "inner:7010"}
+	addrCh := make(chan string, 1)
+	var echoed string
+
+	// PA: firewalled process with a proxied Nexus context.
+	n.Node("pa").SpawnDaemonOn("pa", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		ctx, err := Init(env, cfg)
+		if err != nil {
+			t.Errorf("pa init: %v", err)
+			return
+		}
+		ep := ctx.NewEndpoint()
+		ep.Register(1, func(e transport.Env, b *Buffer) {
+			msg, _ := b.GetString()
+			reply, _ := b.GetString()
+			// Reply over a fresh startpoint to PB's endpoint.
+			e.Spawn("pa-reply", func(e2 transport.Env) {
+				sp, err := ctx.Attach(e2, reply)
+				if err != nil {
+					t.Errorf("pa attach reply: %v", err)
+					return
+				}
+				rb := NewBuffer()
+				rb.PutString("echo:" + msg)
+				_ = sp.Send(e2, 1, rb)
+			})
+		})
+		addrCh <- ep.Address()
+	})
+
+	// PB: public process; sends an RSR to PA's proxied endpoint.
+	n.Node("pb").SpawnOn("pb", func(env transport.Env) {
+		ctx, err := Init(env, proxy.Config{})
+		if err != nil {
+			t.Errorf("pb init: %v", err)
+			return
+		}
+		done := transport.NewQueue[string](env)
+		rep := ctx.NewEndpoint()
+		rep.Register(1, func(e transport.Env, b *Buffer) {
+			s, _ := b.GetString()
+			done.Put(e, s)
+		})
+		for len(addrCh) == 0 {
+			env.Sleep(time.Millisecond)
+		}
+		paAddr := <-addrCh
+		// The advertised host must be the outer relay, not PA.
+		hp, _, err := ParseAddress(paAddr)
+		if err != nil {
+			t.Errorf("parse pa addr: %v", err)
+			return
+		}
+		host, _, _ := transport.SplitAddr(hp)
+		if host != "outer" {
+			t.Errorf("PA advertises %q, want outer relay host", paAddr)
+		}
+		sp, err := ctx.Attach(env, paAddr)
+		if err != nil {
+			t.Errorf("pb attach: %v", err)
+			return
+		}
+		b := NewBuffer()
+		b.PutString("hello")
+		b.PutString(rep.Address())
+		if err := sp.Send(env, 1, b); err != nil {
+			t.Errorf("pb send: %v", err)
+			return
+		}
+		if v, ok := done.Get(env); ok {
+			echoed = v
+		}
+	})
+
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if echoed != "echo:hello" {
+		t.Fatalf("echoed = %q, want echo:hello", echoed)
+	}
+}

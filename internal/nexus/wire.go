@@ -1,0 +1,43 @@
+package nexus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxFrame bounds ReadFrame when callers pass max <= 0.
+const DefaultMaxFrame = 16 << 20
+
+// WriteFrame writes a length-prefixed buffer, the framing every control
+// protocol in this system (RMF, GRAM, MDS) shares.
+func WriteFrame(w io.Writer, b *Buffer) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(b.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// ReadFrame reads a length-prefixed buffer, rejecting frames over max
+// bytes (DefaultMaxFrame if max <= 0).
+func ReadFrame(r io.Reader, max int) (*Buffer, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if int(n) > max {
+		return nil, fmt.Errorf("nexus: frame of %d bytes exceeds limit %d", n, max)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return FromBytes(body), nil
+}

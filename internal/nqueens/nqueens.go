@@ -1,0 +1,84 @@
+// Package nqueens is a second tree-search application on the generic
+// treesearch engine: counting N-queens placements. It demonstrates that the
+// paper's scheduler generalizes beyond the knapsack workload — any
+// coarse-grained asynchronous tree search runs on the same wide-area
+// machinery.
+package nqueens
+
+import (
+	"fmt"
+
+	"nxcluster/internal/treesearch"
+)
+
+// MaxN bounds the board size the task encoding supports.
+const MaxN = 16
+
+// Root returns the root task for an n-queens search.
+func Root(n int) ([]byte, error) {
+	if n < 1 || n > MaxN {
+		return nil, fmt.Errorf("nqueens: n=%d out of range [1,%d]", n, MaxN)
+	}
+	return []byte{byte(n), 0}, nil
+}
+
+// Expander returns the treesearch expander. A task encodes
+// [n, placedCount, col0, col1, ...]; expanding places the next row's queen
+// in every non-attacked column; a fully placed board scores 1 (use
+// treesearch.Sum).
+func Expander() treesearch.Expander {
+	return treesearch.ExpanderFunc(func(task []byte, emit func([]byte)) int64 {
+		n := int(task[0])
+		placed := int(task[1])
+		cols := task[2 : 2+placed]
+		if placed == n {
+			return 1
+		}
+		for c := 0; c < n; c++ {
+			ok := true
+			for r, pc := range cols {
+				if int(pc) == c || placed-r == c-int(pc) || placed-r == int(pc)-c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				child := make([]byte, 2+placed+1)
+				child[0] = byte(n)
+				child[1] = byte(placed + 1)
+				copy(child[2:], cols)
+				child[2+placed] = byte(c)
+				emit(child)
+			}
+		}
+		return 0
+	})
+}
+
+// Count solves sequentially (a recursive oracle for tests and the CLI).
+func Count(n int) int64 {
+	var cols []int
+	var rec func(row int) int64
+	rec = func(row int) int64 {
+		if row == n {
+			return 1
+		}
+		var total int64
+		for c := 0; c < n; c++ {
+			ok := true
+			for r, pc := range cols {
+				if pc == c || row-r == c-pc || row-r == pc-c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cols = append(cols, c)
+				total += rec(row + 1)
+				cols = cols[:len(cols)-1]
+			}
+		}
+		return total
+	}
+	return rec(0)
+}

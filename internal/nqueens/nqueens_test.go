@@ -1,0 +1,54 @@
+package nqueens
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountKnownValues(t *testing.T) {
+	want := map[int]int64{1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724}
+	for n, w := range want {
+		if got := Count(n); got != w {
+			t.Errorf("Count(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestRootValidation(t *testing.T) {
+	if _, err := Root(0); err == nil {
+		t.Fatal("Root(0) accepted")
+	}
+	if _, err := Root(MaxN + 1); err == nil {
+		t.Fatal("Root(17) accepted")
+	}
+	r, err := Root(8)
+	if err != nil || len(r) != 2 || r[0] != 8 || r[1] != 0 {
+		t.Fatalf("Root(8) = %v, %v", r, err)
+	}
+}
+
+// Property: expanding the whole tree via the Expander (sequentially, with a
+// local stack) matches the recursive oracle for every n.
+func TestQuickExpanderMatchesOracle(t *testing.T) {
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw)%8 + 1 // 1..8
+		root, err := Root(n)
+		if err != nil {
+			return false
+		}
+		ex := Expander()
+		stack := [][]byte{root}
+		var solutions int64
+		for len(stack) > 0 {
+			task := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			solutions += ex.Expand(task, func(child []byte) {
+				stack = append(stack, append([]byte(nil), child...))
+			})
+		}
+		return solutions == Count(n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

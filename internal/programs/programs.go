@@ -1,0 +1,67 @@
+// Package programs provides the demo executable registry shared by the
+// real-TCP daemons (rmf-qserver, nxgatekeeper) and the examples. In the
+// simulation jobs cannot be exec'ed binaries, so "executables" are
+// registered Go functions; these are the stand-ins for the applications a
+// year-2000 cluster would run.
+package programs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nxcluster/internal/knapsack"
+	"nxcluster/internal/rmf"
+	"nxcluster/internal/transport"
+)
+
+// Demo builds a registry with the standard demo programs:
+//
+//   - echo: writes its arguments and stdin to stdout;
+//   - hostname: writes the executing resource's name;
+//   - env: writes selected environment variables;
+//   - knapsack-seq: solves a normalized knapsack instance sequentially;
+//     args: items capacity [prune].
+func Demo() *rmf.Registry {
+	reg := rmf.NewRegistry()
+	reg.Register("echo", func(env transport.Env, ctx *rmf.JobContext) error {
+		fmt.Fprintf(&ctx.Stdout, "%s", strings.Join(ctx.Args, " "))
+		if len(ctx.Stdin) > 0 {
+			fmt.Fprintf(&ctx.Stdout, "\nstdin: %s", ctx.Stdin)
+		}
+		return nil
+	})
+	reg.Register("hostname", func(env transport.Env, ctx *rmf.JobContext) error {
+		fmt.Fprintln(&ctx.Stdout, ctx.Resource)
+		return nil
+	})
+	reg.Register("env", func(env transport.Env, ctx *rmf.JobContext) error {
+		for _, k := range ctx.Args {
+			fmt.Fprintf(&ctx.Stdout, "%s=%s\n", k, ctx.Env[k])
+		}
+		return nil
+	})
+	reg.Register("knapsack-seq", func(env transport.Env, ctx *rmf.JobContext) error {
+		items, capacity := 30, 3
+		if len(ctx.Args) > 0 {
+			if n, err := strconv.Atoi(ctx.Args[0]); err == nil {
+				items = n
+			}
+		}
+		if len(ctx.Args) > 1 {
+			if n, err := strconv.Atoi(ctx.Args[1]); err == nil {
+				capacity = n
+			}
+		}
+		in := knapsack.Normalized(items, capacity)
+		var best, traversed int64
+		if len(ctx.Args) > 2 && ctx.Args[2] == "prune" {
+			best, traversed = knapsack.Solve(in)
+		} else {
+			best, traversed = knapsack.SolveExhaustive(in)
+		}
+		fmt.Fprintf(&ctx.Stdout, "best=%d traversed=%d\n", best, traversed)
+		return nil
+	})
+	return reg
+}

@@ -1,0 +1,70 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+
+	"nxcluster/internal/rmf"
+	"nxcluster/internal/transport"
+)
+
+func runProgram(t *testing.T, name string, args []string, env map[string]string, stdin []byte) *rmf.JobContext {
+	t.Helper()
+	reg := Demo()
+	prog, ok := reg.Lookup(name)
+	if !ok {
+		t.Fatalf("program %q not registered", name)
+	}
+	ctx := &rmf.JobContext{
+		JobID:    "t.1",
+		Resource: "testnode",
+		Args:     args,
+		Env:      env,
+		Stdin:    stdin,
+	}
+	if err := prog(transport.NewTCPEnv("localhost"), ctx); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return ctx
+}
+
+func TestEcho(t *testing.T) {
+	ctx := runProgram(t, "echo", []string{"a", "b"}, nil, []byte("in"))
+	out := ctx.Stdout.String()
+	if !strings.Contains(out, "a b") || !strings.Contains(out, "stdin: in") {
+		t.Fatalf("echo output = %q", out)
+	}
+}
+
+func TestHostname(t *testing.T) {
+	ctx := runProgram(t, "hostname", nil, nil, nil)
+	if strings.TrimSpace(ctx.Stdout.String()) != "testnode" {
+		t.Fatalf("hostname output = %q", ctx.Stdout.String())
+	}
+}
+
+func TestEnv(t *testing.T) {
+	ctx := runProgram(t, "env", []string{"A", "MISSING"}, map[string]string{"A": "1"}, nil)
+	out := ctx.Stdout.String()
+	if !strings.Contains(out, "A=1") || !strings.Contains(out, "MISSING=") {
+		t.Fatalf("env output = %q", out)
+	}
+}
+
+func TestKnapsackSeq(t *testing.T) {
+	ctx := runProgram(t, "knapsack-seq", []string{"10", "2"}, nil, nil)
+	out := ctx.Stdout.String()
+	if !strings.Contains(out, "best=") || !strings.Contains(out, "traversed=") {
+		t.Fatalf("knapsack-seq output = %q", out)
+	}
+	// Bad args fall back to defaults rather than failing.
+	ctx = runProgram(t, "knapsack-seq", []string{"junk"}, nil, nil)
+	if !strings.Contains(ctx.Stdout.String(), "best=") {
+		t.Fatalf("knapsack-seq with junk args = %q", ctx.Stdout.String())
+	}
+	// Prune mode.
+	ctx = runProgram(t, "knapsack-seq", []string{"12", "3", "prune"}, nil, nil)
+	if !strings.Contains(ctx.Stdout.String(), "best=") {
+		t.Fatalf("pruned output = %q", ctx.Stdout.String())
+	}
+}

@@ -1,0 +1,175 @@
+package proxy
+
+import (
+	"fmt"
+
+	"nxcluster/internal/transport"
+)
+
+// Config selects the proxy servers a process should use, mirroring the
+// paper's NEXUS_PROXY_OUTER_SERVER / NEXUS_PROXY_INNER_SERVER environment
+// variables: when both are set the proxy is used, otherwise communication is
+// direct.
+type Config struct {
+	// OuterServer is the outer server's control address "host:port".
+	OuterServer string
+	// InnerServer is the inner server's nxport address "host:port". The
+	// client itself never dials it (the outer server does); its presence
+	// switches the proxy on, as in the paper.
+	InnerServer string
+	// Secret is the site secret for authenticated relay servers ("" when
+	// the servers run open, as the paper's did).
+	Secret string
+}
+
+// Enabled reports whether the proxy should be used.
+func (c Config) Enabled() bool { return c.OuterServer != "" && c.InnerServer != "" }
+
+// NXProxyConnect performs an active open through the proxy (paper Figure 3):
+// it sends a connect request to the outer server and returns a stream on
+// which the caller talks to target.
+func NXProxyConnect(env transport.Env, cfg Config, target string) (transport.Conn, error) {
+	c, err := env.Dial(cfg.OuterServer)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: dial outer server %s: %w", cfg.OuterServer, err)
+	}
+	st := transport.Stream{Env: env, Conn: c}
+	if err := sendAuthedRequest(st, cfg.Secret, msgConnect, target); err != nil {
+		_ = c.Close(env)
+		return nil, err
+	}
+	if _, err := expect(st, msgOK); err != nil {
+		_ = c.Close(env)
+		return nil, fmt.Errorf("proxy: connect %s: %w", target, err)
+	}
+	return c, nil
+}
+
+// ProxyListener is the handle returned by NXProxyBind. Its Addr is the outer
+// server's public address — the address a process advertises in place of its
+// own, which is how the paper's modified Globus "changes the address
+// information for the communication startpoint/endpoint to indicate the
+// Nexus Proxy server".
+type ProxyListener struct {
+	cfg        Config
+	control    transport.Conn
+	local      transport.Listener
+	publicAddr string
+	bindID     string
+	closed     bool
+}
+
+var _ transport.Listener = (*ProxyListener)(nil)
+
+// NXProxyBind performs a passive-open registration (paper Figure 4 steps
+// 1-2): it binds a private listener on the local host, registers it with the
+// outer server, and returns a listener whose address is the outer server's
+// public port.
+func NXProxyBind(env transport.Env, cfg Config) (*ProxyListener, error) {
+	local, err := env.Listen(0)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: local bind: %w", err)
+	}
+	control, err := env.Dial(cfg.OuterServer)
+	if err != nil {
+		_ = local.Close(env)
+		return nil, fmt.Errorf("proxy: dial outer server %s: %w", cfg.OuterServer, err)
+	}
+	st := transport.Stream{Env: env, Conn: control}
+	if err := sendAuthedRequest(st, cfg.Secret, msgBind, local.Addr()); err != nil {
+		_ = local.Close(env)
+		_ = control.Close(env)
+		return nil, err
+	}
+	fields, err := expect(st, msgBindOK)
+	if err != nil || len(fields) != 2 {
+		_ = local.Close(env)
+		_ = control.Close(env)
+		if err == nil {
+			err = fmt.Errorf("%w: bindok wants 2 fields", ErrProtocol)
+		}
+		return nil, err
+	}
+	return &ProxyListener{
+		cfg:        cfg,
+		control:    control,
+		local:      local,
+		publicAddr: fields[0],
+		bindID:     fields[1],
+	}, nil
+}
+
+// Addr returns the public (outer server) address peers should dial.
+func (l *ProxyListener) Addr() string { return l.publicAddr }
+
+// BindID returns the outer server's identifier for this bind.
+func (l *ProxyListener) BindID() string { return l.bindID }
+
+// Accept is NXProxyAccept (paper Figure 4 step 5): it accepts the inner
+// server's local leg and completes the preamble, returning a stream to the
+// remote peer.
+func (l *ProxyListener) Accept(env transport.Env) (transport.Conn, error) {
+	for {
+		c, err := l.local.Accept(env)
+		if err != nil {
+			return nil, err
+		}
+		st := transport.Stream{Env: env, Conn: c}
+		typ, fields, err := readMsg(st)
+		if err != nil || typ != msgAccept || len(fields) != 1 {
+			// Not the inner server; drop and keep accepting.
+			_ = c.Close(env)
+			continue
+		}
+		if err := writeMsg(st, msgOK); err != nil {
+			_ = c.Close(env)
+			continue
+		}
+		return c, nil
+	}
+}
+
+// Close releases the bind at the outer server and the private listener.
+func (l *ProxyListener) Close(env transport.Env) error {
+	if l.closed {
+		return transport.ErrClosed
+	}
+	l.closed = true
+	_ = writeMsg(transport.Stream{Env: env, Conn: l.control}, msgUnbind)
+	_ = l.control.Close(env)
+	return l.local.Close(env)
+}
+
+// NXProxyAccept is the paper-named alias for ProxyListener.Accept.
+func NXProxyAccept(env transport.Env, l *ProxyListener) (transport.Conn, error) {
+	return l.Accept(env)
+}
+
+// Dialer dials through the proxy when configured and directly otherwise —
+// the behaviour the paper patched into Globus ("a communication utilizes the
+// Nexus Proxy system when the environment variables are defined; otherwise,
+// the original communication is done").
+type Dialer struct {
+	Cfg Config
+}
+
+// Dial opens a stream to addr, via the outer server if the proxy is enabled.
+func (d Dialer) Dial(env transport.Env, addr string) (transport.Conn, error) {
+	if d.Cfg.Enabled() {
+		return NXProxyConnect(env, d.Cfg, addr)
+	}
+	return env.Dial(addr)
+}
+
+// Listen binds a listener whose advertised address is reachable by remote
+// peers: the proxy's public address when enabled, the local address
+// otherwise.
+func (d Dialer) Listen(env transport.Env, port int) (transport.Listener, error) {
+	if d.Cfg.Enabled() {
+		if port != 0 {
+			return nil, fmt.Errorf("proxy: bind via proxy cannot request a specific public port")
+		}
+		return NXProxyBind(env, d.Cfg)
+	}
+	return env.Listen(port)
+}

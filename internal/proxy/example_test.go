@@ -1,0 +1,56 @@
+package proxy_test
+
+import (
+	"fmt"
+	"io"
+
+	"nxcluster/internal/proxy"
+	"nxcluster/internal/transport"
+)
+
+// Example demonstrates the paper's active open on real TCP: a client
+// replaces connect() with NXProxyConnect and reaches an echo server through
+// the outer relay.
+func Example() {
+	env := transport.NewTCPEnv("localhost")
+
+	// The two relay daemons (inner on the firewall's one opened port,
+	// outer outside).
+	inner := proxy.NewInnerServer(proxy.RelayConfig{})
+	innerReady := make(chan string, 1)
+	env.Spawn("inner", func(e transport.Env) {
+		_ = inner.Serve(e, 0, func(a string) { innerReady <- a })
+	})
+	outer := proxy.NewOuterServer(<-innerReady, proxy.RelayConfig{})
+	outerReady := make(chan string, 1)
+	env.Spawn("outer", func(e transport.Env) {
+		_ = outer.Serve(e, 0, func(a string) { outerReady <- a })
+	})
+	cfg := proxy.Config{OuterServer: <-outerReady, InnerServer: inner.Addr()}
+
+	// A destination server ("PB").
+	dst, _ := env.Listen(0)
+	env.Spawn("pb", func(e transport.Env) {
+		c, err := dst.Accept(e)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(transport.Stream{Env: e, Conn: c}, buf); err == nil {
+			_, _ = c.Write(e, buf)
+		}
+	})
+
+	// "PA" behind the firewall: NXProxyConnect instead of connect().
+	c, err := proxy.NXProxyConnect(env, cfg, dst.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close(env)
+	_, _ = c.Write(env, []byte("hello"))
+	buf := make([]byte, 5)
+	_, _ = io.ReadFull(transport.Stream{Env: env, Conn: c}, buf)
+	fmt.Println(string(buf))
+	// Output:
+	// hello
+}

@@ -1,0 +1,243 @@
+package proxy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nxcluster/internal/transport"
+)
+
+// OuterServer is the relay daemon outside the firewall. It serves two kinds
+// of clients on its control port: processes inside the site sending connect
+// and bind requests (their outgoing connections pass the firewall), and —
+// on dynamically bound public ports — remote processes connecting toward
+// bound clients.
+type OuterServer struct {
+	// InnerAddr is the inner server's "host:nxport"; the firewall must
+	// permit incoming connections from this server to that address.
+	InnerAddr string
+	// Relay tunes the data pumps.
+	Relay RelayConfig
+	// Secret, when non-empty, requires an HMAC proof on every control
+	// request (see secure.go); the same site secret must be configured on
+	// the inner server and in client Configs.
+	Secret string
+
+	listener transport.Listener
+	nextBind int64
+	// Relay counters, updated atomically: handler goroutines on real TCP
+	// run concurrently.
+	connectRelays int64
+	bindRelays    int64
+	bytes         int64
+	mu            sync.Mutex // guards binds across TCP goroutines
+	binds         map[string]*outerBind
+	trace         func(format string, args ...interface{})
+}
+
+type outerBind struct {
+	id         string
+	clientAddr string // the bound client's private listener inside the site
+	public     transport.Listener
+	nextConn   int64
+}
+
+// NewOuterServer creates an outer server that will splice passive opens via
+// the inner server at innerAddr.
+func NewOuterServer(innerAddr string, relay RelayConfig) *OuterServer {
+	return &OuterServer{InnerAddr: innerAddr, Relay: relay, binds: make(map[string]*outerBind)}
+}
+
+// SetTrace installs a tracing callback used by the Figure 3/4 experiment
+// renderers.
+func (s *OuterServer) SetTrace(fn func(format string, args ...interface{})) { s.trace = fn }
+
+func (s *OuterServer) tracef(format string, args ...interface{}) {
+	if s.trace != nil {
+		s.trace(format, args...)
+	}
+}
+
+// Stats returns a snapshot of relay counters.
+func (s *OuterServer) Stats() Stats {
+	return Stats{
+		ConnectRelays: int(atomic.LoadInt64(&s.connectRelays)),
+		BindRelays:    int(atomic.LoadInt64(&s.bindRelays)),
+		Bytes:         atomic.LoadInt64(&s.bytes),
+	}
+}
+
+// Addr returns the control listener address once Serve has bound it.
+func (s *OuterServer) Addr() string { return s.listener.Addr() }
+
+// Serve binds the control port and runs the accept loop; it blocks its
+// process (start it under a daemon Spawn). port 0 picks an ephemeral port;
+// call Addr after Bound fires... to avoid a race, Serve accepts a ready
+// callback invoked after binding.
+func (s *OuterServer) Serve(env transport.Env, port int, ready func(addr string)) error {
+	l, err := env.Listen(port)
+	if err != nil {
+		return fmt.Errorf("proxy outer: listen: %w", err)
+	}
+	s.listener = l
+	if ready != nil {
+		ready(l.Addr())
+	}
+	for {
+		c, err := l.Accept(env)
+		if err != nil {
+			return nil // listener closed: normal shutdown
+		}
+		conn := c
+		env.SpawnService("outer:conn", func(e transport.Env) { s.handleControl(e, conn) })
+	}
+}
+
+// Close shuts down the control listener.
+func (s *OuterServer) Close(env transport.Env) {
+	if s.listener != nil {
+		_ = s.listener.Close(env)
+	}
+}
+
+// handleControl serves one client connection on the control port,
+// challenging it first when a site secret is configured.
+func (s *OuterServer) handleControl(env transport.Env, c transport.Conn) {
+	st := transport.Stream{Env: env, Conn: c}
+	var nonce string
+	if s.Secret != "" {
+		var err error
+		if nonce, err = issueChallenge(st); err != nil {
+			_ = c.Close(env)
+			return
+		}
+	}
+	typ, fields, err := readMsg(st)
+	if err != nil {
+		_ = c.Close(env)
+		return
+	}
+	if s.Secret != "" {
+		if fields, err = verifyProof(s.Secret, nonce, typ, fields); err != nil {
+			s.tracef("outer: rejected %s: %v", c.RemoteAddr(), err)
+			_ = writeMsg(st, msgError, "authentication failed")
+			_ = c.Close(env)
+			return
+		}
+	}
+	switch typ {
+	case msgConnect:
+		if len(fields) != 1 {
+			_ = writeMsg(st, msgError, "connect: want 1 field")
+			_ = c.Close(env)
+			return
+		}
+		s.handleConnect(env, c, fields[0])
+	case msgBind:
+		if len(fields) != 1 {
+			_ = writeMsg(st, msgError, "bind: want 1 field")
+			_ = c.Close(env)
+			return
+		}
+		s.handleBind(env, c, fields[0])
+	default:
+		_ = writeMsg(st, msgError, fmt.Sprintf("unexpected message %#x", typ))
+		_ = c.Close(env)
+	}
+}
+
+// handleConnect implements the active open (paper Figure 3): dial the
+// target on the client's behalf and relay.
+func (s *OuterServer) handleConnect(env transport.Env, c transport.Conn, target string) {
+	s.tracef("outer: connect request from %s for %s", c.RemoteAddr(), target)
+	st := transport.Stream{Env: env, Conn: c}
+	out, err := env.Dial(target)
+	if err != nil {
+		_ = writeMsg(st, msgError, fmt.Sprintf("dial %s: %v", target, err))
+		_ = c.Close(env)
+		return
+	}
+	if err := writeMsg(st, msgOK); err != nil {
+		_ = out.Close(env)
+		_ = c.Close(env)
+		return
+	}
+	atomic.AddInt64(&s.connectRelays, 1)
+	s.tracef("outer: relaying %s <-> %s", c.RemoteAddr(), target)
+	splice(env, "outer:relay", c, out, s.Relay, &s.bytes)
+}
+
+// handleBind implements the passive open registration (paper Figure 4,
+// steps 1-2): bind a public port, remember the client's private listener
+// address, and keep the control connection open until the client unbinds.
+func (s *OuterServer) handleBind(env transport.Env, c transport.Conn, clientAddr string) {
+	st := transport.Stream{Env: env, Conn: c}
+	public, err := env.Listen(0)
+	if err != nil {
+		_ = writeMsg(st, msgError, fmt.Sprintf("bind: %v", err))
+		_ = c.Close(env)
+		return
+	}
+	id := fmt.Sprintf("bind-%d", atomic.AddInt64(&s.nextBind, 1))
+	b := &outerBind{id: id, clientAddr: clientAddr, public: public}
+	s.mu.Lock()
+	s.binds[id] = b
+	s.mu.Unlock()
+	s.tracef("outer: bind %s for client %s -> public %s", id, clientAddr, public.Addr())
+	if err := writeMsg(st, msgBindOK, public.Addr(), id); err != nil {
+		_ = public.Close(env)
+		_ = c.Close(env)
+		return
+	}
+	env.SpawnService("outer:"+id, func(e transport.Env) { s.acceptPublic(e, b) })
+	// Hold the control connection; any message or EOF tears the bind down.
+	for {
+		typ, _, err := readMsg(st)
+		if err != nil || typ == msgUnbind {
+			break
+		}
+	}
+	s.mu.Lock()
+	delete(s.binds, id)
+	s.mu.Unlock()
+	_ = public.Close(env)
+	_ = c.Close(env)
+	s.tracef("outer: unbind %s", id)
+}
+
+// acceptPublic completes the passive-open chain for each remote peer (paper
+// Figure 4, steps 3-5): peer connects to the public port, the outer server
+// connects to the inner server through the pre-opened nxport and asks it to
+// splice toward the client's private listener.
+func (s *OuterServer) acceptPublic(env transport.Env, b *outerBind) {
+	for {
+		peer, err := b.public.Accept(env)
+		if err != nil {
+			return
+		}
+		pc := peer
+		env.SpawnService("outer:"+b.id+":peer", func(e transport.Env) {
+			connID := fmt.Sprintf("%s/conn-%d", b.id, atomic.AddInt64(&b.nextConn, 1))
+			s.tracef("outer: peer %s for %s; splicing via inner %s", pc.RemoteAddr(), b.id, s.InnerAddr)
+			in, err := e.Dial(s.InnerAddr)
+			if err != nil {
+				_ = pc.Close(e)
+				return
+			}
+			ist := transport.Stream{Env: e, Conn: in}
+			if err := sendAuthedRequest(ist, s.Secret, msgSplice, b.clientAddr, connID); err != nil {
+				_ = in.Close(e)
+				_ = pc.Close(e)
+				return
+			}
+			if _, err := expect(ist, msgOK); err != nil {
+				_ = in.Close(e)
+				_ = pc.Close(e)
+				return
+			}
+			atomic.AddInt64(&s.bindRelays, 1)
+			splice(e, "outer:"+connID, pc, in, s.Relay, &s.bytes)
+		})
+	}
+}

@@ -1,0 +1,130 @@
+// Package proxy implements the Nexus Proxy, the paper's mechanism for
+// establishing TCP communication links beyond a deny-based firewall.
+//
+// Two relay daemons cooperate:
+//
+//   - the outer server runs outside the firewall and accepts both relay
+//     requests from clients inside the site and connections from remote
+//     processes;
+//   - the inner server runs inside the firewall and listens on a single
+//     pre-opened port (the nxport) reachable only from the outer server —
+//     the one hole a site must punch for the whole system to work.
+//
+// A process inside the firewall uses three library calls in place of the
+// socket primitives (paper Table 1):
+//
+//   - NXProxyConnect sends a connect request to the outer server and returns
+//     a stream to the destination (active open, paper Figure 3);
+//   - NXProxyBind sends a bind request; the outer server binds a public port
+//     and returns its address, which is what gets advertised to peers;
+//   - NXProxyAccept accepts a connection on the port returned by
+//     NXProxyBind; the chain runs peer → outer server → inner server →
+//     client (passive open, paper Figure 4).
+//
+// The paper contrasts this with SOCKS, which cannot relay passive opens, and
+// with the Globus 1.1 port-range escape hatch, which degrades a deny-based
+// firewall into an allow-based one.
+package proxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message types on the proxy control channel.
+const (
+	// msgConnect (client → outer): fields [targetAddr]. Requests an active
+	// open; on msgOK the control connection becomes the relayed stream.
+	msgConnect = byte(0x01)
+	// msgBind (client → outer): fields [clientLocalAddr]. Requests a
+	// passive open relay for the client's private listener.
+	msgBind = byte(0x02)
+	// msgBindOK (outer → client): fields [publicAddr, bindID].
+	msgBindOK = byte(0x03)
+	// msgOK: success, no fields.
+	msgOK = byte(0x04)
+	// msgError: fields [message].
+	msgError = byte(0x05)
+	// msgSplice (outer → inner): fields [targetLocalAddr, connID]. Asks the
+	// inner server to complete the chain toward the bound client.
+	msgSplice = byte(0x06)
+	// msgAccept (inner → client): fields [connID]. Preamble on the local
+	// leg delivered to NXProxyAccept.
+	msgAccept = byte(0x07)
+	// msgUnbind (client → outer): no fields. Releases a bind.
+	msgUnbind = byte(0x08)
+)
+
+// maxFieldLen bounds a single protocol field on the wire.
+const maxFieldLen = 4096
+
+// ErrProtocol reports a malformed proxy message.
+var ErrProtocol = errors.New("proxy: protocol error")
+
+// writeMsg frames a control message: [type:1][nfields:1]([len:2][bytes])*.
+func writeMsg(w io.Writer, typ byte, fields ...string) error {
+	if len(fields) > 255 {
+		return fmt.Errorf("%w: too many fields", ErrProtocol)
+	}
+	buf := []byte{typ, byte(len(fields))}
+	for _, f := range fields {
+		if len(f) > maxFieldLen {
+			return fmt.Errorf("%w: field too long (%d)", ErrProtocol, len(f))
+		}
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(f)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, f...)
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readMsg parses one framed control message.
+func readMsg(r io.Reader) (typ byte, fields []string, err error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	n := int(hdr[1])
+	fields = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var l [2]byte
+		if _, err := io.ReadFull(r, l[:]); err != nil {
+			return 0, nil, fmt.Errorf("%w: truncated field length: %v", ErrProtocol, err)
+		}
+		fl := int(binary.BigEndian.Uint16(l[:]))
+		if fl > maxFieldLen {
+			return 0, nil, fmt.Errorf("%w: field length %d exceeds limit", ErrProtocol, fl)
+		}
+		b := make([]byte, fl)
+		if _, err := io.ReadFull(r, b); err != nil {
+			return 0, nil, fmt.Errorf("%w: truncated field: %v", ErrProtocol, err)
+		}
+		fields = append(fields, string(b))
+	}
+	return typ, fields, nil
+}
+
+// expect reads a message and verifies its type, unwrapping msgError replies
+// into Go errors.
+func expect(r io.Reader, want byte) ([]string, error) {
+	typ, fields, err := readMsg(r)
+	if err != nil {
+		return nil, err
+	}
+	if typ == msgError {
+		msg := "unknown"
+		if len(fields) > 0 {
+			msg = fields[0]
+		}
+		return nil, fmt.Errorf("proxy: remote error: %s", msg)
+	}
+	if typ != want {
+		return nil, fmt.Errorf("%w: got message type %#x, want %#x", ErrProtocol, typ, want)
+	}
+	return fields, nil
+}

@@ -1,0 +1,132 @@
+package proxy
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMsgRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeMsg(&buf, msgSplice, "host:1234", "bind-1/conn-2"); err != nil {
+		t.Fatal(err)
+	}
+	typ, fields, err := readMsg(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgSplice {
+		t.Fatalf("type = %#x, want %#x", typ, msgSplice)
+	}
+	if len(fields) != 2 || fields[0] != "host:1234" || fields[1] != "bind-1/conn-2" {
+		t.Fatalf("fields = %v", fields)
+	}
+}
+
+func TestMsgNoFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeMsg(&buf, msgOK); err != nil {
+		t.Fatal(err)
+	}
+	typ, fields, err := readMsg(&buf)
+	if err != nil || typ != msgOK || len(fields) != 0 {
+		t.Fatalf("typ=%#x fields=%v err=%v", typ, fields, err)
+	}
+}
+
+func TestMsgFieldTooLong(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeMsg(&buf, msgConnect, strings.Repeat("x", maxFieldLen+1))
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestReadMsgTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	_ = writeMsg(&buf, msgConnect, "target:80")
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, _, err := readMsg(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestReadMsgRejectsOversizedField(t *testing.T) {
+	// Hand-craft a header claiming a field longer than the limit.
+	raw := []byte{msgConnect, 1, 0xFF, 0xFF}
+	_, _, err := readMsg(bytes.NewReader(raw))
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestExpectUnwrapsRemoteError(t *testing.T) {
+	var buf bytes.Buffer
+	_ = writeMsg(&buf, msgError, "dial refused")
+	_, err := expect(&buf, msgOK)
+	if err == nil || !strings.Contains(err.Error(), "dial refused") {
+		t.Fatalf("err = %v, want remote error text", err)
+	}
+}
+
+func TestExpectWrongType(t *testing.T) {
+	var buf bytes.Buffer
+	_ = writeMsg(&buf, msgBindOK, "a:1", "id")
+	_, err := expect(&buf, msgOK)
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestExpectEOF(t *testing.T) {
+	_, err := expect(bytes.NewReader(nil), msgOK)
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+// Property: any message with fields under the limit round-trips exactly.
+func TestQuickMsgRoundTrip(t *testing.T) {
+	prop := func(typ byte, f1, f2, f3 string) bool {
+		fields := []string{f1, f2, f3}
+		for i := range fields {
+			if len(fields[i]) > maxFieldLen {
+				fields[i] = fields[i][:maxFieldLen]
+			}
+		}
+		var buf bytes.Buffer
+		if err := writeMsg(&buf, typ, fields...); err != nil {
+			return false
+		}
+		gotTyp, got, err := readMsg(&buf)
+		if err != nil || gotTyp != typ || len(got) != 3 {
+			return false
+		}
+		for i := range fields {
+			if got[i] != fields[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelayConfigDefaults(t *testing.T) {
+	var c RelayConfig
+	if c.bufBytes() != 4096 {
+		t.Fatalf("default buffer = %d, want 4096", c.bufBytes())
+	}
+	c.BufBytes = 128
+	if c.bufBytes() != 128 {
+		t.Fatalf("buffer = %d, want 128", c.bufBytes())
+	}
+}

@@ -1,0 +1,264 @@
+package proxy
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"nxcluster/internal/firewall"
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+	"nxcluster/internal/transport"
+)
+
+// buildFirewalledSite creates the paper's minimal scenario:
+//
+//	pa (site rwcp) -- gateway -- outer -- pb
+//	inner (site rwcp) -- gateway
+//
+// The rwcp firewall denies incoming except nxport 7010 (outer -> inner) and
+// allows all outgoing.
+func buildFirewalledSite(k *sim.Kernel) *simnet.Network {
+	n := simnet.New(k)
+	n.AddHost("pa", simnet.HostConfig{Site: "rwcp"})
+	n.AddHost("inner", simnet.HostConfig{Site: "rwcp"})
+	n.AddRouter("gw", "rwcp")
+	n.AddHost("outer", simnet.HostConfig{})
+	n.AddHost("pb", simnet.HostConfig{})
+	lan := simnet.LinkConfig{Latency: 200 * time.Microsecond, Bandwidth: 12 << 20}
+	wan := simnet.LinkConfig{Latency: 2 * time.Millisecond, Bandwidth: 12 << 20}
+	n.Connect("pa", "gw", lan)
+	n.Connect("inner", "gw", lan)
+	n.Connect("gw", "outer", lan)
+	n.Connect("outer", "pb", wan)
+	fw := firewall.New("rwcp")
+	fw.AllowIncomingPort(7010, "nxport")
+	n.SetFirewall("rwcp", fw)
+	return n
+}
+
+// startSimProxy boots the proxy daemons on the outer/inner hosts.
+func startSimProxy(n *simnet.Network, relay RelayConfig) Config {
+	inner := NewInnerServer(relay)
+	n.Node("inner").SpawnDaemonOn("inner-server", func(env transport.Env) {
+		_ = inner.Serve(env, 7010, nil)
+	})
+	outer := NewOuterServer("inner:7010", relay)
+	n.Node("outer").SpawnDaemonOn("outer-server", func(env transport.Env) {
+		_ = outer.Serve(env, 7000, nil)
+	})
+	return Config{OuterServer: "outer:7000", InnerServer: "inner:7010"}
+}
+
+func TestSimDirectDialBlockedByFirewall(t *testing.T) {
+	k := sim.New()
+	n := buildFirewalledSite(k)
+	var err error
+	n.Node("pa").SpawnDaemonOn("pa-listen", func(env transport.Env) {
+		l, _ := env.Listen(4000)
+		_, _ = l.Accept(env)
+	})
+	n.Node("pb").SpawnOn("pb-dial", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		_, err = env.Dial("pa:4000")
+	})
+	if e := k.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if !errors.Is(err, transport.ErrFirewallDenied) {
+		t.Fatalf("direct inbound dial = %v, want ErrFirewallDenied", err)
+	}
+	k.Shutdown()
+}
+
+func TestSimPassiveChainBeyondFirewall(t *testing.T) {
+	// Paper Figure 4: PA (inside) binds via the proxy; PB (outside) connects
+	// to the advertised outer address; data flows PB <-> outer <-> inner <-> PA.
+	k := sim.New()
+	n := buildFirewalledSite(k)
+	cfg := startSimProxy(n, RelayConfig{})
+
+	var reply string
+	var acceptedFrom string
+	n.Node("pa").SpawnDaemonOn("pa", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		pl, err := NXProxyBind(env, cfg)
+		if err != nil {
+			t.Errorf("NXProxyBind: %v", err)
+			return
+		}
+		// Advertise pl.Addr() out of band (the sim test reads it directly).
+		advertised <- pl.Addr()
+		c, err := NXProxyAccept(env, pl)
+		if err != nil {
+			t.Errorf("NXProxyAccept: %v", err)
+			return
+		}
+		acceptedFrom = c.RemoteAddr()
+		st := transport.Stream{Env: env, Conn: c}
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(st, buf); err != nil {
+			t.Errorf("pa read: %v", err)
+			return
+		}
+		_, _ = st.Write([]byte("pong-" + string(buf)))
+	})
+	n.Node("pb").SpawnOn("pb", func(env transport.Env) {
+		addr := <-advertisedRecv(env)
+		c, err := env.Dial(addr)
+		if err != nil {
+			t.Errorf("pb dial %s: %v", addr, err)
+			return
+		}
+		st := transport.Stream{Env: env, Conn: c}
+		_, _ = st.Write([]byte("42"))
+		buf := make([]byte, 7)
+		if _, err := io.ReadFull(st, buf); err != nil {
+			t.Errorf("pb read: %v", err)
+			return
+		}
+		reply = string(buf)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if reply != "pong-42" {
+		t.Fatalf("reply = %q, want pong-42", reply)
+	}
+	if acceptedFrom == "" {
+		t.Fatal("PA never accepted")
+	}
+}
+
+// advertised passes the proxy public address between simulated processes in
+// tests. A buffered Go channel is safe here because the kernel runs one
+// process at a time.
+var advertised = make(chan string, 1)
+
+func advertisedRecv(env transport.Env) chan string {
+	// Busy-wait in virtual time until the address is posted.
+	for len(advertised) == 0 {
+		env.Sleep(time.Millisecond)
+	}
+	return advertised
+}
+
+func TestSimActiveConnectBeyondFirewall(t *testing.T) {
+	// Paper Figure 3: PA (inside) reaches PB (outside) via NXProxyConnect;
+	// the relay chain is PA <-> outer <-> PB.
+	k := sim.New()
+	n := buildFirewalledSite(k)
+	cfg := startSimProxy(n, RelayConfig{})
+
+	var got string
+	n.Node("pb").SpawnDaemonOn("pb", func(env transport.Env) {
+		l, _ := env.Listen(5000)
+		c, err := l.Accept(env)
+		if err != nil {
+			return
+		}
+		st := transport.Stream{Env: env, Conn: c}
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(st, buf); err == nil {
+			got = string(buf)
+		}
+	})
+	n.Node("pa").SpawnOn("pa", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		c, err := NXProxyConnect(env, cfg, "pb:5000")
+		if err != nil {
+			t.Errorf("NXProxyConnect: %v", err)
+			return
+		}
+		_, _ = c.Write(env, []byte("hello"))
+		env.Sleep(50 * time.Millisecond)
+		_ = c.Close(env)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if got != "hello" {
+		t.Fatalf("pb got %q, want hello", got)
+	}
+}
+
+func TestSimIndirectLatencyExceedsDirect(t *testing.T) {
+	// With a relay processing cost configured, the proxied round trip must
+	// be several times the direct round trip — the paper's Table 2 effect.
+	measure := func(relay RelayConfig, viaProxy bool) time.Duration {
+		k := sim.New()
+		n := buildFirewalledSite(k)
+		// For the direct case the paper "temporarily changed the firewall
+		// configuration"; do the same.
+		if !viaProxy {
+			n.Firewall("rwcp").AllowIncomingRange(1, 65535, "temporary: direct measurement")
+		}
+		cfg := startSimProxy(n, relay)
+		var rtt time.Duration
+		n.Node("pa").SpawnDaemonOn("pa", func(env transport.Env) {
+			env.Sleep(time.Millisecond)
+			var l transport.Listener
+			var err error
+			if viaProxy {
+				l, err = NXProxyBind(env, cfg)
+			} else {
+				l, err = env.Listen(4000)
+			}
+			if err != nil {
+				t.Errorf("bind: %v", err)
+				return
+			}
+			advertised <- l.Addr()
+			c, err := l.Accept(env)
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 1)
+			for {
+				if _, err := c.Read(env, buf); err != nil {
+					return
+				}
+				if _, err := c.Write(env, buf); err != nil {
+					return
+				}
+			}
+		})
+		n.Node("pb").SpawnOn("pb", func(env transport.Env) {
+			addr := <-advertisedRecv(env)
+			c, err := env.Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			buf := make([]byte, 1)
+			start := env.Now()
+			const rounds = 4
+			for i := 0; i < rounds; i++ {
+				_, _ = c.Write(env, buf)
+				if _, err := io.ReadFull(transport.Stream{Env: env, Conn: c}, buf); err != nil {
+					t.Errorf("pingpong: %v", err)
+					return
+				}
+			}
+			rtt = (env.Now() - start) / rounds
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		k.Shutdown()
+		return rtt
+	}
+
+	relay := RelayConfig{PerBuffer: 5 * time.Millisecond}
+	direct := measure(relay, false)
+	indirect := measure(relay, true)
+	if direct <= 0 || indirect <= 0 {
+		t.Fatalf("rtt direct=%v indirect=%v", direct, indirect)
+	}
+	if indirect < 3*direct {
+		t.Fatalf("indirect RTT %v not >> direct %v", indirect, direct)
+	}
+}

@@ -1,0 +1,161 @@
+package proxy
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"nxcluster/internal/transport"
+)
+
+// startSecureTCPProxy boots an authenticated outer/inner pair.
+func startSecureTCPProxy(t *testing.T, secret string) Config {
+	t.Helper()
+	env := transport.NewTCPEnv("localhost")
+
+	inner := NewInnerServer(RelayConfig{})
+	inner.Secret = secret
+	innerReady := make(chan string, 1)
+	env.Spawn("inner", func(e transport.Env) {
+		_ = inner.Serve(e, 0, func(a string) { innerReady <- a })
+	})
+	innerAddr := <-innerReady
+
+	outer := NewOuterServer(innerAddr, RelayConfig{})
+	outer.Secret = secret
+	outerReady := make(chan string, 1)
+	env.Spawn("outer", func(e transport.Env) {
+		_ = outer.Serve(e, 0, func(a string) { outerReady <- a })
+	})
+	outerAddr := <-outerReady
+
+	t.Cleanup(func() {
+		outer.Close(env)
+		inner.Close(env)
+	})
+	return Config{OuterServer: outerAddr, InnerServer: innerAddr, Secret: secret}
+}
+
+func TestSecureActiveConnect(t *testing.T) {
+	cfg := startSecureTCPProxy(t, "site-secret-42")
+	env := transport.NewTCPEnv("localhost")
+	dst, err := env.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close(env)
+	env.Spawn("pb", func(e transport.Env) {
+		c, err := dst.Accept(e)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(transport.Stream{Env: e, Conn: c}, buf); err == nil {
+			_, _ = c.Write(e, buf)
+		}
+	})
+	c, err := NXProxyConnect(env, cfg, dst.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close(env)
+	if _, err := c.Write(env, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(transport.Stream{Env: env, Conn: c}, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("echo = %q", buf)
+	}
+}
+
+func TestSecurePassiveChain(t *testing.T) {
+	// The outer -> inner splice leg must also authenticate.
+	cfg := startSecureTCPProxy(t, "site-secret-42")
+	envA := transport.NewTCPEnv("localhost")
+	envB := transport.NewTCPEnv("localhost")
+	pl, err := NXProxyBind(envA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close(envA)
+	done := make(chan error, 1)
+	envA.Spawn("pa", func(e transport.Env) {
+		c, err := pl.Accept(e)
+		if err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(transport.Stream{Env: e, Conn: c}, buf); err != nil {
+			done <- err
+			return
+		}
+		_, _ = c.Write(e, buf)
+		done <- nil
+	})
+	c, err := envB.Dial(pl.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(envB, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(transport.Stream{Env: envB, Conn: c}, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrongSecretRejected(t *testing.T) {
+	cfg := startSecureTCPProxy(t, "right-secret")
+	env := transport.NewTCPEnv("localhost")
+	bad := cfg
+	bad.Secret = "wrong-secret"
+	_, err := NXProxyConnect(env, bad, "localhost:1")
+	if err == nil || !strings.Contains(err.Error(), "authentication failed") {
+		t.Fatalf("connect with wrong secret = %v", err)
+	}
+	if _, err := NXProxyBind(env, bad); err == nil {
+		t.Fatal("bind with wrong secret succeeded")
+	}
+}
+
+func TestMissingSecretRejected(t *testing.T) {
+	cfg := startSecureTCPProxy(t, "right-secret")
+	env := transport.NewTCPEnv("localhost")
+	// A client that does not even expect the challenge: its request bytes
+	// cannot satisfy the proof check.
+	open := cfg
+	open.Secret = ""
+	if _, err := NXProxyConnect(env, open, "localhost:1"); err == nil {
+		t.Fatal("secretless connect to authenticated server succeeded")
+	}
+}
+
+func TestProveRequestDeterministicAndSensitive(t *testing.T) {
+	a := proveRequest("s", "nonce", msgConnect, []string{"host:1"})
+	b := proveRequest("s", "nonce", msgConnect, []string{"host:1"})
+	if a != b {
+		t.Fatal("proof not deterministic")
+	}
+	for _, other := range []string{
+		proveRequest("x", "nonce", msgConnect, []string{"host:1"}),
+		proveRequest("s", "other", msgConnect, []string{"host:1"}),
+		proveRequest("s", "nonce", msgBind, []string{"host:1"}),
+		proveRequest("s", "nonce", msgConnect, []string{"host:2"}),
+	} {
+		if a == other {
+			t.Fatal("proof not sensitive to all inputs")
+		}
+	}
+	// Field-boundary ambiguity must change the proof.
+	if proveRequest("s", "n", msgSplice, []string{"ab", "c"}) == proveRequest("s", "n", msgSplice, []string{"a", "bc"}) {
+		t.Fatal("proof ambiguous across field boundaries")
+	}
+}

@@ -1,0 +1,118 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+// TestManyConcurrentRelaysInSim pushes 32 simultaneous proxied connections
+// (16 active opens + 16 passive-chain peers) through one outer/inner pair
+// and verifies every byte arrives on the right stream.
+func TestManyConcurrentRelaysInSim(t *testing.T) {
+	k := sim.New()
+	n := buildFirewalledSite(k)
+	cfg := startSimProxy(n, RelayConfig{PerBuffer: time.Millisecond})
+
+	const conns = 16
+	okActive := make([]bool, conns)
+	okPassive := make([]bool, conns)
+
+	// Passive side: PA binds one proxied listener and accepts 16 peers,
+	// echoing each peer's id back.
+	addrCh := make(chan string, 1)
+	n.Node("pa").SpawnDaemonOn("pa-bind", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		pl, err := NXProxyBind(env, cfg)
+		if err != nil {
+			t.Errorf("bind: %v", err)
+			return
+		}
+		addrCh <- pl.Addr()
+		for {
+			c, err := pl.Accept(env)
+			if err != nil {
+				return
+			}
+			cc := c
+			env.Spawn("pa-echo", func(e transport.Env) {
+				buf := make([]byte, 1)
+				if _, err := io.ReadFull(transport.Stream{Env: e, Conn: cc}, buf); err == nil {
+					_, _ = cc.Write(e, buf)
+				}
+			})
+		}
+	})
+	// PB hosts a plain echo server for the active opens.
+	n.Node("pb").SpawnDaemonOn("pb-echo", func(env transport.Env) {
+		l, _ := env.Listen(5000)
+		for {
+			c, err := l.Accept(env)
+			if err != nil {
+				return
+			}
+			cc := c
+			env.Spawn("pb-conn", func(e transport.Env) {
+				buf := make([]byte, 1)
+				if _, err := io.ReadFull(transport.Stream{Env: e, Conn: cc}, buf); err == nil {
+					_, _ = cc.Write(e, buf)
+				}
+			})
+		}
+	})
+
+	for i := 0; i < conns; i++ {
+		i := i
+		// Active: PA-side client through NXProxyConnect.
+		n.Node("pa").SpawnOn(fmt.Sprintf("active-%d", i), func(env transport.Env) {
+			env.Sleep(2 * time.Millisecond)
+			c, err := NXProxyConnect(env, cfg, "pb:5000")
+			if err != nil {
+				t.Errorf("active %d: %v", i, err)
+				return
+			}
+			id := []byte{byte(i)}
+			_, _ = c.Write(env, id)
+			buf := make([]byte, 1)
+			if _, err := io.ReadFull(transport.Stream{Env: env, Conn: c}, buf); err == nil && buf[0] == byte(i) {
+				okActive[i] = true
+			}
+			_ = c.Close(env)
+		})
+		// Passive: PB-side peer dialing the advertised address.
+		n.Node("pb").SpawnOn(fmt.Sprintf("peer-%d", i), func(env transport.Env) {
+			for len(addrCh) == 0 {
+				env.Sleep(time.Millisecond)
+			}
+			addr := <-addrCh
+			addrCh <- addr // put back for the other peers
+			c, err := env.Dial(addr)
+			if err != nil {
+				t.Errorf("peer %d: %v", i, err)
+				return
+			}
+			id := []byte{byte(100 + i)}
+			_, _ = c.Write(env, id)
+			buf := make([]byte, 1)
+			if _, err := io.ReadFull(transport.Stream{Env: env, Conn: c}, buf); err == nil && buf[0] == byte(100+i) {
+				okPassive[i] = true
+			}
+			_ = c.Close(env)
+		})
+	}
+
+	k.RunUntil(30 * time.Second)
+	k.Shutdown()
+	for i := 0; i < conns; i++ {
+		if !okActive[i] {
+			t.Errorf("active conn %d failed", i)
+		}
+		if !okPassive[i] {
+			t.Errorf("passive conn %d failed", i)
+		}
+	}
+}

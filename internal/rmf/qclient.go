@@ -1,0 +1,253 @@
+package rmf
+
+import (
+	"fmt"
+	"time"
+
+	"nxcluster/internal/nexus"
+	"nxcluster/internal/transport"
+)
+
+// roundTrip sends one framed request and reads the status-prefixed reply.
+func roundTrip(env transport.Env, addr string, req *nexus.Buffer) (*nexus.Buffer, error) {
+	c, err := env.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("rmf: dial %s: %w", addr, err)
+	}
+	defer c.Close(env)
+	st := transport.Stream{Env: env, Conn: c}
+	if err := nexus.WriteFrame(st, req); err != nil {
+		return nil, err
+	}
+	resp, err := nexus.ReadFrame(st, 0)
+	if err != nil {
+		return nil, err
+	}
+	ok, err := resp.GetBool()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		msg, _ := resp.GetString()
+		return nil, fmt.Errorf("rmf: %s: %s", addr, msg)
+	}
+	return resp, nil
+}
+
+// RegisterResource announces a Q server to the allocator.
+func RegisterResource(env transport.Env, allocatorAddr, name, addr, cluster string, cpus int) error {
+	req := nexus.NewBuffer()
+	req.PutInt32(opRegister)
+	req.PutString(name)
+	req.PutString(addr)
+	req.PutString(cluster)
+	req.PutInt32(int32(cpus))
+	_, err := roundTrip(env, allocatorAddr, req)
+	return err
+}
+
+// Allocate asks the allocator for count process slots (Figure 2 steps 3-4:
+// "the Q client inquires of a resource allocator which resources are best";
+// "a resource allocator selects resources and reports their names").
+// cluster filters to one cluster ("" = any).
+func Allocate(env transport.Env, allocatorAddr string, count int, cluster string) (names, addrs []string, err error) {
+	req := nexus.NewBuffer()
+	req.PutInt32(opAlloc)
+	req.PutInt32(int32(count))
+	req.PutString(cluster)
+	resp, err := roundTrip(env, allocatorAddr, req)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, err := resp.GetInt32()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := int32(0); i < n; i++ {
+		name, e1 := resp.GetString()
+		addr, e2 := resp.GetString()
+		if e1 != nil || e2 != nil {
+			return nil, nil, fmt.Errorf("rmf: malformed alloc reply")
+		}
+		names = append(names, name)
+		addrs = append(addrs, addr)
+	}
+	return names, addrs, nil
+}
+
+// Release returns allocated slots.
+func Release(env transport.Env, allocatorAddr string, names []string) error {
+	req := nexus.NewBuffer()
+	req.PutInt32(opRelease)
+	req.PutInt32(int32(len(names)))
+	for _, n := range names {
+		req.PutString(n)
+	}
+	_, err := roundTrip(env, allocatorAddr, req)
+	return err
+}
+
+// ProcessSpec describes one job process to run.
+type ProcessSpec struct {
+	// Executable is the registered program name.
+	Executable string
+	// Args are program arguments.
+	Args []string
+	// Env carries environment variables.
+	Env map[string]string
+	// StdinURL optionally stages an input file (x-gass URL).
+	StdinURL string
+	// StdoutURL optionally receives the output (x-gass URL).
+	StdoutURL string
+}
+
+// Submit sends one process to a Q server (Figure 2 step 5) and returns the
+// job id.
+func Submit(env transport.Env, qserverAddr string, spec ProcessSpec) (string, error) {
+	req := nexus.NewBuffer()
+	req.PutInt32(opSubmit)
+	req.PutString(spec.Executable)
+	req.PutInt32(int32(len(spec.Args)))
+	for _, a := range spec.Args {
+		req.PutString(a)
+	}
+	req.PutInt32(int32(len(spec.Env)))
+	for k, v := range spec.Env {
+		req.PutString(k)
+		req.PutString(v)
+	}
+	req.PutString(spec.StdinURL)
+	req.PutString(spec.StdoutURL)
+	resp, err := roundTrip(env, qserverAddr, req)
+	if err != nil {
+		return "", err
+	}
+	return resp.GetString()
+}
+
+// Status queries one job's state.
+func Status(env transport.Env, qserverAddr, jobID string) (State, string, error) {
+	req := nexus.NewBuffer()
+	req.PutInt32(opStatus)
+	req.PutString(jobID)
+	resp, err := roundTrip(env, qserverAddr, req)
+	if err != nil {
+		return StateFailed, "", err
+	}
+	s, err := resp.GetInt32()
+	if err != nil {
+		return StateFailed, "", err
+	}
+	msg, err := resp.GetString()
+	if err != nil {
+		return StateFailed, "", err
+	}
+	return State(s), msg, nil
+}
+
+// Process is one submitted process of a job.
+type Process struct {
+	// Resource is the executing resource's name.
+	Resource string
+	// QServerAddr is its Q server address.
+	QServerAddr string
+	// JobID is the Q server's id for this process.
+	JobID string
+}
+
+// JobHandle tracks a multi-process RMF job.
+type JobHandle struct {
+	// AllocatorAddr is where slots were allocated.
+	AllocatorAddr string
+	// Processes are the submitted processes.
+	Processes []Process
+	released  bool
+}
+
+// JobRequest is a whole-job submission: count processes of one spec.
+type JobRequest struct {
+	// Count is the number of processes.
+	Count int
+	// Cluster restricts allocation ("" = any).
+	Cluster string
+	// Spec is the per-process specification. StdoutURL, when set, receives
+	// a "#<index>" suffix per process so outputs do not collide.
+	Spec ProcessSpec
+}
+
+// SubmitJob runs the Q client side of Figure 2: allocate resources, then
+// submit each process to its Q server.
+func SubmitJob(env transport.Env, allocatorAddr string, req JobRequest) (*JobHandle, error) {
+	if req.Count <= 0 {
+		return nil, fmt.Errorf("rmf: job count must be positive")
+	}
+	names, addrs, err := Allocate(env, allocatorAddr, req.Count, req.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	h := &JobHandle{AllocatorAddr: allocatorAddr}
+	for i := range names {
+		spec := req.Spec
+		if spec.StdoutURL != "" && req.Count > 1 {
+			spec.StdoutURL = fmt.Sprintf("%s#%d", spec.StdoutURL, i)
+		}
+		id, err := Submit(env, addrs[i], spec)
+		if err != nil {
+			// Best-effort cleanup of already-claimed slots.
+			_ = Release(env, allocatorAddr, names)
+			return nil, fmt.Errorf("rmf: submit to %s: %w", names[i], err)
+		}
+		h.Processes = append(h.Processes, Process{Resource: names[i], QServerAddr: addrs[i], JobID: id})
+	}
+	return h, nil
+}
+
+// Wait polls until every process reaches a terminal state or the timeout
+// expires, then releases the allocation. It returns the first failure.
+func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	deadline := env.Now() + timeout
+	var firstErr error
+	for _, p := range h.Processes {
+		for {
+			state, msg, err := Status(env, p.QServerAddr, p.JobID)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if state == StateDone {
+				break
+			}
+			if state == StateFailed {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rmf: job %s on %s failed: %s", p.JobID, p.Resource, msg)
+				}
+				break
+			}
+			if timeout > 0 && env.Now() > deadline {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("rmf: job %s on %s timed out in state %s", p.JobID, p.Resource, state)
+				}
+				break
+			}
+			env.Sleep(poll)
+		}
+	}
+	h.ReleaseSlots(env)
+	return firstErr
+}
+
+// ReleaseSlots returns the job's allocator slots (idempotent).
+func (h *JobHandle) ReleaseSlots(env transport.Env) {
+	if h.released {
+		return
+	}
+	h.released = true
+	names := make([]string, len(h.Processes))
+	for i, p := range h.Processes {
+		names[i] = p.Resource
+	}
+	_ = Release(env, h.AllocatorAddr, names)
+}

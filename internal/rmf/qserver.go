@@ -1,0 +1,239 @@
+package rmf
+
+import (
+	"fmt"
+	"sync"
+
+	"nxcluster/internal/gass"
+	"nxcluster/internal/nexus"
+	"nxcluster/internal/transport"
+)
+
+// Q server wire ops.
+const (
+	opSubmit = int32(10)
+	opStatus = int32(11)
+)
+
+// jobRecord tracks one submitted process on a Q server.
+type jobRecord struct {
+	id     string
+	state  State
+	errMsg string
+}
+
+// QServer executes job processes on one computing resource. It corresponds
+// to "a server of the Q system runs on every computing resource inside the
+// firewall".
+type QServer struct {
+	// Resource is this resource's name (its host).
+	Resource string
+	// Cluster labels the resource's cluster for allocation filtering.
+	Cluster string
+	// CPUs is the advertised processor count.
+	CPUs int
+	// Registry resolves executable names.
+	Registry *Registry
+
+	mu       sync.Mutex
+	nextID   int
+	jobs     map[string]*jobRecord
+	listener transport.Listener
+	trace    func(format string, args ...interface{})
+}
+
+// NewQServer creates a Q server for a resource.
+func NewQServer(resource, cluster string, cpus int, reg *Registry) *QServer {
+	return &QServer{
+		Resource: resource,
+		Cluster:  cluster,
+		CPUs:     cpus,
+		Registry: reg,
+		jobs:     make(map[string]*jobRecord),
+	}
+}
+
+// SetTrace installs a tracing callback.
+func (q *QServer) SetTrace(fn func(string, ...interface{})) { q.trace = fn }
+
+func (q *QServer) tracef(format string, args ...interface{}) {
+	if q.trace != nil {
+		q.trace(format, args...)
+	}
+}
+
+// Serve binds the Q server port and also registers with the allocator at
+// allocatorAddr (empty to skip); it blocks its process.
+func (q *QServer) Serve(env transport.Env, port int, allocatorAddr string, ready func(addr string)) error {
+	l, err := env.Listen(port)
+	if err != nil {
+		return fmt.Errorf("rmf qserver %s: listen: %w", q.Resource, err)
+	}
+	q.listener = l
+	if allocatorAddr != "" {
+		if err := RegisterResource(env, allocatorAddr, q.Resource, l.Addr(), q.Cluster, q.CPUs); err != nil {
+			_ = l.Close(env)
+			return fmt.Errorf("rmf qserver %s: register: %w", q.Resource, err)
+		}
+	}
+	if ready != nil {
+		ready(l.Addr())
+	}
+	for {
+		c, err := l.Accept(env)
+		if err != nil {
+			return nil
+		}
+		conn := c
+		env.SpawnService("qserver:conn", func(e transport.Env) { q.handle(e, conn) })
+	}
+}
+
+// Close shuts the listener down.
+func (q *QServer) Close(env transport.Env) {
+	if q.listener != nil {
+		_ = q.listener.Close(env)
+	}
+}
+
+// JobCount reports how many jobs this Q server has accepted.
+func (q *QServer) JobCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+func (q *QServer) handle(env transport.Env, c transport.Conn) {
+	defer c.Close(env)
+	st := transport.Stream{Env: env, Conn: c}
+	req, err := nexus.ReadFrame(st, 0)
+	if err != nil {
+		return
+	}
+	op, err := req.GetInt32()
+	if err != nil {
+		return
+	}
+	resp := nexus.NewBuffer()
+	switch op {
+	case opSubmit:
+		q.handleSubmit(env, req, resp)
+	case opStatus:
+		id, err := req.GetString()
+		if err != nil {
+			putErr(resp, err)
+			break
+		}
+		q.mu.Lock()
+		rec, ok := q.jobs[id]
+		var state State
+		var msg string
+		if ok {
+			state, msg = rec.state, rec.errMsg
+		}
+		q.mu.Unlock()
+		if !ok {
+			putErr(resp, fmt.Errorf("%w: %s", ErrUnknownJob, id))
+			break
+		}
+		resp.PutBool(true)
+		resp.PutInt32(int32(state))
+		resp.PutString(msg)
+	default:
+		putErr(resp, fmt.Errorf("rmf: unknown qserver op %d", op))
+	}
+	_ = nexus.WriteFrame(st, resp)
+}
+
+// handleSubmit decodes a submission, creates the job process, and replies
+// with the job id. "The Q server receives the job request from the Q client
+// and creates job processes according to the job type."
+func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus.Buffer) {
+	executable, e1 := req.GetString()
+	nargs, e2 := req.GetInt32()
+	if e1 != nil || e2 != nil || nargs < 0 {
+		putErr(resp, fmt.Errorf("rmf: malformed submit"))
+		return
+	}
+	args := make([]string, nargs)
+	var err error
+	for i := range args {
+		if args[i], err = req.GetString(); err != nil {
+			putErr(resp, err)
+			return
+		}
+	}
+	nenv, err := req.GetInt32()
+	if err != nil {
+		putErr(resp, err)
+		return
+	}
+	envMap := make(map[string]string, nenv)
+	for i := int32(0); i < nenv; i++ {
+		k, e1 := req.GetString()
+		v, e2 := req.GetString()
+		if e1 != nil || e2 != nil {
+			putErr(resp, fmt.Errorf("rmf: malformed environment"))
+			return
+		}
+		envMap[k] = v
+	}
+	stdinURL, e1 := req.GetString()
+	stdoutURL, e2 := req.GetString()
+	if e1 != nil || e2 != nil {
+		putErr(resp, fmt.Errorf("rmf: malformed urls"))
+		return
+	}
+
+	prog, ok := q.Registry.Lookup(executable)
+	if !ok {
+		putErr(resp, fmt.Errorf("rmf: %s: no such executable %q", q.Resource, executable))
+		return
+	}
+	q.mu.Lock()
+	q.nextID++
+	id := fmt.Sprintf("%s.%d", q.Resource, q.nextID)
+	rec := &jobRecord{id: id, state: StatePending}
+	q.jobs[id] = rec
+	q.mu.Unlock()
+	q.tracef("qserver %s: job %s accepted (%s %v)", q.Resource, id, executable, args)
+
+	env.Spawn("job:"+id, func(e transport.Env) {
+		ctx := &JobContext{JobID: id, Resource: q.Resource, Args: args, Env: envMap}
+		// Stage input via GASS, as the paper's Q system does.
+		if stdinURL != "" {
+			data, err := gass.Fetch(e, stdinURL)
+			if err != nil {
+				q.finish(rec, fmt.Errorf("stage in: %w", err))
+				return
+			}
+			ctx.Stdin = data
+		}
+		q.mu.Lock()
+		rec.state = StateActive
+		q.mu.Unlock()
+		q.tracef("qserver %s: job %s active", q.Resource, id)
+		runErr := prog(e, ctx)
+		if stdoutURL != "" {
+			if err := gass.Publish(e, stdoutURL, ctx.Stdout.Bytes()); err != nil && runErr == nil {
+				runErr = fmt.Errorf("stage out: %w", err)
+			}
+		}
+		q.finish(rec, runErr)
+	})
+	resp.PutBool(true)
+	resp.PutString(id)
+}
+
+func (q *QServer) finish(rec *jobRecord, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err != nil {
+		rec.state = StateFailed
+		rec.errMsg = err.Error()
+		q.tracef("qserver %s: job %s failed: %v", q.Resource, rec.id, err)
+		return
+	}
+	rec.state = StateDone
+	q.tracef("qserver %s: job %s done", q.Resource, rec.id)
+}

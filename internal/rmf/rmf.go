@@ -1,0 +1,422 @@
+// Package rmf implements RMF, the paper's Resource Manager beyond the
+// Firewall (its reference [9], described in section 2): a job queuing
+// system in the mold of LSF that can drive computing resources inside a
+// firewall from a Globus gatekeeper running outside it.
+//
+// Three roles cooperate (paper Figure 2):
+//
+//   - a Q server runs on every computing resource inside the firewall and
+//     executes submitted job processes;
+//   - a resource allocator daemon runs inside the firewall, tracks the
+//     resources, and selects the best ones for each request;
+//   - a Q client is created by the job manager (outside the firewall, next
+//     to the gatekeeper); it asks the allocator for resources and submits
+//     the job to the chosen Q servers.
+//
+// The site firewall must permit the Q client's connections to the allocator
+// and the Q servers — the paper calls this configuration out explicitly —
+// which cluster.Testbed models by opening those registered ports.
+//
+// Because jobs in the simulation cannot be exec'ed binaries, a Registry maps
+// executable names to Go functions; file input/output is staged through
+// GASS URLs exactly as the paper describes.
+package rmf
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"nxcluster/internal/mds"
+	"nxcluster/internal/nexus"
+	"nxcluster/internal/transport"
+)
+
+// Well-known ports inside the site (must be opened on the firewall for the
+// Q client, per the paper).
+const (
+	// AllocatorPort is the resource allocator's port.
+	AllocatorPort = 7100
+	// QServerPort is every Q server's port.
+	QServerPort = 7101
+)
+
+// ErrNoResources is returned when the allocator cannot satisfy a request.
+var ErrNoResources = errors.New("rmf: no resources available")
+
+// ErrUnknownJob is returned for status queries on unknown job ids.
+var ErrUnknownJob = errors.New("rmf: unknown job")
+
+// State is a job's lifecycle state.
+type State int
+
+// Job states.
+const (
+	StatePending State = iota
+	StateActive
+	StateDone
+	StateFailed
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StatePending:
+		return "PENDING"
+	case StateActive:
+		return "ACTIVE"
+	case StateDone:
+		return "DONE"
+	default:
+		return "FAILED"
+	}
+}
+
+// JobContext is what a program receives when executed by a Q server.
+type JobContext struct {
+	// JobID is the Q server's identifier for this process.
+	JobID string
+	// Resource is the executing resource's name.
+	Resource string
+	// Args are the program arguments.
+	Args []string
+	// Env carries environment variables from the RSL (e.g. the Nexus Proxy
+	// configuration).
+	Env map[string]string
+	// Stdin holds staged input file contents (empty if none).
+	Stdin []byte
+	// Stdout collects the program's output; the Q server publishes it to
+	// the job's stdout URL on completion.
+	Stdout bytes.Buffer
+}
+
+// Program is a simulated executable.
+type Program func(env transport.Env, ctx *JobContext) error
+
+// Registry maps executable names to programs.
+type Registry struct {
+	mu       sync.Mutex
+	programs map[string]Program
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{programs: make(map[string]Program)} }
+
+// Register binds an executable name.
+func (r *Registry) Register(name string, p Program) {
+	r.mu.Lock()
+	r.programs[name] = p
+	r.mu.Unlock()
+}
+
+// Lookup finds a program.
+func (r *Registry) Lookup(name string) (Program, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.programs[name]
+	return p, ok
+}
+
+// resourceInfo is the allocator's view of one Q server.
+type resourceInfo struct {
+	Name    string
+	Addr    string // Q server "host:port"
+	Cluster string
+	CPUs    int
+	Load    int // outstanding allocated slots
+}
+
+// Allocator is the resource allocator daemon.
+type Allocator struct {
+	mu        sync.Mutex
+	resources map[string]*resourceInfo
+	listener  transport.Listener
+	trace     func(format string, args ...interface{})
+
+	// mdsAddr and mdsBase, when set, make the allocator publish every
+	// registered resource into the Grid Information Service so other tools
+	// can discover the site's capacity (the Globus GRAM reporter role).
+	mdsAddr string
+	mdsBase string
+	mdsErrs int
+}
+
+// NewAllocator creates an empty allocator.
+func NewAllocator() *Allocator {
+	return &Allocator{resources: make(map[string]*resourceInfo)}
+}
+
+// SetTrace installs a tracing callback (used by the Figure 2 renderer).
+func (a *Allocator) SetTrace(fn func(string, ...interface{})) { a.trace = fn }
+
+// PublishTo makes the allocator mirror its resource table into the MDS at
+// addr, under base (e.g. "ou=rwcp, o=grid"). Entries are written on
+// registration and their load attribute updated on allocate/release.
+func (a *Allocator) PublishTo(addr, base string) {
+	a.mdsAddr, a.mdsBase = addr, base
+}
+
+// MDSErrors reports how many MDS publications failed (publishing is
+// best-effort; allocation never blocks on the directory).
+func (a *Allocator) MDSErrors() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mdsErrs
+}
+
+// publish mirrors one resource into the MDS from a fresh process so a slow
+// or absent directory never stalls the allocator protocol.
+func (a *Allocator) publish(env transport.Env, r resourceInfo) {
+	if a.mdsAddr == "" {
+		return
+	}
+	addr, base := a.mdsAddr, a.mdsBase
+	env.SpawnService("rmf-alloc:mds", func(e transport.Env) {
+		dn := fmt.Sprintf("hn=%s, %s", r.Name, base)
+		err := mds.Client{Addr: addr}.Add(e, dn, map[string][]string{
+			"objectclass": {"resource"},
+			"cluster":     {r.Cluster},
+			"qserveraddr": {r.Addr},
+			"cpus":        {strconv.Itoa(r.CPUs)},
+			"load":        {strconv.Itoa(r.Load)},
+		})
+		if err != nil {
+			a.mu.Lock()
+			a.mdsErrs++
+			a.mu.Unlock()
+			a.tracef("allocator: mds publish %s failed: %v", r.Name, err)
+		}
+	})
+}
+
+func (a *Allocator) tracef(format string, args ...interface{}) {
+	if a.trace != nil {
+		a.trace(format, args...)
+	}
+}
+
+// Register adds or updates a resource.
+func (a *Allocator) Register(name, addr, cluster string, cpus int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r, ok := a.resources[name]; ok {
+		r.Addr, r.Cluster, r.CPUs = addr, cluster, cpus
+		return
+	}
+	a.resources[name] = &resourceInfo{Name: name, Addr: addr, Cluster: cluster, CPUs: cpus}
+}
+
+// Resources lists registered resource names, sorted.
+func (a *Allocator) Resources() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for n := range a.resources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allocate selects count slots, least-loaded resources first (ties by
+// name), incrementing their load. It returns one Q server address per slot.
+func (a *Allocator) allocate(count int, cluster string) ([]string, []string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var cands []*resourceInfo
+	for _, r := range a.resources {
+		if cluster != "" && r.Cluster != cluster {
+			continue
+		}
+		cands = append(cands, r)
+	}
+	if len(cands) == 0 {
+		return nil, nil, ErrNoResources
+	}
+	var names, addrs []string
+	for i := 0; i < count; i++ {
+		sort.Slice(cands, func(x, y int) bool {
+			// Fractional load balances heterogeneous CPU counts.
+			lx := float64(cands[x].Load) / float64(cands[x].CPUs)
+			ly := float64(cands[y].Load) / float64(cands[y].CPUs)
+			if lx != ly {
+				return lx < ly
+			}
+			return cands[x].Name < cands[y].Name
+		})
+		pick := cands[0]
+		pick.Load++
+		names = append(names, pick.Name)
+		addrs = append(addrs, pick.Addr)
+	}
+	return names, addrs, nil
+}
+
+// release returns slots to resources.
+func (a *Allocator) release(names []string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, n := range names {
+		if r, ok := a.resources[n]; ok && r.Load > 0 {
+			r.Load--
+		}
+	}
+}
+
+// Load reports a resource's outstanding slot count.
+func (a *Allocator) Load(name string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r, ok := a.resources[name]; ok {
+		return r.Load
+	}
+	return -1
+}
+
+// publishLoads refreshes the load attribute of the named resources in the
+// MDS, deduplicated, best-effort.
+func (a *Allocator) publishLoads(env transport.Env, names []string) {
+	if a.mdsAddr == "" {
+		return
+	}
+	seen := map[string]bool{}
+	a.mu.Lock()
+	var snaps []resourceInfo
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if r, ok := a.resources[n]; ok {
+			snaps = append(snaps, *r)
+		}
+	}
+	a.mu.Unlock()
+	addr, base := a.mdsAddr, a.mdsBase
+	for _, r := range snaps {
+		r := r
+		env.SpawnService("rmf-alloc:mds", func(e transport.Env) {
+			dn := fmt.Sprintf("hn=%s, %s", r.Name, base)
+			err := mds.Client{Addr: addr}.Modify(e, dn, map[string][]string{
+				"load": {strconv.Itoa(r.Load)},
+			})
+			if err != nil {
+				a.mu.Lock()
+				a.mdsErrs++
+				a.mu.Unlock()
+			}
+		})
+	}
+}
+
+// Allocator wire ops.
+const (
+	opRegister = int32(1)
+	opAlloc    = int32(2)
+	opRelease  = int32(3)
+)
+
+// Serve runs the allocator protocol; it blocks its process.
+func (a *Allocator) Serve(env transport.Env, port int, ready func(addr string)) error {
+	l, err := env.Listen(port)
+	if err != nil {
+		return fmt.Errorf("rmf allocator: listen: %w", err)
+	}
+	a.listener = l
+	if ready != nil {
+		ready(l.Addr())
+	}
+	for {
+		c, err := l.Accept(env)
+		if err != nil {
+			return nil
+		}
+		conn := c
+		env.SpawnService("rmf-alloc:conn", func(e transport.Env) { a.handle(e, conn) })
+	}
+}
+
+// Close shuts the listener down.
+func (a *Allocator) Close(env transport.Env) {
+	if a.listener != nil {
+		_ = a.listener.Close(env)
+	}
+}
+
+func (a *Allocator) handle(env transport.Env, c transport.Conn) {
+	defer c.Close(env)
+	st := transport.Stream{Env: env, Conn: c}
+	req, err := nexus.ReadFrame(st, 0)
+	if err != nil {
+		return
+	}
+	op, err := req.GetInt32()
+	if err != nil {
+		return
+	}
+	resp := nexus.NewBuffer()
+	switch op {
+	case opRegister:
+		name, e1 := req.GetString()
+		addr, e2 := req.GetString()
+		cluster, e3 := req.GetString()
+		cpus, e4 := req.GetInt32()
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			putErr(resp, fmt.Errorf("rmf: malformed register"))
+			break
+		}
+		a.Register(name, addr, cluster, int(cpus))
+		a.tracef("allocator: registered %s (%s, %d cpus) at %s", name, cluster, cpus, addr)
+		a.publish(env, resourceInfo{Name: name, Addr: addr, Cluster: cluster, CPUs: int(cpus)})
+		resp.PutBool(true)
+	case opAlloc:
+		count, e1 := req.GetInt32()
+		cluster, e2 := req.GetString()
+		if e1 != nil || e2 != nil || count <= 0 {
+			putErr(resp, fmt.Errorf("rmf: malformed alloc"))
+			break
+		}
+		names, addrs, err := a.allocate(int(count), cluster)
+		if err != nil {
+			putErr(resp, err)
+			break
+		}
+		a.tracef("allocator: selected %v for %d-process request", names, count)
+		a.publishLoads(env, names)
+		resp.PutBool(true)
+		resp.PutInt32(int32(len(names)))
+		for i := range names {
+			resp.PutString(names[i])
+			resp.PutString(addrs[i])
+		}
+	case opRelease:
+		n, err := req.GetInt32()
+		if err != nil {
+			putErr(resp, err)
+			break
+		}
+		names := make([]string, n)
+		for i := range names {
+			if names[i], err = req.GetString(); err != nil {
+				putErr(resp, err)
+				break
+			}
+		}
+		if err == nil {
+			a.release(names)
+			a.publishLoads(env, names)
+			resp.PutBool(true)
+		}
+	default:
+		putErr(resp, fmt.Errorf("rmf: unknown allocator op %d", op))
+	}
+	_ = nexus.WriteFrame(st, resp)
+}
+
+func putErr(b *nexus.Buffer, err error) {
+	b.PutBool(false)
+	b.PutString(err.Error())
+}

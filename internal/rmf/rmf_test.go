@@ -1,0 +1,367 @@
+package rmf
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"nxcluster/internal/firewall"
+	"nxcluster/internal/gass"
+	"nxcluster/internal/mds"
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+	"nxcluster/internal/transport"
+)
+
+func TestAllocatorSelection(t *testing.T) {
+	a := NewAllocator()
+	a.Register("rwcp-sun", "rwcp-sun:7101", "rwcp", 4)
+	a.Register("compas00", "compas00:7101", "compas", 1)
+	a.Register("compas01", "compas01:7101", "compas", 1)
+
+	// Least fractional load first; ties by name.
+	names, addrs, err := a.allocate(3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || len(addrs) != 3 {
+		t.Fatalf("allocate = %v", names)
+	}
+	// First three slots spread across all empty resources.
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("slots not spread: %v", names)
+	}
+	// The 4-CPU host absorbs subsequent load before 1-CPU hosts double up.
+	more, _, err := a.allocate(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range more {
+		if n != "rwcp-sun" {
+			t.Fatalf("expected rwcp-sun to absorb load, got %v", more)
+		}
+	}
+	if a.Load("rwcp-sun") != 3 {
+		t.Fatalf("load = %d", a.Load("rwcp-sun"))
+	}
+	a.release([]string{"rwcp-sun", "rwcp-sun"})
+	if a.Load("rwcp-sun") != 1 {
+		t.Fatalf("load after release = %d", a.Load("rwcp-sun"))
+	}
+}
+
+func TestAllocatorClusterFilterAndEmpty(t *testing.T) {
+	a := NewAllocator()
+	a.Register("etl-o2k", "etl-o2k:7101", "etl", 16)
+	if _, _, err := a.allocate(1, "rwcp"); !errors.Is(err, ErrNoResources) {
+		t.Fatalf("filtered allocate = %v", err)
+	}
+	names, _, err := a.allocate(2, "etl")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("allocate etl = %v, %v", names, err)
+	}
+	if a.Load("missing") != -1 {
+		t.Fatal("Load(missing) != -1")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Lookup("nope"); ok {
+		t.Fatal("empty registry found a program")
+	}
+	r.Register("hello", func(env transport.Env, ctx *JobContext) error { return nil })
+	if _, ok := r.Lookup("hello"); !ok {
+		t.Fatal("registered program missing")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		StatePending: "PENDING", StateActive: "ACTIVE", StateDone: "DONE", StateFailed: "FAILED",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %s", s, s.String())
+		}
+	}
+}
+
+// startRMFTCP boots an allocator plus two Q servers on loopback TCP.
+func startRMFTCP(t *testing.T, reg *Registry) (env *transport.TCPEnv, allocAddr string, qAddrs []string) {
+	t.Helper()
+	env = transport.NewTCPEnv("localhost")
+	alloc := NewAllocator()
+	ready := make(chan string, 1)
+	env.Spawn("alloc", func(e transport.Env) {
+		_ = alloc.Serve(e, 0, func(a string) { ready <- a })
+	})
+	allocAddr = <-ready
+	t.Cleanup(func() { alloc.Close(env) })
+	for i := 0; i < 2; i++ {
+		q := NewQServer(fmt.Sprintf("node%d", i), "test", 2, reg)
+		qr := make(chan string, 1)
+		env.Spawn("qserver", func(e transport.Env) {
+			_ = q.Serve(e, 0, allocAddr, func(a string) { qr <- a })
+		})
+		qAddrs = append(qAddrs, <-qr)
+		qq := q
+		t.Cleanup(func() { qq.Close(env) })
+	}
+	return env, allocAddr, qAddrs
+}
+
+func TestSubmitJobEndToEndTCP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("greet", func(env transport.Env, ctx *JobContext) error {
+		fmt.Fprintf(&ctx.Stdout, "hello %s from %s (stdin=%q, PROXY=%s)",
+			strings.Join(ctx.Args, ","), ctx.Resource, ctx.Stdin, ctx.Env["PROXY"])
+		return nil
+	})
+	env, allocAddr, _ := startRMFTCP(t, reg)
+
+	// GASS server for staging.
+	store := gass.NewStore()
+	gsrv := gass.NewServer(store)
+	gready := make(chan string, 1)
+	env.Spawn("gass", func(e transport.Env) {
+		_ = gsrv.Serve(e, 0, func(a string) { gready <- a })
+	})
+	gaddr := <-gready
+	defer gsrv.Close(env)
+	store.Put("/in", []byte("input-bytes"))
+
+	h, err := SubmitJob(env, allocAddr, JobRequest{
+		Count: 2,
+		Spec: ProcessSpec{
+			Executable: "greet",
+			Args:       []string{"a", "b"},
+			Env:        map[string]string{"PROXY": "outer:7000"},
+			StdinURL:   gass.URL(gaddr, "/in"),
+			StdoutURL:  gass.URL(gaddr, "/out"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Processes) != 2 {
+		t.Fatalf("%d processes", len(h.Processes))
+	}
+	if err := h.Wait(env, 10*time.Millisecond, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Outputs staged out with per-process suffixes.
+	for i := 0; i < 2; i++ {
+		out, err := store.Get(fmt.Sprintf("/out#%d", i))
+		if err != nil {
+			t.Fatalf("stdout %d: %v", i, err)
+		}
+		s := string(out)
+		if !strings.Contains(s, "hello a,b") || !strings.Contains(s, `stdin="input-bytes"`) ||
+			!strings.Contains(s, "PROXY=outer:7000") {
+			t.Fatalf("stdout %d = %q", i, s)
+		}
+	}
+}
+
+func TestSubmitUnknownExecutable(t *testing.T) {
+	env, allocAddr, _ := startRMFTCP(t, NewRegistry())
+	_, err := SubmitJob(env, allocAddr, JobRequest{Count: 1, Spec: ProcessSpec{Executable: "missing"}})
+	if err == nil || !strings.Contains(err.Error(), "no such executable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFailedProgramReportsFailure(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("boom", func(env transport.Env, ctx *JobContext) error {
+		return errors.New("segfault (simulated)")
+	})
+	env, allocAddr, _ := startRMFTCP(t, reg)
+	h, err := SubmitJob(env, allocAddr, JobRequest{Count: 1, Spec: ProcessSpec{Executable: "boom"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = h.Wait(env, 10*time.Millisecond, 5*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "segfault") {
+		t.Fatalf("Wait = %v, want failure", err)
+	}
+}
+
+func TestStatusUnknownJob(t *testing.T) {
+	env, _, qAddrs := startRMFTCP(t, NewRegistry())
+	if _, _, err := Status(env, qAddrs[0], "node0.999"); err == nil {
+		t.Fatal("unknown job id accepted")
+	}
+}
+
+// TestRMFBeyondFirewallInSim reproduces the paper's deployment shape: the Q
+// client runs outside the firewall (on the gatekeeper host) and reaches the
+// allocator and Q servers inside only because the firewall opens their
+// registered ports.
+func TestRMFBeyondFirewallInSim(t *testing.T) {
+	k := sim.New()
+	n := simnet.New(k)
+	n.AddHost("gatekeeper", simnet.HostConfig{})
+	n.AddHost("allocator", simnet.HostConfig{Site: "rwcp"})
+	n.AddHost("node0", simnet.HostConfig{Site: "rwcp"})
+	lan := simnet.LinkConfig{Latency: 200 * time.Microsecond, Bandwidth: 12 << 20}
+	n.Connect("gatekeeper", "allocator", lan)
+	n.Connect("allocator", "node0", lan)
+	fw := firewall.New("rwcp")
+	fw.AllowIncomingPort(AllocatorPort, "RMF: Q client -> allocator")
+	fw.AllowIncomingPort(QServerPort, "RMF: Q client -> Q server")
+	n.SetFirewall("rwcp", fw)
+
+	reg := NewRegistry()
+	ran := false
+	reg.Register("touch", func(env transport.Env, ctx *JobContext) error {
+		ran = true
+		return nil
+	})
+	alloc := NewAllocator()
+	n.Node("allocator").SpawnDaemonOn("alloc", func(e transport.Env) {
+		_ = alloc.Serve(e, AllocatorPort, nil)
+	})
+	q := NewQServer("node0", "rwcp", 4, reg)
+	n.Node("node0").SpawnDaemonOn("qserver", func(e transport.Env) {
+		e.Sleep(time.Millisecond) // allocator first
+		_ = q.Serve(e, QServerPort, "allocator:7100", nil)
+	})
+
+	var jobErr error
+	n.Node("gatekeeper").SpawnOn("qclient", func(e transport.Env) {
+		e.Sleep(5 * time.Millisecond)
+		h, err := SubmitJob(e, "allocator:7100", JobRequest{Count: 1, Spec: ProcessSpec{Executable: "touch"}})
+		if err != nil {
+			jobErr = err
+			return
+		}
+		jobErr = h.Wait(e, 5*time.Millisecond, 10*time.Second)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if jobErr != nil {
+		t.Fatal(jobErr)
+	}
+	if !ran {
+		t.Fatal("job never executed")
+	}
+	// The firewall really was consulted: without the opened ports the same
+	// dial is denied.
+	if fw.AllowedCount() == 0 {
+		t.Fatal("firewall saw no traffic")
+	}
+}
+
+// TestAllocatorPublishesToMDS verifies the GIS mirror: registrations appear
+// as directory entries and allocations update their load attribute.
+func TestAllocatorPublishesToMDS(t *testing.T) {
+	env := transport.NewTCPEnv("localhost")
+
+	dir := mds.NewDirectory()
+	msrv := mds.NewServer(dir)
+	mready := make(chan string, 1)
+	env.Spawn("mds", func(e transport.Env) {
+		_ = msrv.Serve(e, 0, func(a string) { mready <- a })
+	})
+	mdsAddr := <-mready
+	defer msrv.Close(env)
+
+	alloc := NewAllocator()
+	alloc.PublishTo(mdsAddr, "ou=rwcp, o=grid")
+	aready := make(chan string, 1)
+	env.Spawn("alloc", func(e transport.Env) {
+		_ = alloc.Serve(e, 0, func(a string) { aready <- a })
+	})
+	allocAddr := <-aready
+	defer alloc.Close(env)
+
+	if err := RegisterResource(env, allocAddr, "compas00", "compas00:7101", "compas", 4); err != nil {
+		t.Fatal(err)
+	}
+	// Publication is asynchronous; poll briefly.
+	var e *mds.Entry
+	var err error
+	for i := 0; i < 200; i++ {
+		e, err = mds.Client{Addr: mdsAddr}.Get(env, "hn=compas00, ou=rwcp, o=grid")
+		if err == nil {
+			break
+		}
+		env.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("entry never appeared: %v", err)
+	}
+	if e.First("cluster") != "compas" || e.Int("cpus", 0) != 4 || e.Int("load", -1) != 0 {
+		t.Fatalf("entry = %+v", e.Attrs)
+	}
+
+	if _, _, err := Allocate(env, allocAddr, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e, _ = mds.Client{Addr: mdsAddr}.Get(env, "hn=compas00, ou=rwcp, o=grid")
+		if e != nil && e.Int("load", -1) == 2 {
+			break
+		}
+		env.Sleep(5 * time.Millisecond)
+	}
+	if e.Int("load", -1) != 2 {
+		t.Fatalf("load = %s, want 2", e.First("load"))
+	}
+	if err := Release(env, allocAddr, []string{"compas00", "compas00"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e, _ = mds.Client{Addr: mdsAddr}.Get(env, "hn=compas00, ou=rwcp, o=grid")
+		if e != nil && e.Int("load", -1) == 0 {
+			break
+		}
+		env.Sleep(5 * time.Millisecond)
+	}
+	if e.Int("load", -1) != 0 {
+		t.Fatalf("load after release = %s, want 0", e.First("load"))
+	}
+	if alloc.MDSErrors() != 0 {
+		t.Fatalf("MDS errors: %d", alloc.MDSErrors())
+	}
+}
+
+// TestAllocatorSurvivesMissingMDS: publishing is best-effort.
+func TestAllocatorSurvivesMissingMDS(t *testing.T) {
+	env := transport.NewTCPEnv("localhost")
+	// Find a dead port.
+	l, _ := env.Listen(0)
+	dead := l.Addr()
+	_ = l.Close(env)
+
+	alloc := NewAllocator()
+	alloc.PublishTo(dead, "o=grid")
+	aready := make(chan string, 1)
+	env.Spawn("alloc", func(e transport.Env) {
+		_ = alloc.Serve(e, 0, func(a string) { aready <- a })
+	})
+	allocAddr := <-aready
+	defer alloc.Close(env)
+
+	if err := RegisterResource(env, allocAddr, "n0", "n0:1", "c", 1); err != nil {
+		t.Fatalf("registration failed because of MDS: %v", err)
+	}
+	if _, _, err := Allocate(env, allocAddr, 1, ""); err != nil {
+		t.Fatalf("allocation failed because of MDS: %v", err)
+	}
+	for i := 0; i < 200 && alloc.MDSErrors() == 0; i++ {
+		env.Sleep(5 * time.Millisecond)
+	}
+	if alloc.MDSErrors() == 0 {
+		t.Fatal("publish failures not counted")
+	}
+}

@@ -1,0 +1,170 @@
+package rsl
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseConjunction(t *testing.T) {
+	s, err := Parse(`&(executable=/bin/knapsack)(count=8)(arguments=50 "steal unit=4")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsMulti() {
+		t.Fatal("conjunction parsed as multirequest")
+	}
+	if got := s.GetString("executable", ""); got != "/bin/knapsack" {
+		t.Fatalf("executable = %q", got)
+	}
+	if got := s.GetInt("count", 0); got != 8 {
+		t.Fatalf("count = %d", got)
+	}
+	args := s.GetStrings("arguments")
+	if len(args) != 2 || args[0] != "50" || args[1] != "steal unit=4" {
+		t.Fatalf("arguments = %v", args)
+	}
+}
+
+func TestParseWithoutAmpersand(t *testing.T) {
+	s, err := Parse(`(executable=/bin/a)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GetString("executable", "") != "/bin/a" {
+		t.Fatal("implicit conjunction broken")
+	}
+}
+
+func TestParseEnvironmentPairs(t *testing.T) {
+	s, err := Parse(`&(environment=(NEXUS_PROXY_OUTER_SERVER rwcp-outer:7000)(NEXUS_PROXY_INNER_SERVER rwcp-inner:7010))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := s.Pairs("environment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 || pairs[0][0] != "NEXUS_PROXY_OUTER_SERVER" || pairs[1][1] != "rwcp-inner:7010" {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestParseMultirequest(t *testing.T) {
+	s, err := Parse(`+(&(resourceManagerContact=rwcp)(count=4))(&(resourceManagerContact=etl)(count=8))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsMulti() || len(s.Multi) != 2 {
+		t.Fatalf("multi = %v", s.Multi)
+	}
+	if s.Multi[0].GetString("resourceManagerContact", "") != "rwcp" {
+		t.Fatal("first subrequest wrong")
+	}
+	if s.Multi[1].GetInt("count", 0) != 8 {
+		t.Fatal("second subrequest wrong")
+	}
+}
+
+func TestCaseInsensitiveAttributes(t *testing.T) {
+	s, err := Parse(`&(Executable=/bin/a)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GetString("executable", "") != "/bin/a" {
+		t.Fatal("attribute matching not case-insensitive")
+	}
+}
+
+func TestQuotedEscapes(t *testing.T) {
+	s, err := Parse(`&(arguments="say ""hi""")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GetStrings("arguments"); len(got) != 1 || got[0] != `say "hi"` {
+		t.Fatalf("arguments = %q", got)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "&", "+", "&(a)", "&(a=", `&(a=")`, "&(a=b))", "+(a=b)", "&(=b)",
+		"&(env=(a b)", "junk",
+	} {
+		if _, err := Parse(bad); !errors.Is(err, ErrSyntax) && err == nil {
+			t.Errorf("Parse(%q) = %v, want syntax error", bad, err)
+		}
+	}
+}
+
+func TestSetAndRender(t *testing.T) {
+	s := &Spec{}
+	s.Set("executable", StringValue("/bin/knapsack"))
+	s.Set("count", StringValue("8"))
+	s.Set("environment", ListValue(StringValue("K"), StringValue("v 1")))
+	s.Set("count", StringValue("12")) // replace
+	out := s.String()
+	re, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	if re.GetInt("count", 0) != 12 {
+		t.Fatalf("count after replace = %d", re.GetInt("count", 0))
+	}
+	pairs, err := re.Pairs("environment")
+	if err != nil || len(pairs) != 1 || pairs[0][1] != "v 1" {
+		t.Fatalf("environment round-trip = %v, %v", pairs, err)
+	}
+}
+
+func TestRoundTripMulti(t *testing.T) {
+	in := `+(&(a=1)(b=x y))(&(c="quoted val"))`
+	s, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(s.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", s.String(), err)
+	}
+	if !s2.IsMulti() || len(s2.Multi) != 2 || s2.Multi[1].GetString("c", "") != "quoted val" {
+		t.Fatalf("round trip lost structure: %s", s2.String())
+	}
+}
+
+// Property: rendering then parsing preserves a single scalar attribute value
+// exactly, whatever bytes it contains (excluding NUL which RSL never
+// carries).
+func TestQuickRenderParseRoundTrip(t *testing.T) {
+	prop := func(val string) bool {
+		for _, r := range val {
+			if r == 0 {
+				return true
+			}
+		}
+		s := &Spec{}
+		s.Set("attr", StringValue(val))
+		re, err := Parse(s.String())
+		if err != nil {
+			return false
+		}
+		return re.GetString("attr", "\x00miss") == val
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairsErrors(t *testing.T) {
+	s, err := Parse(`&(environment=notalist)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Pairs("environment"); err == nil {
+		t.Fatal("scalar environment accepted as pairs")
+	}
+	s2, _ := Parse(`&(a=1)`)
+	if pairs, err := s2.Pairs("environment"); err != nil || pairs != nil {
+		t.Fatal("missing attribute should give nil, nil")
+	}
+}

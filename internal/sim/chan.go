@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrClosed is returned by channel operations on a closed channel.
+var ErrClosed = errors.New("sim: channel closed")
+
+// ErrTimeout is returned by timed channel operations that expire.
+var ErrTimeout = errors.New("sim: operation timed out")
+
+// Chan is a typed channel between simulated processes, with semantics close
+// to Go channels but executing in virtual time: operations themselves take
+// zero virtual time; blocking lasts until a peer acts.
+//
+// Capacity 0 gives rendezvous semantics; capacity > 0 gives a bounded buffer.
+type Chan[T any] struct {
+	k        *Kernel
+	capacity int
+	buf      []T
+	senders  []*chanWaiter[T] // blocked senders, FIFO
+	recvers  []*chanWaiter[T] // blocked receivers, FIFO
+	closed   bool
+}
+
+type chanWaiter[T any] struct {
+	w *waiter
+	// for senders: value to hand off; for receivers: slot filled by sender.
+	val       T
+	ok        bool // receiver: value delivered (vs closed/timeout)
+	timedOut  bool
+	delivered bool // sender: value was taken
+}
+
+// NewChan creates a channel bound to kernel k with the given capacity.
+func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Chan[T]{k: k, capacity: capacity}
+}
+
+// Len reports the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Cap reports the channel capacity.
+func (c *Chan[T]) Cap() int { return c.capacity }
+
+// Closed reports whether Close has been called.
+func (c *Chan[T]) Closed() bool { return c.closed }
+
+// Close marks the channel closed. Blocked receivers wake with ok=false once
+// the buffer drains; blocked senders wake with ErrClosed. Close may be called
+// from process or kernel context.
+func (c *Chan[T]) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, sw := range c.senders {
+		sw.w.fire()
+	}
+	c.senders = nil
+	if len(c.buf) == 0 {
+		for _, rw := range c.recvers {
+			rw.ok = false
+			rw.w.fire()
+		}
+		c.recvers = nil
+	}
+}
+
+// popRecver removes and returns the first receiver that has not already been
+// woken (e.g. by a timeout), or nil.
+func (c *Chan[T]) popRecver() *chanWaiter[T] {
+	for len(c.recvers) > 0 {
+		rw := c.recvers[0]
+		c.recvers = c.recvers[1:]
+		if !rw.w.fired {
+			return rw
+		}
+	}
+	return nil
+}
+
+func (c *Chan[T]) popSender() *chanWaiter[T] {
+	for len(c.senders) > 0 {
+		sw := c.senders[0]
+		c.senders = c.senders[1:]
+		if !sw.w.fired {
+			return sw
+		}
+	}
+	return nil
+}
+
+// TrySend attempts a non-blocking send. It returns ErrClosed if the channel
+// is closed, nil on success, and ErrTimeout (without blocking) if the value
+// cannot be handed off immediately.
+func (c *Chan[T]) TrySend(v T) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if rw := c.popRecver(); rw != nil {
+		rw.val, rw.ok = v, true
+		rw.w.fire()
+		return nil
+	}
+	if len(c.buf) < c.capacity {
+		c.buf = append(c.buf, v)
+		return nil
+	}
+	return ErrTimeout
+}
+
+// Send delivers v, blocking the process in virtual time until a receiver or
+// buffer space is available. It returns ErrClosed if the channel is (or
+// becomes) closed.
+func (c *Chan[T]) Send(p *Proc, v T) error {
+	return c.SendTimeout(p, v, -1)
+}
+
+// SendTimeout is Send with a timeout; d < 0 means no timeout.
+func (c *Chan[T]) SendTimeout(p *Proc, v T, d time.Duration) error {
+	if err := c.TrySend(v); err == nil {
+		return nil
+	} else if errors.Is(err, ErrClosed) {
+		return ErrClosed
+	}
+	if d == 0 {
+		return ErrTimeout
+	}
+	sw := &chanWaiter[T]{w: newWaiter(p), val: v}
+	c.senders = append(c.senders, sw)
+	if d > 0 {
+		sw.w.setTimeout(d, func() { sw.timedOut = true })
+	}
+	p.park()
+	switch {
+	case sw.delivered:
+		return nil
+	case sw.timedOut:
+		return ErrTimeout
+	default: // woken by Close
+		return ErrClosed
+	}
+}
+
+// TryRecv attempts a non-blocking receive. ok reports whether a value was
+// obtained; err is ErrClosed when the channel is closed and drained, and
+// ErrTimeout when no value is immediately available.
+func (c *Chan[T]) TryRecv() (v T, err error) {
+	if len(c.buf) > 0 {
+		v = c.buf[0]
+		copy(c.buf, c.buf[1:])
+		c.buf = c.buf[:len(c.buf)-1]
+		// A blocked sender can now use the freed slot.
+		if sw := c.popSender(); sw != nil {
+			c.buf = append(c.buf, sw.val)
+			sw.delivered = true
+			sw.w.fire()
+		}
+		return v, nil
+	}
+	// Rendezvous with a blocked sender (capacity 0 path).
+	if sw := c.popSender(); sw != nil {
+		sw.delivered = true
+		sw.w.fire()
+		return sw.val, nil
+	}
+	if c.closed {
+		return v, ErrClosed
+	}
+	return v, ErrTimeout
+}
+
+// Recv blocks until a value is available or the channel is closed and
+// drained (returning ErrClosed).
+func (c *Chan[T]) Recv(p *Proc) (T, error) {
+	return c.RecvTimeout(p, -1)
+}
+
+// RecvTimeout is Recv with a timeout; d < 0 means no timeout.
+func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (T, error) {
+	if v, err := c.TryRecv(); err == nil {
+		return v, nil
+	} else if errors.Is(err, ErrClosed) {
+		var zero T
+		return zero, ErrClosed
+	}
+	if d == 0 {
+		var zero T
+		return zero, ErrTimeout
+	}
+	rw := &chanWaiter[T]{w: newWaiter(p)}
+	c.recvers = append(c.recvers, rw)
+	if d > 0 {
+		rw.w.setTimeout(d, func() { rw.timedOut = true })
+	}
+	p.park()
+	if rw.ok {
+		return rw.val, nil
+	}
+	var zero T
+	if rw.timedOut {
+		return zero, ErrTimeout
+	}
+	return zero, ErrClosed
+}

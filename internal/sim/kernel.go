@@ -1,0 +1,260 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel advances a virtual clock and runs simulated processes, each of
+// which is an ordinary Go function executing on its own goroutine. Scheduling
+// is cooperative and strictly sequential: exactly one process runs at a time,
+// and control returns to the kernel whenever a process blocks on a kernel
+// primitive (Sleep, channel operations, semaphores, ...). This yields
+// deterministic, reproducible runs regardless of GOMAXPROCS, which is what the
+// wide-area cluster experiments require: parallel speedup is measured in
+// virtual time, not wall-clock time.
+//
+// The design follows the classic process-interaction style of SimPy/CSIM:
+// an event queue ordered by (time, sequence) drives timer wakeups, and a FIFO
+// ready queue holds processes unblocked at the current instant.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrDeadlock is returned by Run when live processes remain but no event can
+// ever wake them.
+var ErrDeadlock = errors.New("sim: deadlock: processes blocked with empty event queue")
+
+// errKilled is panicked inside parked processes when the kernel shuts down.
+var errKilled = errors.New("sim: process killed by kernel shutdown")
+
+// event is a scheduled callback on the virtual timeline.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulator instance. It is not safe for
+// concurrent use from multiple goroutines except through its own process
+// scheduling: all simulated code runs under the kernel's control.
+type Kernel struct {
+	now     time.Duration
+	seq     uint64
+	events  eventHeap
+	ready   []*Proc // FIFO of processes runnable at the current instant
+	procs   map[int]*Proc
+	nextPID int
+	current *Proc
+	yield   chan struct{} // signaled by a process when it parks or exits
+	stopped bool
+	// Trace, when non-nil, receives a line for every process start/exit and
+	// every Sleep wakeup. Used by experiment harnesses to render timelines.
+	Trace func(at time.Duration, format string, args ...interface{})
+}
+
+// New creates an empty simulation kernel with the clock at zero.
+func New() *Kernel {
+	return &Kernel{
+		procs: make(map[int]*Proc),
+		yield: make(chan struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// schedule enqueues fn to run at virtual time at (>= now).
+func (k *Kernel) schedule(at time.Duration, fn func()) *event {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	heap.Push(&k.events, ev)
+	return ev
+}
+
+// After schedules fn to run after delay d of virtual time. It returns a
+// handle that can cancel the callback. After must only be called from kernel
+// context (inside an event callback) or before Run; simulated processes
+// should use Proc.Sleep or timers instead.
+func (k *Kernel) After(d time.Duration, fn func()) *Timer {
+	ev := k.schedule(k.now+d, fn)
+	return &Timer{ev: ev}
+}
+
+// Timer is a cancelable scheduled callback.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer if it has not fired. It reports whether the
+// callback was prevented from running.
+func (t *Timer) Stop() bool {
+	if t.ev == nil || t.ev.canceled {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Spawn creates a new simulated process running fn and makes it runnable at
+// the current virtual time. fn receives the process handle used for all
+// blocking operations.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, false)
+}
+
+// SpawnDaemon creates a daemon process: one that provides a service forever
+// (link pumps, relay servers, gatekeepers). Daemons do not count as live
+// work — Run returns successfully once only daemons remain blocked, and a
+// run with daemons parked is not a deadlock.
+func (k *Kernel) SpawnDaemon(name string, fn func(p *Proc)) *Proc {
+	return k.spawn(name, fn, true)
+}
+
+func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
+	k.nextPID++
+	p := &Proc{
+		k:      k,
+		pid:    k.nextPID,
+		name:   name,
+		daemon: daemon,
+		resume: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	k.procs[p.pid] = p
+	go p.run(fn)
+	k.ready = append(k.ready, p)
+	return p
+}
+
+// runReady resumes the next ready process and waits for it to park or exit.
+func (k *Kernel) runReady() {
+	p := k.ready[0]
+	copy(k.ready, k.ready[1:])
+	k.ready = k.ready[:len(k.ready)-1]
+	if p.exited {
+		return
+	}
+	k.current = p
+	p.resume <- struct{}{}
+	<-k.yield
+	k.current = nil
+}
+
+// Step executes the next unit of work: either resumes a ready process or
+// advances the clock to the next event and fires it. It reports whether any
+// work was performed.
+func (k *Kernel) Step() bool {
+	if k.stopped {
+		return false
+	}
+	if len(k.ready) > 0 {
+		k.runReady()
+		return true
+	}
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run drives the simulation until no work remains. It returns nil when every
+// process has exited, and ErrDeadlock when live processes remain blocked with
+// no pending events.
+func (k *Kernel) Run() error {
+	for k.Step() {
+	}
+	if k.liveProcs() > 0 && !k.stopped {
+		return fmt.Errorf("%w (%d live)", ErrDeadlock, k.liveProcs())
+	}
+	return nil
+}
+
+// RunUntil drives the simulation until virtual time t is reached, all work is
+// exhausted, or the kernel is stopped. The clock is left at min(t, last event
+// time) or exactly t if work remains beyond it.
+func (k *Kernel) RunUntil(t time.Duration) {
+	for !k.stopped {
+		if len(k.ready) > 0 {
+			k.runReady()
+			continue
+		}
+		if k.events.Len() == 0 {
+			break
+		}
+		next := k.events[0].at
+		if next > t {
+			k.now = t
+			break
+		}
+		k.Step()
+	}
+}
+
+func (k *Kernel) liveProcs() int {
+	n := 0
+	for _, p := range k.procs {
+		if !p.exited && !p.daemon {
+			n++
+		}
+	}
+	return n
+}
+
+// Live reports the number of non-daemon processes that have not exited.
+func (k *Kernel) Live() int { return k.liveProcs() }
+
+// Shutdown terminates the simulation: every parked process is resumed with a
+// kill signal, unwinding its stack so goroutines do not leak. The kernel
+// cannot be used after Shutdown.
+func (k *Kernel) Shutdown() {
+	if k.stopped {
+		return
+	}
+	k.stopped = true
+	for _, p := range k.procs {
+		if p.exited || p == k.current {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-k.yield
+	}
+}
+
+func (k *Kernel) tracef(format string, args ...interface{}) {
+	if k.Trace != nil {
+		k.Trace(k.now, format, args...)
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is the handle a simulated process uses for every interaction with the
+// kernel: reading the clock, sleeping, and blocking on synchronization
+// primitives. A Proc must only be used from within its own process function.
+type Proc struct {
+	k      *Kernel
+	pid    int
+	name   string
+	resume chan struct{}
+	done   chan struct{}
+	exited bool
+	killed bool
+	daemon bool
+	// waking guards against double-wakeup when a timeout races a signal.
+	wakeSeq uint64
+}
+
+// PID returns the kernel-unique process id.
+func (p *Proc) PID() int { return p.pid }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// run is the goroutine body wrapping the user function.
+func (p *Proc) run(fn func(p *Proc)) {
+	<-p.resume // wait for first scheduling
+	defer func() {
+		if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity
+			// Re-panicking here would crash the whole test binary from a
+			// foreign goroutine with a stack that is hard to attribute; wrap
+			// with the process name instead so failures are diagnosable.
+			p.exited = true
+			p.k.tracef("proc %s panicked: %v", p.name, r)
+			close(p.done)
+			panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, r))
+		}
+		p.exited = true
+		close(p.done)
+		p.k.tracef("proc %s exit", p.name)
+		p.k.yield <- struct{}{}
+	}()
+	p.k.tracef("proc %s start", p.name)
+	fn(p)
+}
+
+// park returns control to the kernel and blocks until the process is
+// resumed. If the kernel was shut down meanwhile, the process unwinds.
+func (p *Proc) park() {
+	p.k.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// yieldNow reschedules the process at the current instant, letting other
+// ready processes run first. Useful to model round-robin CPU sharing.
+func (p *Proc) Yield() {
+	p.k.ready = append(p.k.ready, p)
+	p.park()
+}
+
+// wake makes a parked process runnable at the current instant.
+func (p *Proc) wake() {
+	if p.exited {
+		return
+	}
+	p.k.ready = append(p.k.ready, p)
+}
+
+// Sleep blocks the process for d of virtual time. Negative or zero durations
+// yield the processor but do not advance the clock.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		p.Yield()
+		return
+	}
+	p.k.schedule(p.k.now+d, p.wake)
+	p.park()
+}
+
+// SleepUntil blocks until the virtual clock reaches t.
+func (p *Proc) SleepUntil(t time.Duration) {
+	if t <= p.k.now {
+		p.Yield()
+		return
+	}
+	p.k.schedule(t, p.wake)
+	p.park()
+}
+
+// Done returns a channel closed when the process exits. It may be read from
+// outside the simulation (e.g. by tests after Run returns).
+func (p *Proc) Done() <-chan struct{} { return p.done }
+
+// Exited reports whether the process function has returned.
+func (p *Proc) Exited() bool { return p.exited }
+
+// waiter represents one parked process waiting on a primitive, with
+// cancelable timeout support. A waiter fires at most once.
+type waiter struct {
+	p     *Proc
+	fired bool
+	timer *Timer
+}
+
+func newWaiter(p *Proc) *waiter { return &waiter{p: p} }
+
+// fire wakes the waiting process if it has not been woken yet, canceling any
+// pending timeout. It reports whether this call performed the wakeup.
+func (w *waiter) fire() bool {
+	if w.fired {
+		return false
+	}
+	w.fired = true
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	w.p.wake()
+	return true
+}
+
+// setTimeout arms a timeout that fires the waiter after d; timedOut is set
+// for the waker to distinguish timeout wakeups.
+func (w *waiter) setTimeout(d time.Duration, onTimeout func()) {
+	w.timer = w.p.k.After(d, func() {
+		if w.fired {
+			return
+		}
+		w.fired = true
+		if onTimeout != nil {
+			onTimeout()
+		}
+		w.p.wake()
+	})
+}

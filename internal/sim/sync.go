@@ -1,0 +1,210 @@
+package sim
+
+import "time"
+
+// Semaphore is a counting semaphore for simulated processes.
+type Semaphore struct {
+	k       *Kernel
+	count   int
+	waiters []*waiter
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(k *Kernel, count int) *Semaphore {
+	return &Semaphore{k: k, count: count}
+}
+
+// Acquire blocks the process until a unit is available, then takes it.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.count > 0 {
+		s.count--
+		return
+	}
+	w := newWaiter(p)
+	s.waiters = append(s.waiters, w)
+	p.park()
+}
+
+// TryAcquire takes a unit if one is immediately available.
+func (s *Semaphore) TryAcquire() bool {
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// Release returns one unit, waking the longest-blocked acquirer if any.
+func (s *Semaphore) Release() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		if w.fire() {
+			return
+		}
+	}
+	s.count++
+}
+
+// Available reports the current count.
+func (s *Semaphore) Available() int { return s.count }
+
+// Mutex is a binary semaphore with lock semantics.
+type Mutex struct{ s *Semaphore }
+
+// NewMutex creates an unlocked mutex.
+func NewMutex(k *Kernel) *Mutex { return &Mutex{s: NewSemaphore(k, 1)} }
+
+// Lock blocks until the mutex is acquired.
+func (m *Mutex) Lock(p *Proc) { m.s.Acquire(p) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.s.Release() }
+
+// Event is a one-shot broadcast: processes wait until it is set; once set,
+// waits return immediately.
+type Event struct {
+	k       *Kernel
+	set     bool
+	waiters []*waiter
+}
+
+// NewEvent creates an unset event.
+func NewEvent(k *Kernel) *Event { return &Event{k: k} }
+
+// IsSet reports whether the event has fired.
+func (e *Event) IsSet() bool { return e.set }
+
+// Set fires the event, waking all waiters. Idempotent.
+func (e *Event) Set() {
+	if e.set {
+		return
+	}
+	e.set = true
+	for _, w := range e.waiters {
+		w.fire()
+	}
+	e.waiters = nil
+}
+
+// Wait blocks until the event is set.
+func (e *Event) Wait(p *Proc) {
+	if e.set {
+		return
+	}
+	w := newWaiter(p)
+	e.waiters = append(e.waiters, w)
+	p.park()
+}
+
+// WaitTimeout blocks until the event is set or d elapses; it reports whether
+// the event was set.
+func (e *Event) WaitTimeout(p *Proc, d time.Duration) bool {
+	if e.set {
+		return true
+	}
+	if d == 0 {
+		return false
+	}
+	w := newWaiter(p)
+	e.waiters = append(e.waiters, w)
+	timedOut := false
+	if d > 0 {
+		w.setTimeout(d, func() { timedOut = true })
+	}
+	p.park()
+	return !timedOut
+}
+
+// Cond is a condition variable: Wait parks until a Signal or Broadcast.
+// Unlike sync.Cond there is no associated lock; the single-threaded kernel
+// makes check-then-wait atomic as long as no blocking call intervenes.
+type Cond struct {
+	k       *Kernel
+	waiters []*waiter
+}
+
+// NewCond creates a condition variable.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait parks the process until signaled.
+func (c *Cond) Wait(p *Proc) {
+	w := newWaiter(p)
+	c.waiters = append(c.waiters, w)
+	p.park()
+}
+
+// WaitTimeout parks until signaled or d elapses; reports whether a signal
+// (not the timeout) woke the process.
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	if d == 0 {
+		return false
+	}
+	w := newWaiter(p)
+	c.waiters = append(c.waiters, w)
+	timedOut := false
+	if d > 0 {
+		w.setTimeout(d, func() { timedOut = true })
+	}
+	p.park()
+	if timedOut {
+		// Drop the fired waiter lazily; Signal skips fired entries.
+		return false
+	}
+	return true
+}
+
+// Signal wakes one waiting process, if any.
+func (c *Cond) Signal() {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.fire() {
+			return
+		}
+	}
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.fire()
+	}
+}
+
+// WaitGroup counts outstanding work items in virtual time.
+type WaitGroup struct {
+	k     *Kernel
+	n     int
+	event *Event
+}
+
+// NewWaitGroup creates a wait group with zero count.
+func NewWaitGroup(k *Kernel) *WaitGroup {
+	return &WaitGroup{k: k, event: NewEvent(k)}
+}
+
+// Add increments the counter by delta.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.event.Set()
+		wg.event = NewEvent(wg.k)
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait blocks until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	if wg.n == 0 {
+		return
+	}
+	wg.event.Wait(p)
+}

@@ -1,0 +1,235 @@
+package simnet
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+var (
+	errFirewallDenied = transport.ErrFirewallDenied
+)
+
+// listener is a bound port's accept queue.
+type listener struct {
+	node    *Node
+	port    int
+	pending *sim.Chan[*conn]
+	closed  bool
+}
+
+// Addr implements transport.Listener.
+func (l *listener) Addr() string { return transport.JoinAddr(l.node.name, l.port) }
+
+// Accept implements transport.Listener.
+func (l *listener) Accept(env transport.Env) (transport.Conn, error) {
+	p := procOf(env, "Accept")
+	c, err := l.pending.Recv(p)
+	if err != nil {
+		return nil, transport.ErrClosed
+	}
+	return c, nil
+}
+
+// Close implements transport.Listener.
+func (l *listener) Close(env transport.Env) error {
+	if l.closed {
+		return transport.ErrClosed
+	}
+	l.closed = true
+	delete(l.node.listeners, l.port)
+	l.pending.Close()
+	return nil
+}
+
+// listen binds a listener on the node.
+func (nd *Node) listen(port int) (*listener, error) {
+	if !nd.isHost {
+		return nil, fmt.Errorf("simnet: %s is not a host", nd.name)
+	}
+	if port == 0 {
+		for nd.listeners[nd.nextPort] != nil {
+			nd.nextPort++
+		}
+		port = nd.nextPort
+		nd.nextPort++
+	}
+	if nd.listeners[port] != nil {
+		return nil, fmt.Errorf("simnet: %s: port %d already in use", nd.name, port)
+	}
+	l := &listener{node: nd, port: port, pending: sim.NewChan[*conn](nd.net.K, math.MaxInt32)}
+	nd.listeners[port] = l
+	return l, nil
+}
+
+// conn is one endpoint of an established virtual stream.
+type conn struct {
+	node   *Node
+	local  string
+	remote string
+	path   []*linkDir // toward the peer
+	peer   *conn
+
+	inbox        [][]byte
+	readCond     *sim.Cond
+	credit       int
+	creditCond   *sim.Cond
+	closed       bool // local Close called
+	remoteClosed bool // peer FIN received
+}
+
+// dial performs the connection handshake from nd to addr, blocking p for one
+// path round trip. Firewall denial surfaces immediately (reject semantics;
+// a drop-style firewall would instead time the dialer out — the distinction
+// does not affect any experiment).
+func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
+	host, port, err := transport.SplitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	dst := nd.net.nodes[host]
+	if dst == nil || !dst.isHost {
+		return nil, fmt.Errorf("simnet: dial %s: %w", addr, transport.ErrNoRoute)
+	}
+	if err := nd.net.checkFirewalls(nd, dst, port); err != nil {
+		return nil, err
+	}
+	path := nd.net.route(nd, dst)
+	if path == nil && nd != dst {
+		return nil, fmt.Errorf("simnet: dial %s: %w", addr, transport.ErrNoRoute)
+	}
+
+	done := sim.NewEvent(nd.net.K)
+	var dialed *conn
+	var dialErr error
+	n := nd.net
+	n.send(path, ctlSize, func() {
+		l := dst.listeners[port]
+		if l == nil || l.closed {
+			n.send(reversePath(path), ctlSize, func() {
+				dialErr = transport.ErrRefused
+				done.Set()
+			})
+			return
+		}
+		n.nextConn++
+		localAddr := transport.JoinAddr(nd.name, 50000+n.nextConn)
+		remoteAddr := transport.JoinAddr(dst.name, port)
+		cDial := &conn{
+			node: nd, local: localAddr, remote: remoteAddr, path: path,
+			readCond: sim.NewCond(n.K), credit: DefaultWindow, creditCond: sim.NewCond(n.K),
+		}
+		cAcc := &conn{
+			node: dst, local: remoteAddr, remote: localAddr, path: reversePath(path),
+			readCond: sim.NewCond(n.K), credit: DefaultWindow, creditCond: sim.NewCond(n.K),
+		}
+		cDial.peer, cAcc.peer = cAcc, cDial
+		if err := l.pending.TrySend(cAcc); err != nil {
+			n.send(reversePath(path), ctlSize, func() {
+				dialErr = transport.ErrRefused
+				done.Set()
+			})
+			return
+		}
+		n.send(reversePath(path), ctlSize, func() {
+			dialed = cDial
+			done.Set()
+		})
+	})
+	done.Wait(p)
+	if dialErr != nil {
+		return nil, fmt.Errorf("simnet: dial %s: %w", addr, dialErr)
+	}
+	return dialed, nil
+}
+
+// Read implements transport.Conn.
+func (c *conn) Read(env transport.Env, b []byte) (int, error) {
+	p := procOf(env, "Read")
+	for {
+		if len(c.inbox) > 0 {
+			seg := c.inbox[0]
+			n := copy(b, seg)
+			if n < len(seg) {
+				c.inbox[0] = seg[n:]
+			} else {
+				c.inbox = c.inbox[1:]
+			}
+			return n, nil
+		}
+		if c.remoteClosed {
+			return 0, io.EOF
+		}
+		if c.closed {
+			return 0, transport.ErrClosed
+		}
+		c.readCond.Wait(p)
+	}
+}
+
+// Write implements transport.Conn. Data is segmented at the network MTU;
+// each segment consumes window credit that returns when the segment lands in
+// the peer's buffer.
+func (c *conn) Write(env transport.Env, b []byte) (int, error) {
+	p := procOf(env, "Write")
+	total := 0
+	mtu := c.node.net.MTU
+	for len(b) > 0 {
+		if c.closed || c.remoteClosed {
+			return total, transport.ErrClosed
+		}
+		chunk := len(b)
+		if chunk > mtu {
+			chunk = mtu
+		}
+		for c.credit < chunk {
+			if c.closed || c.remoteClosed {
+				return total, transport.ErrClosed
+			}
+			c.creditCond.Wait(p)
+		}
+		c.credit -= chunk
+		seg := make([]byte, chunk)
+		copy(seg, b[:chunk])
+		peer := c.peer
+		src := c
+		c.node.net.send(c.path, chunk, func() {
+			if !peer.closed {
+				peer.inbox = append(peer.inbox, seg)
+				peer.readCond.Broadcast()
+			}
+			src.credit += len(seg)
+			src.creditCond.Broadcast()
+		})
+		b = b[chunk:]
+		total += chunk
+	}
+	return total, nil
+}
+
+// Close implements transport.Conn: both directions shut down; the peer
+// reads EOF after draining, and further writes on either end fail.
+func (c *conn) Close(env transport.Env) error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.readCond.Broadcast()
+	c.creditCond.Broadcast()
+	peer := c.peer
+	c.node.net.send(c.path, ctlSize, func() {
+		peer.remoteClosed = true
+		peer.readCond.Broadcast()
+		peer.creditCond.Broadcast()
+	})
+	return nil
+}
+
+// LocalAddr implements transport.Conn.
+func (c *conn) LocalAddr() string { return c.local }
+
+// RemoteAddr implements transport.Conn.
+func (c *conn) RemoteAddr() string { return c.remote }

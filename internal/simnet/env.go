@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+// Env is the simulated implementation of transport.Env: one logical process
+// (a *sim.Proc) running on one host of the virtual network.
+type Env struct {
+	node   *Node
+	p      *sim.Proc
+	daemon bool
+}
+
+var _ transport.Env = (*Env)(nil)
+
+// Spawn starts fn as a new simulated process on the same host. The spawned
+// process receives its own Env bound to a fresh kernel process. Processes
+// spawned by a daemon are themselves daemons (a server's connection handlers
+// should not keep the simulation alive).
+func (e *Env) Spawn(name string, fn func(transport.Env)) {
+	node := e.node
+	spawn := node.net.K.Spawn
+	if e.daemon {
+		spawn = node.net.K.SpawnDaemon
+	}
+	spawn(name, func(p *sim.Proc) {
+		fn(&Env{node: node, p: p, daemon: e.daemon})
+	})
+}
+
+// SpawnService starts fn as a daemon process on the same host regardless of
+// the spawner's own status: service loops never count as pending work.
+func (e *Env) SpawnService(name string, fn func(transport.Env)) {
+	node := e.node
+	node.net.K.SpawnDaemon(name, func(p *sim.Proc) {
+		fn(&Env{node: node, p: p, daemon: true})
+	})
+}
+
+// Hostname implements transport.Env.
+func (e *Env) Hostname() string { return e.node.name }
+
+// Now implements transport.Env with the virtual clock.
+func (e *Env) Now() time.Duration { return e.p.Now() }
+
+// Sleep implements transport.Env in virtual time.
+func (e *Env) Sleep(d time.Duration) { e.p.Sleep(d) }
+
+// Compute implements transport.Env: it acquires one of the host's CPUs and
+// holds it for d scaled by the host's speed factor, so co-located processes
+// contend realistically and slow clusters take proportionally longer.
+func (e *Env) Compute(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	e.node.cpus.Acquire(e.p)
+	e.p.Sleep(time.Duration(float64(d) / e.node.speed))
+	e.node.cpus.Release()
+}
+
+// Dial implements transport.Env.
+func (e *Env) Dial(addr string) (transport.Conn, error) { return e.node.dial(e.p, addr) }
+
+// Listen implements transport.Env.
+func (e *Env) Listen(port int) (transport.Listener, error) { return e.node.listen(port) }
+
+// Proc exposes the underlying kernel process for code that needs raw sim
+// primitives alongside the transport API (e.g. the MPI progress engine).
+func (e *Env) Proc() *sim.Proc { return e.p }
+
+// Node exposes the underlying host.
+func (e *Env) Node() *Node { return e.node }
+
+// SpawnOn starts fn as a process on host nd; the usual way to boot daemons
+// and application ranks onto the virtual testbed.
+func (nd *Node) SpawnOn(name string, fn func(transport.Env)) {
+	nd.net.K.Spawn(name, func(p *sim.Proc) {
+		fn(&Env{node: nd, p: p})
+	})
+}
+
+// SpawnDaemonOn is SpawnOn for never-exiting service processes, so that
+// sim.Kernel.Run still returns once application work completes.
+func (nd *Node) SpawnDaemonOn(name string, fn func(transport.Env)) {
+	nd.net.K.SpawnDaemon(name, func(p *sim.Proc) {
+		fn(&Env{node: nd, p: p, daemon: true})
+	})
+}
+
+// procOf extracts the kernel process from a caller's Env, guarding against
+// mixing environments from a different implementation.
+func procOf(env transport.Env, op string) *sim.Proc {
+	se, ok := env.(*Env)
+	if !ok {
+		panic(fmt.Sprintf("simnet: %s called with non-simnet Env %T", op, env))
+	}
+	return se.p
+}

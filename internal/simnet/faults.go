@@ -1,0 +1,106 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SetLinkDown takes the duplex link between a and b out of service: packets
+// already serialized onto the wire still arrive; everything else — data
+// segments, connection attempts — stalls until the link returns, which is
+// what endpoints of reliable streams observe across a real link flap (TCP
+// retransmissions cover the loss; only the delay shows). It reports whether
+// such a link exists.
+func (n *Network) SetLinkDown(a, b string) bool {
+	return n.setLink(a, b, true)
+}
+
+// SetLinkUp restores a downed link.
+func (n *Network) SetLinkUp(a, b string) bool {
+	return n.setLink(a, b, false)
+}
+
+func (n *Network) setLink(a, b string, down bool) bool {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return false
+	}
+	found := false
+	for _, ld := range na.links {
+		if ld.to == nb {
+			ld.down = down
+			ld.rev.down = down
+			found = true
+		}
+	}
+	return found
+}
+
+// LinkDown reports whether the a->b link is out of service.
+func (n *Network) LinkDown(a, b string) bool {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return false
+	}
+	for _, ld := range na.links {
+		if ld.to == nb {
+			return ld.down
+		}
+	}
+	return false
+}
+
+// LinkStats reports one directed link's traffic counters.
+type LinkStats struct {
+	// From and To name the endpoints.
+	From, To string
+	// Bytes carried since the simulation started.
+	Bytes int64
+	// Stalled counts bytes that had to wait out a link outage.
+	Stalled int64
+	// Busy is the cumulative serialization time.
+	Busy time.Duration
+}
+
+// Stats returns per-directed-link traffic counters, sorted for determinism.
+func (n *Network) Stats() []LinkStats {
+	var out []LinkStats
+	for _, node := range n.nodes {
+		for _, ld := range node.links {
+			out = append(out, LinkStats{
+				From:    ld.from.name,
+				To:      ld.to.name,
+				Bytes:   ld.bytes,
+				Stalled: ld.stalled,
+				Busy:    ld.busy,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Utilization reports the a->b link's busy fraction of the elapsed virtual
+// time (0 when no time has passed).
+func (n *Network) Utilization(a, b string) (float64, error) {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return 0, fmt.Errorf("simnet: unknown node in %q -> %q", a, b)
+	}
+	for _, ld := range na.links {
+		if ld.to == nb {
+			now := n.K.Now()
+			if now == 0 {
+				return 0, nil
+			}
+			return float64(ld.busy) / float64(now), nil
+		}
+	}
+	return 0, fmt.Errorf("simnet: no link %q -> %q", a, b)
+}

@@ -1,0 +1,424 @@
+// Package simnet is a deterministic virtual network running on the
+// discrete-event kernel in internal/sim. It models the paper's testbed:
+// hosts and routers joined by duplex links with latency and bandwidth
+// (100Base-T LANs, the 1.5 Mbps IMnet WAN), site firewalls at gateways, and
+// reliable byte-stream connections with store-and-forward segmentation.
+//
+// simnet implements the transport.Env contract, so the exact protocol code
+// that runs on real TCP (the Nexus Proxy relay, Nexus, GRAM, RMF, MPI) runs
+// unmodified inside the simulation, where the wide-area experiments execute
+// in virtual time on a single core.
+//
+// # Timing model
+//
+// A stream write is segmented into MTU-sized segments. Each directed link
+// has a FIFO pump: a segment occupies the link for size/bandwidth
+// (serialization), then arrives after the link's propagation latency,
+// overlapped with the serialization of the next segment. Multi-hop paths
+// therefore pipeline naturally, which is exactly the mechanism behind the
+// paper's observation that proxy overhead fades as message size grows.
+// Connection setup costs one round trip along the path. A per-connection
+// sliding window (default 256 KiB) bounds in-flight bytes; window credit is
+// returned when a segment reaches the receiver's buffer.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"nxcluster/internal/firewall"
+	"nxcluster/internal/sim"
+)
+
+// DefaultMTU is the segment size streams are chopped into.
+const DefaultMTU = 4096
+
+// DefaultWindow is the per-connection in-flight byte limit.
+const DefaultWindow = 256 * 1024
+
+// ctlSize models the wire size of SYN/ACK/FIN control packets.
+const ctlSize = 64
+
+// LinkConfig describes one duplex link.
+type LinkConfig struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// Bandwidth is bytes per second in each direction; 0 means unlimited.
+	Bandwidth int64
+}
+
+// Network is a virtual network bound to a simulation kernel.
+type Network struct {
+	K     *sim.Kernel
+	MTU   int
+	nodes map[string]*Node
+	// routes caches computed paths keyed by "src dst".
+	routes    map[string][]*linkDir
+	firewalls map[string]*firewall.Firewall
+	nextConn  int
+}
+
+// New creates an empty network on kernel k.
+func New(k *sim.Kernel) *Network {
+	return &Network{
+		K:         k,
+		MTU:       DefaultMTU,
+		nodes:     make(map[string]*Node),
+		routes:    make(map[string][]*linkDir),
+		firewalls: make(map[string]*firewall.Firewall),
+	}
+}
+
+// Node is a host or router in the network. Hosts can bind listeners, dial,
+// and run processes; routers only forward.
+type Node struct {
+	net       *Network
+	name      string
+	site      string
+	isHost    bool
+	speed     float64
+	cpus      *sim.Semaphore
+	links     []*linkDir
+	listeners map[int]*listener
+	nextPort  int
+}
+
+// HostConfig describes a host's compute capability.
+type HostConfig struct {
+	// Site groups the host behind its site firewall ("" = no site).
+	Site string
+	// Speed is the relative CPU speed factor (1.0 = nominal).
+	Speed float64
+	// CPUs is the processor count (default 1).
+	CPUs int
+}
+
+// AddHost creates a host node.
+func (n *Network) AddHost(name string, cfg HostConfig) *Node {
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1.0
+	}
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	node := &Node{
+		net:       n,
+		name:      name,
+		site:      cfg.Site,
+		isHost:    true,
+		speed:     cfg.Speed,
+		cpus:      sim.NewSemaphore(n.K, cfg.CPUs),
+		listeners: make(map[int]*listener),
+		nextPort:  32768,
+	}
+	n.addNode(node)
+	return node
+}
+
+// AddRouter creates a forwarding-only node (a gateway or switch).
+func (n *Network) AddRouter(name, site string) *Node {
+	node := &Node{net: n, name: name, site: site}
+	n.addNode(node)
+	return node
+}
+
+func (n *Network) addNode(node *Node) {
+	if _, dup := n.nodes[node.name]; dup {
+		panic(fmt.Sprintf("simnet: duplicate node %q", node.name))
+	}
+	n.nodes[node.name] = node
+	n.routes = make(map[string][]*linkDir) // invalidate cache
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// Site returns the node's site.
+func (nd *Node) Site() string { return nd.site }
+
+// Speed returns the host's relative CPU speed.
+func (nd *Node) Speed() float64 { return nd.speed }
+
+// SetFirewall installs fw as the filter for every boundary crossing into or
+// out of the named site.
+func (n *Network) SetFirewall(site string, fw *firewall.Firewall) {
+	n.firewalls[site] = fw
+}
+
+// Firewall returns the site's firewall, or nil.
+func (n *Network) Firewall(site string) *firewall.Firewall { return n.firewalls[site] }
+
+// Connect joins nodes a and b with a duplex link.
+func (n *Network) Connect(a, b string, cfg LinkConfig) {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		panic(fmt.Sprintf("simnet: Connect(%q, %q): unknown node", a, b))
+	}
+	ab := &linkDir{net: n, from: na, to: nb, cfg: cfg}
+	ba := &linkDir{net: n, from: nb, to: na, cfg: cfg}
+	ab.rev, ba.rev = ba, ab
+	na.links = append(na.links, ab)
+	nb.links = append(nb.links, ba)
+	n.routes = make(map[string][]*linkDir)
+}
+
+// route computes (with caching) the minimum-latency path between two nodes
+// as a sequence of directed links. Ties break on hop count, then on node
+// name for determinism.
+func (n *Network) route(src, dst *Node) []*linkDir {
+	if src == dst {
+		return []*linkDir{}
+	}
+	key := src.name + " " + dst.name
+	if p, ok := n.routes[key]; ok {
+		return p
+	}
+	p := n.dijkstra(src, dst)
+	n.routes[key] = p
+	return p
+}
+
+type pqItem struct {
+	node *Node
+	dist time.Duration
+	hops int
+	via  *linkDir
+	prev *pqItem
+	idx  int
+}
+
+type pq []*pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	if q[i].hops != q[j].hops {
+		return q[i].hops < q[j].hops
+	}
+	return q[i].node.name < q[j].node.name
+}
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].idx, q[j].idx = i, j }
+func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.idx = len(*q); *q = append(*q, it) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+func (n *Network) dijkstra(src, dst *Node) []*linkDir {
+	settled := make(map[string]bool)
+	best := make(map[string]*pqItem)
+	q := &pq{}
+	start := &pqItem{node: src}
+	heap.Push(q, start)
+	best[src.name] = start
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		if settled[it.node.name] {
+			continue
+		}
+		settled[it.node.name] = true
+		if it.node == dst {
+			var path []*linkDir
+			for cur := it; cur.via != nil; cur = cur.prev {
+				path = append([]*linkDir{cur.via}, path...)
+			}
+			return path
+		}
+		for _, ld := range it.node.links {
+			if settled[ld.to.name] {
+				continue
+			}
+			// A nanosecond per hop keeps zero-latency topologies ordered.
+			nd := it.dist + ld.cfg.Latency + 1
+			cur, ok := best[ld.to.name]
+			cand := &pqItem{node: ld.to, dist: nd, hops: it.hops + 1, via: ld, prev: it}
+			if !ok || pq([]*pqItem{cand, cur}).Less(0, 1) {
+				best[ld.to.name] = cand
+				heap.Push(q, cand)
+			}
+		}
+	}
+	return nil
+}
+
+// reversePath returns the reverse direction of each link, in reverse order.
+func reversePath(path []*linkDir) []*linkDir {
+	out := make([]*linkDir, len(path))
+	for i, ld := range path {
+		out[len(path)-1-i] = ld.rev
+	}
+	return out
+}
+
+// linkDir is one direction of a duplex link, with a FIFO store-and-forward
+// pump.
+type linkDir struct {
+	net     *Network
+	from    *Node
+	to      *Node
+	rev     *linkDir
+	cfg     LinkConfig
+	queue   *sim.Chan[*transfer]
+	pumping bool
+	down    bool
+	// Traffic counters for utilization reporting.
+	bytes   int64
+	stalled int64
+	busy    time.Duration
+}
+
+// transfer is one segment or control packet in flight along a path.
+type transfer struct {
+	size    int
+	path    []*linkDir
+	idx     int
+	deliver func()
+}
+
+// send enqueues a packet of the given size along path; deliver runs at the
+// final hop. Must be called from kernel or process context.
+func (n *Network) send(path []*linkDir, size int, deliver func()) {
+	if len(path) == 0 {
+		// Same-host communication: deliver after a scheduling tick.
+		n.K.After(0, deliver)
+		return
+	}
+	tr := &transfer{size: size, path: path, deliver: deliver}
+	path[0].enqueue(tr)
+}
+
+func (ld *linkDir) enqueue(tr *transfer) {
+	if ld.queue == nil {
+		ld.queue = sim.NewChan[*transfer](ld.net.K, math.MaxInt32)
+	}
+	if !ld.pumping {
+		ld.pumping = true
+		ld.net.K.SpawnDaemon("link:"+ld.from.name+">"+ld.to.name, ld.pump)
+	}
+	if err := ld.queue.TrySend(tr); err != nil {
+		panic("simnet: link queue overflow")
+	}
+}
+
+// pump serializes queued transfers onto the link one at a time; propagation
+// latency overlaps with the next serialization.
+func (ld *linkDir) pump(p *sim.Proc) {
+	for {
+		tr, err := ld.queue.Recv(p)
+		if err != nil {
+			return
+		}
+		if ld.down {
+			// Out of service: traffic stalls until the link returns. At
+			// the reliable-stream abstraction this is what a link flap
+			// looks like from the endpoints (TCP retransmits cover the
+			// loss); only the delay is observable.
+			ld.stalled += int64(tr.size)
+			for ld.down {
+				p.Sleep(10 * time.Millisecond)
+			}
+		}
+		if ld.cfg.Bandwidth > 0 {
+			ser := time.Duration(float64(tr.size) / float64(ld.cfg.Bandwidth) * float64(time.Second))
+			p.Sleep(ser)
+			ld.busy += ser
+		}
+		ld.bytes += int64(tr.size)
+		t := tr
+		ld.net.K.After(ld.cfg.Latency, func() { t.advance() })
+	}
+}
+
+func (tr *transfer) advance() {
+	tr.idx++
+	if tr.idx < len(tr.path) {
+		tr.path[tr.idx].enqueue(tr)
+		return
+	}
+	tr.deliver()
+}
+
+// checkFirewalls applies site firewall policy to a connection attempt from
+// src to dst:dstPort. Crossing out of a firewalled site consults its
+// outgoing rules; crossing into one consults its incoming rules.
+func (n *Network) checkFirewalls(src, dst *Node, dstPort int) error {
+	if src.site == dst.site {
+		return nil
+	}
+	if fw := n.firewalls[src.site]; fw != nil {
+		if !fw.PermitConn(firewall.Outgoing, src.name, dst.name, dstPort) {
+			return fmt.Errorf("simnet: %s -> %s:%d: %w (site %s outgoing)",
+				src.name, dst.name, dstPort, errFirewallDenied, src.site)
+		}
+	}
+	if fw := n.firewalls[dst.site]; fw != nil {
+		if !fw.PermitConn(firewall.Incoming, src.name, dst.name, dstPort) {
+			return fmt.Errorf("simnet: %s -> %s:%d: %w (site %s incoming)",
+				src.name, dst.name, dstPort, errFirewallDenied, dst.site)
+		}
+	}
+	return nil
+}
+
+// PathLatency reports the one-way propagation latency between two hosts
+// (sum of link latencies on the routed path), for calibration and tests.
+func (n *Network) PathLatency(src, dst string) (time.Duration, error) {
+	a, b := n.nodes[src], n.nodes[dst]
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("simnet: unknown node in %q -> %q", src, dst)
+	}
+	path := n.route(a, b)
+	if path == nil {
+		return 0, fmt.Errorf("simnet: no route %q -> %q", src, dst)
+	}
+	var total time.Duration
+	for _, ld := range path {
+		total += ld.cfg.Latency
+	}
+	return total, nil
+}
+
+// PathBandwidth reports the bottleneck bandwidth along the routed path;
+// 0 means unlimited end to end.
+func (n *Network) PathBandwidth(src, dst string) (int64, error) {
+	a, b := n.nodes[src], n.nodes[dst]
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("simnet: unknown node in %q -> %q", src, dst)
+	}
+	path := n.route(a, b)
+	if path == nil {
+		return 0, fmt.Errorf("simnet: no route %q -> %q", src, dst)
+	}
+	var min int64
+	for _, ld := range path {
+		if ld.cfg.Bandwidth == 0 {
+			continue
+		}
+		if min == 0 || ld.cfg.Bandwidth < min {
+			min = ld.cfg.Bandwidth
+		}
+	}
+	return min, nil
+}
+
+// Hops reports the number of links on the routed path.
+func (n *Network) Hops(src, dst string) (int, error) {
+	a, b := n.nodes[src], n.nodes[dst]
+	if a == nil || b == nil {
+		return 0, fmt.Errorf("simnet: unknown node in %q -> %q", src, dst)
+	}
+	path := n.route(a, b)
+	if path == nil {
+		return 0, fmt.Errorf("simnet: no route %q -> %q", src, dst)
+	}
+	return len(path), nil
+}

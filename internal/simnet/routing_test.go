@@ -1,0 +1,114 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+)
+
+// TestRoutingMatchesBruteForce compares Dijkstra against an exhaustive
+// shortest-path search on random small topologies.
+func TestRoutingMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		k := sim.New()
+		n := New(k)
+		nodes := 3 + rng.Intn(5)
+		for i := 0; i < nodes; i++ {
+			n.AddHost(fmt.Sprintf("h%d", i), HostConfig{})
+		}
+		// Random edges with random latencies.
+		type edge struct {
+			a, b int
+			lat  time.Duration
+		}
+		var edges []edge
+		adj := make([][]time.Duration, nodes)
+		for i := range adj {
+			adj[i] = make([]time.Duration, nodes)
+		}
+		for i := 0; i < nodes; i++ {
+			for j := i + 1; j < nodes; j++ {
+				if rng.Intn(2) == 0 {
+					lat := time.Duration(1+rng.Intn(20)) * time.Millisecond
+					edges = append(edges, edge{i, j, lat})
+					adj[i][j], adj[j][i] = lat, lat
+					n.Connect(fmt.Sprintf("h%d", i), fmt.Sprintf("h%d", j), LinkConfig{Latency: lat})
+				}
+			}
+		}
+		// Brute-force all-pairs shortest latency (Floyd-Warshall).
+		const inf = time.Duration(1) << 60
+		dist := make([][]time.Duration, nodes)
+		for i := range dist {
+			dist[i] = make([]time.Duration, nodes)
+			for j := range dist[i] {
+				switch {
+				case i == j:
+					dist[i][j] = 0
+				case adj[i][j] > 0:
+					dist[i][j] = adj[i][j]
+				default:
+					dist[i][j] = inf
+				}
+			}
+		}
+		for via := 0; via < nodes; via++ {
+			for i := 0; i < nodes; i++ {
+				for j := 0; j < nodes; j++ {
+					if dist[i][via]+dist[via][j] < dist[i][j] {
+						dist[i][j] = dist[i][via] + dist[via][j]
+					}
+				}
+			}
+		}
+		for i := 0; i < nodes; i++ {
+			for j := 0; j < nodes; j++ {
+				if i == j {
+					continue
+				}
+				got, err := n.PathLatency(fmt.Sprintf("h%d", i), fmt.Sprintf("h%d", j))
+				if dist[i][j] == inf {
+					if err == nil {
+						t.Fatalf("trial %d: route found between disconnected h%d,h%d", trial, i, j)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("trial %d: no route h%d->h%d, want %v", trial, i, j, dist[i][j])
+				}
+				if got != dist[i][j] {
+					t.Fatalf("trial %d: latency h%d->h%d = %v, want %v", trial, i, j, got, dist[i][j])
+				}
+			}
+		}
+		k.Shutdown()
+	}
+}
+
+// TestRoutingSymmetricAndCacheInvalidation: symmetric links give symmetric
+// latencies, and adding a shortcut node invalidates cached routes.
+func TestRoutingSymmetricAndCacheInvalidation(t *testing.T) {
+	k := sim.New()
+	defer k.Shutdown()
+	n := New(k)
+	n.AddHost("a", HostConfig{})
+	n.AddHost("b", HostConfig{})
+	n.AddRouter("r", "")
+	n.Connect("a", "r", LinkConfig{Latency: 10 * time.Millisecond})
+	n.Connect("r", "b", LinkConfig{Latency: 10 * time.Millisecond})
+	ab, _ := n.PathLatency("a", "b")
+	ba, _ := n.PathLatency("b", "a")
+	if ab != ba || ab != 20*time.Millisecond {
+		t.Fatalf("asymmetric or wrong: ab=%v ba=%v", ab, ba)
+	}
+	// A direct shortcut must replace the cached two-hop route.
+	n.Connect("a", "b", LinkConfig{Latency: time.Millisecond})
+	ab2, _ := n.PathLatency("a", "b")
+	if ab2 != time.Millisecond {
+		t.Fatalf("route cache not invalidated: %v", ab2)
+	}
+}

@@ -1,0 +1,68 @@
+package simnet
+
+import (
+	"math"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+// simMutex implements transport.Mutex on the virtual-time kernel.
+type simMutex struct{ mu *sim.Mutex }
+
+func (m simMutex) Lock(env transport.Env)   { m.mu.Lock(procOf(env, "Mutex.Lock")) }
+func (m simMutex) Unlock(env transport.Env) { m.mu.Unlock() }
+
+// NewMutex implements transport.Env.
+func (e *Env) NewMutex() transport.Mutex {
+	return simMutex{mu: sim.NewMutex(e.node.net.K)}
+}
+
+// simQueue implements transport.AnyQueue over a sim channel.
+type simQueue struct{ ch *sim.Chan[interface{}] }
+
+// NewQueue implements transport.Env.
+func (e *Env) NewQueue() transport.AnyQueue {
+	return simQueue{ch: sim.NewChan[interface{}](e.node.net.K, math.MaxInt32)}
+}
+
+func (q simQueue) Put(env transport.Env, v interface{}) {
+	if err := q.ch.TrySend(v); err != nil {
+		// Closed queue: drop, matching the semantics of delivering to a
+		// finished consumer.
+		return
+	}
+}
+
+func (q simQueue) Get(env transport.Env) (interface{}, bool) {
+	v, err := q.ch.Recv(procOf(env, "Queue.Get"))
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func (q simQueue) TryGet(env transport.Env) (interface{}, bool) {
+	v, err := q.ch.TryRecv()
+	if err != nil {
+		return nil, false
+	}
+	return v, true
+}
+
+func (q simQueue) GetTimeout(env transport.Env, d time.Duration) (interface{}, bool, bool) {
+	v, err := q.ch.RecvTimeout(procOf(env, "Queue.GetTimeout"), d)
+	switch err {
+	case nil:
+		return v, true, false
+	case sim.ErrTimeout:
+		return nil, false, true
+	default:
+		return nil, false, false
+	}
+}
+
+func (q simQueue) Close() { q.ch.Close() }
+
+func (q simQueue) Len() int { return q.ch.Len() }

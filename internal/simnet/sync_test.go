@@ -1,0 +1,125 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+func TestSimQueueBlockingAndTimeout(t *testing.T) {
+	k, n := twoHosts(LinkConfig{})
+	n.Node("a").SpawnOn("driver", func(env transport.Env) {
+		q := transport.NewQueue[int](env)
+		// TryGet on empty.
+		if _, ok := q.TryGet(env); ok {
+			t.Error("TryGet on empty queue")
+		}
+		// Timed get expires in virtual time.
+		start := env.Now()
+		_, ok, timedOut := q.GetTimeout(env, 2*time.Second)
+		if ok || !timedOut {
+			t.Errorf("GetTimeout = ok=%v timedOut=%v", ok, timedOut)
+		}
+		if env.Now()-start != 2*time.Second {
+			t.Errorf("timeout took %v", env.Now()-start)
+		}
+		// Put then get.
+		q.Put(env, 42)
+		if q.Len() != 1 {
+			t.Errorf("Len = %d", q.Len())
+		}
+		v, ok := q.Get(env)
+		if !ok || v != 42 {
+			t.Errorf("Get = %d, %v", v, ok)
+		}
+		// Close drains then reports !ok.
+		q.Put(env, 1)
+		q.Close()
+		if v, ok := q.Get(env); !ok || v != 1 {
+			t.Errorf("drain after close = %d, %v", v, ok)
+		}
+		if _, ok := q.Get(env); ok {
+			t.Error("Get on closed empty queue")
+		}
+		// Put on closed drops silently.
+		q.Put(env, 9)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+}
+
+func TestSimQueueCrossProcess(t *testing.T) {
+	k, n := twoHosts(LinkConfig{})
+	var got int
+	n.Node("a").SpawnOn("driver", func(env transport.Env) {
+		q := transport.NewQueue[int](env)
+		env.Spawn("producer", func(e transport.Env) {
+			e.Sleep(time.Second)
+			q.Put(e, 7)
+		})
+		v, ok := q.Get(env)
+		if !ok {
+			t.Error("Get failed")
+		}
+		got = v
+		if env.Now() != time.Second {
+			t.Errorf("woke at %v", env.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if got != 7 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestSimMutexSerializes(t *testing.T) {
+	k, n := twoHosts(LinkConfig{})
+	var mu transport.Mutex
+	inCS := false
+	violations := 0
+	made := sim.NewEvent(k)
+	n.Node("a").SpawnOn("init", func(env transport.Env) {
+		mu = env.NewMutex()
+		made.Set()
+	})
+	for i := 0; i < 3; i++ {
+		n.Node("a").SpawnOn("worker", func(env transport.Env) {
+			p := env.(*Env).Proc()
+			made.Wait(p)
+			mu.Lock(env)
+			if inCS {
+				violations++
+			}
+			inCS = true
+			env.Sleep(time.Second)
+			inCS = false
+			mu.Unlock(env)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if violations != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations)
+	}
+	if k.Now() != 3*time.Second {
+		t.Fatalf("3 serialized sections took %v", k.Now())
+	}
+}
+
+func TestProcOfPanicsOnForeignEnv(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("procOf accepted a foreign Env")
+		}
+	}()
+	procOf(transport.NewTCPEnv("x"), "test")
+}

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// TCPEnv is the real-network implementation of Env: processes are goroutines,
+// the clock is the wall clock, and connections are loopback/OS TCP sockets.
+// It is what cmd/nxproxy-outer, cmd/nxproxy-inner and the quickstart example
+// run on.
+type TCPEnv struct {
+	host  string
+	bind  string // interface to bind listeners on, default 127.0.0.1
+	start time.Time
+	// DialGuard, when non-nil, is consulted before every Dial; it lets
+	// tests interpose a firewall rule set in front of real sockets.
+	DialGuard func(addr string) error
+}
+
+// NewTCPEnv creates a real-TCP environment. host is the name Dial targets
+// resolve against for the loopback interface; listeners bind 127.0.0.1.
+func NewTCPEnv(host string) *TCPEnv {
+	return &TCPEnv{host: host, bind: "127.0.0.1", start: time.Now()}
+}
+
+// Hostname implements Env.
+func (e *TCPEnv) Hostname() string { return e.host }
+
+// Now implements Env with a wall-clock monotonic reading.
+func (e *TCPEnv) Now() time.Duration { return time.Since(e.start) }
+
+// Sleep implements Env.
+func (e *TCPEnv) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Compute implements Env; on the real machine CPU consumption is modeled as
+// elapsed time.
+func (e *TCPEnv) Compute(d time.Duration) { time.Sleep(d) }
+
+// Spawn implements Env by starting a goroutine sharing this environment.
+func (e *TCPEnv) Spawn(name string, fn func(Env)) {
+	child := *e
+	go fn(&child)
+}
+
+// SpawnService implements Env; on the real network it is identical to Spawn.
+func (e *TCPEnv) SpawnService(name string, fn func(Env)) { e.Spawn(name, fn) }
+
+// Dial implements Env. Host names other than this environment's own are
+// resolved to loopback, so a multi-"host" topology can run in one process.
+func (e *TCPEnv) Dial(addr string) (Conn, error) {
+	if e.DialGuard != nil {
+		if err := e.DialGuard(addr); err != nil {
+			return nil, err
+		}
+	}
+	_, port, err := SplitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.DialTimeout("tcp", JoinAddr(e.bind, port), 5*time.Second)
+	if err != nil {
+		if errors.Is(err, syscall.ECONNREFUSED) {
+			return nil, ErrRefused
+		}
+		return nil, err
+	}
+	return &tcpConn{c: c, local: JoinAddr(e.host, localPort(c)), remote: addr}, nil
+}
+
+// Listen implements Env.
+func (e *TCPEnv) Listen(port int) (Listener, error) {
+	l, err := net.Listen("tcp", JoinAddr(e.bind, port))
+	if err != nil {
+		return nil, err
+	}
+	boundPort := l.Addr().(*net.TCPAddr).Port
+	return &tcpListener{l: l, host: e.host, addr: JoinAddr(e.host, boundPort)}, nil
+}
+
+func localPort(c net.Conn) int {
+	if a, ok := c.LocalAddr().(*net.TCPAddr); ok {
+		return a.Port
+	}
+	return 0
+}
+
+type tcpListener struct {
+	l    net.Listener
+	host string
+	addr string
+}
+
+func (t *tcpListener) Accept(env Env) (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		if errors.Is(err, net.ErrClosed) {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	remote := c.RemoteAddr().String()
+	return &tcpConn{c: c, local: t.addr, remote: remote}, nil
+}
+
+func (t *tcpListener) Close(env Env) error { return t.l.Close() }
+
+func (t *tcpListener) Addr() string { return t.addr }
+
+type tcpConn struct {
+	c      net.Conn
+	local  string
+	remote string
+}
+
+func (t *tcpConn) Read(env Env, b []byte) (int, error) {
+	n, err := t.c.Read(b)
+	if err != nil && !errors.Is(err, io.EOF) {
+		if isClosedErr(err) {
+			return n, io.EOF
+		}
+	}
+	return n, err
+}
+
+func (t *tcpConn) Write(env Env, b []byte) (int, error) {
+	n, err := t.c.Write(b)
+	if err != nil && isClosedErr(err) {
+		return n, ErrClosed
+	}
+	return n, err
+}
+
+func (t *tcpConn) Close(env Env) error { return t.c.Close() }
+
+func (t *tcpConn) LocalAddr() string { return t.local }
+
+func (t *tcpConn) RemoteAddr() string { return t.remote }
+
+// isClosedErr folds the various "use of closed connection"/reset flavors the
+// OS can return into one category, so upper layers see io.EOF/ErrClosed.
+func isClosedErr(err error) bool {
+	if errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	return strings.Contains(err.Error(), "use of closed network connection")
+}

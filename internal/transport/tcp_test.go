@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitJoinAddr(t *testing.T) {
+	host, port, err := SplitAddr("etl-sun:7010")
+	if err != nil || host != "etl-sun" || port != 7010 {
+		t.Fatalf("SplitAddr = %q,%d,%v", host, port, err)
+	}
+	if JoinAddr("etl-sun", 7010) != "etl-sun:7010" {
+		t.Fatal("JoinAddr mismatch")
+	}
+	if _, _, err := SplitAddr("noport"); err == nil {
+		t.Fatal("missing port accepted")
+	}
+	if _, _, err := SplitAddr("h:notnum"); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	if _, _, err := SplitAddr("h:70000"); err == nil {
+		t.Fatal("out-of-range port accepted")
+	}
+}
+
+func TestQuickSplitJoinRoundTrip(t *testing.T) {
+	prop := func(host string, port uint16) bool {
+		h, p, err := SplitAddr(JoinAddr(host, int(port)))
+		// Hosts containing ':' are not representable; skip them.
+		for _, c := range host {
+			if c == ':' {
+				return true
+			}
+		}
+		return err == nil && h == host && p == int(port)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPEchoLoopback(t *testing.T) {
+	env := NewTCPEnv("testhost")
+	l, err := env.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close(env)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	env.Spawn("server", func(e Env) {
+		defer wg.Done()
+		c, err := l.Accept(e)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(Stream{Env: e, Conn: c}, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Write(e, buf); err != nil {
+			t.Error(err)
+		}
+		_ = c.Close(e)
+	})
+
+	c, err := env.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(env, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(Stream{Env: env, Conn: c}, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echo = %q", buf)
+	}
+	// After server close, reads hit EOF.
+	if _, err := c.Read(env, buf); !errors.Is(err, io.EOF) {
+		t.Fatalf("read after close = %v, want EOF", err)
+	}
+	wg.Wait()
+}
+
+func TestTCPDialRefused(t *testing.T) {
+	env := NewTCPEnv("h")
+	// Bind and immediately close to get a port that is very likely free.
+	l, err := env.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr()
+	_ = l.Close(env)
+	if _, err := env.Dial(addr); !errors.Is(err, ErrRefused) {
+		t.Fatalf("dial closed port = %v, want ErrRefused", err)
+	}
+}
+
+func TestTCPDialGuard(t *testing.T) {
+	env := NewTCPEnv("h")
+	env.DialGuard = func(addr string) error { return ErrFirewallDenied }
+	if _, err := env.Dial("h:80"); !errors.Is(err, ErrFirewallDenied) {
+		t.Fatalf("guarded dial = %v, want ErrFirewallDenied", err)
+	}
+}
+
+func TestTCPListenerCloseUnblocksAccept(t *testing.T) {
+	env := NewTCPEnv("h")
+	l, err := env.Listen(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	env.Spawn("acceptor", func(e Env) {
+		_, err := l.Accept(e)
+		done <- err
+	})
+	_ = l.Close(env)
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Accept after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPEnvClockMonotonic(t *testing.T) {
+	env := NewTCPEnv("h")
+	a := env.Now()
+	env.Sleep(10 * 1e6) // 10ms
+	if env.Now() <= a {
+		t.Fatal("clock did not advance")
+	}
+}

@@ -1,0 +1,378 @@
+// Package treesearch generalizes the paper's parallel tree-search engine
+// into a reusable library: the conclusion of the paper is that "a parallel
+// tree search problem has a coarse grained and asynchronous parallelism
+// [and] is considered suitable for metacomputing environments", and this
+// package lets any such problem run on the same master/worker
+// self-scheduler the knapsack evaluation uses — opaque encoded tasks, a
+// depth-first stack per rank, demand-driven stealing from the master, and
+// periodic voluntary sharing of coarse (oldest) tasks.
+//
+// A problem supplies an Expander that expands one task into child tasks and
+// a score contribution; scores combine by Max (optimization searches) or
+// Sum (counting searches). internal/knapsack keeps its own specialized
+// implementation for paper fidelity; new applications should use this one
+// (internal/nqueens and examples/nqueens show the pattern).
+package treesearch
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/nexus"
+)
+
+// Expander expands one encoded task: it calls emit for each child task and
+// returns the task's score contribution (interpretation depends on the
+// combine mode).
+type Expander interface {
+	Expand(task []byte, emit func(child []byte)) int64
+}
+
+// ExpanderFunc adapts a function to the Expander interface.
+type ExpanderFunc func(task []byte, emit func(child []byte)) int64
+
+// Expand implements Expander.
+func (f ExpanderFunc) Expand(task []byte, emit func(child []byte)) int64 {
+	return f(task, emit)
+}
+
+// Combine selects how per-task scores merge.
+type Combine int
+
+// Combine modes.
+const (
+	// Max keeps the largest score (branch-and-bound style searches).
+	Max Combine = iota
+	// Sum adds every score (counting searches).
+	Sum
+)
+
+// Params mirror the knapsack scheduler's knobs.
+type Params struct {
+	// Interval is the number of expansions between scheduler interactions.
+	Interval int
+	// StealUnit is how many tasks a steal reply carries.
+	StealUnit int
+	// BackUnit is how many coarse tasks a worker returns when sharing.
+	BackUnit int
+	// ShareInterval makes a busy worker return BackUnit of its oldest
+	// tasks every ShareInterval expansions; 0 selects 2*Interval, negative
+	// disables.
+	ShareInterval int
+	// MasterReserve is the stack depth the master keeps while serving;
+	// 0 selects 2, negative disables.
+	MasterReserve int
+	// Combine selects Max or Sum.
+	Combine Combine
+	// TaskCost is the virtual CPU time one expansion costs.
+	TaskCost time.Duration
+}
+
+func (p Params) withDefaults() Params {
+	if p.Interval <= 0 {
+		p.Interval = 100
+	}
+	if p.StealUnit <= 0 {
+		p.StealUnit = 2
+	}
+	if p.BackUnit <= 0 {
+		p.BackUnit = 2
+	}
+	if p.ShareInterval == 0 {
+		p.ShareInterval = 2 * p.Interval
+	}
+	if p.MasterReserve == 0 {
+		p.MasterReserve = 2
+	}
+	return p
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Score is the combined score (valid on every rank).
+	Score int64
+	// Expanded counts tasks expanded across ranks (valid on rank 0).
+	Expanded int64
+	// PerRank holds each rank's expansion count (valid on rank 0).
+	PerRank []int64
+	// Elapsed is the master's measure of the search (valid on rank 0).
+	Elapsed time.Duration
+}
+
+// Message tags.
+const (
+	tagSteal = 11
+	tagWork  = 12
+	tagBack  = 13
+	tagTerm  = 14
+)
+
+var errBadBatch = errors.New("treesearch: malformed task batch")
+
+// stack is a LIFO of encoded tasks.
+type stack struct{ tasks [][]byte }
+
+func (s *stack) push(t []byte) { s.tasks = append(s.tasks, t) }
+func (s *stack) len() int      { return len(s.tasks) }
+func (s *stack) pop() ([]byte, bool) {
+	if len(s.tasks) == 0 {
+		return nil, false
+	}
+	t := s.tasks[len(s.tasks)-1]
+	s.tasks = s.tasks[:len(s.tasks)-1]
+	return t, true
+}
+
+// takeBottom removes up to k of the oldest (coarsest) tasks.
+func (s *stack) takeBottom(k int) [][]byte {
+	if k > len(s.tasks) {
+		k = len(s.tasks)
+	}
+	out := make([][]byte, k)
+	copy(out, s.tasks[:k])
+	s.tasks = append(s.tasks[:0], s.tasks[k:]...)
+	return out
+}
+
+func (s *stack) pushAll(ts [][]byte) { s.tasks = append(s.tasks, ts...) }
+
+func encodeBatch(ts [][]byte) []byte {
+	b := nexus.NewBuffer()
+	b.PutInt32(int32(len(ts)))
+	for _, t := range ts {
+		b.PutBytes(t)
+	}
+	return b.Bytes()
+}
+
+func decodeBatch(data []byte) ([][]byte, error) {
+	b := nexus.FromBytes(data)
+	n, err := b.GetInt32()
+	if err != nil || n < 0 {
+		return nil, errBadBatch
+	}
+	out := make([][]byte, n)
+	for i := range out {
+		t, err := b.GetBytes()
+		if err != nil {
+			return nil, errBadBatch
+		}
+		out[i] = append([]byte(nil), t...)
+	}
+	return out, nil
+}
+
+// engine is the per-rank search state.
+type engine struct {
+	ex       Expander
+	p        Params
+	stack    stack
+	score    int64
+	hasScore bool
+	expanded int64
+}
+
+func (e *engine) combine(v int64) {
+	if !e.hasScore {
+		e.score, e.hasScore = v, true
+		return
+	}
+	if e.p.Combine == Sum {
+		e.score += v
+	} else if v > e.score {
+		e.score = v
+	}
+}
+
+// expandN expands up to k tasks; returns how many ran.
+func (e *engine) expandN(k int) int {
+	for i := 0; i < k; i++ {
+		t, ok := e.stack.pop()
+		if !ok {
+			return i
+		}
+		e.expanded++
+		e.combine(e.ex.Expand(t, func(child []byte) {
+			e.stack.push(append([]byte(nil), child...))
+		}))
+	}
+	return k
+}
+
+// Run executes the search on the communicator: rank 0 is the master holding
+// the root task, other ranks steal on demand. Every rank must pass the same
+// root, expander semantics and params; every rank receives the combined
+// score.
+func Run(c *mpi.Comm, root []byte, ex Expander, p Params) (*Result, error) {
+	p = p.withDefaults()
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	start := c.Env().Now()
+	eng := &engine{ex: ex, p: p}
+	var err error
+	if c.Rank() == 0 {
+		eng.stack.push(append([]byte(nil), root...))
+		err = runMaster(c, eng, p)
+	} else {
+		err = runWorker(c, eng, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	elapsed := c.Env().Now() - start
+
+	// Combine scores across ranks. Ranks that never expanded anything use
+	// the identity for the mode.
+	local := eng.score
+	if !eng.hasScore {
+		if p.Combine == Sum {
+			local = 0
+		} else {
+			local = -1 << 62
+		}
+	}
+	var score int64
+	if p.Combine == Sum {
+		score, err = c.AllreduceInt64(local, mpi.OpSum)
+	} else {
+		score, err = c.AllreduceInt64(local, mpi.OpMax)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var counts [8]byte
+	for i := 0; i < 8; i++ {
+		counts[i] = byte(eng.expanded >> (56 - 8*i))
+	}
+	parts, err := c.Gather(0, counts[:])
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Score: score, Elapsed: elapsed}
+	if c.Rank() == 0 {
+		for _, part := range parts {
+			var v int64
+			for i := 0; i < 8; i++ {
+				v = v<<8 | int64(part[i])
+			}
+			res.PerRank = append(res.PerRank, v)
+			res.Expanded += v
+		}
+	}
+	return res, nil
+}
+
+func runMaster(c *mpi.Comm, eng *engine, p Params) error {
+	nworkers := c.Size() - 1
+	var pending []int
+	reserve := p.MasterReserve
+	if reserve < 0 {
+		reserve = 0
+	}
+	serve := func() error {
+		for len(pending) > 0 && eng.stack.len() > reserve {
+			to := pending[0]
+			pending = pending[1:]
+			if err := c.Send(to, tagWork, encodeBatch(eng.stack.takeBottom(p.StealUnit))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	handle := func(m mpi.Message) error {
+		switch m.Tag {
+		case tagSteal:
+			pending = append(pending, m.Src)
+		case tagBack:
+			ts, err := decodeBatch(m.Data)
+			if err != nil {
+				return err
+			}
+			eng.stack.pushAll(ts)
+		default:
+			return fmt.Errorf("treesearch master: unexpected tag %d", m.Tag)
+		}
+		return nil
+	}
+	for {
+		if eng.stack.len() > 0 {
+			ran := eng.expandN(p.Interval)
+			if p.TaskCost > 0 && ran > 0 {
+				c.Env().Compute(time.Duration(ran) * p.TaskCost)
+			}
+			for c.Iprobe(mpi.AnySource, mpi.AnyTag) {
+				m, err := c.Recv(mpi.AnySource, mpi.AnyTag)
+				if err != nil {
+					return err
+				}
+				if err := handle(m); err != nil {
+					return err
+				}
+			}
+			if err := serve(); err != nil {
+				return err
+			}
+			continue
+		}
+		if len(pending) == nworkers {
+			break
+		}
+		m, err := c.Recv(mpi.AnySource, mpi.AnyTag)
+		if err != nil {
+			return err
+		}
+		if err := handle(m); err != nil {
+			return err
+		}
+		if err := serve(); err != nil {
+			return err
+		}
+	}
+	for i := 1; i < c.Size(); i++ {
+		if err := c.Send(i, tagTerm, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runWorker(c *mpi.Comm, eng *engine, p Params) error {
+	ops := 0
+	for {
+		if eng.stack.len() == 0 {
+			if err := c.Send(0, tagSteal, nil); err != nil {
+				return err
+			}
+			m, err := c.Recv(0, mpi.AnyTag)
+			if err != nil {
+				return err
+			}
+			if m.Tag == tagTerm {
+				return nil
+			}
+			if m.Tag != tagWork {
+				return fmt.Errorf("treesearch worker: unexpected tag %d", m.Tag)
+			}
+			ts, err := decodeBatch(m.Data)
+			if err != nil {
+				return err
+			}
+			eng.stack.pushAll(ts)
+			continue
+		}
+		ran := eng.expandN(p.Interval)
+		ops += ran
+		if p.TaskCost > 0 && ran > 0 {
+			c.Env().Compute(time.Duration(ran) * p.TaskCost)
+		}
+		if p.ShareInterval > 0 && ops >= p.ShareInterval && eng.stack.len() > p.BackUnit+1 {
+			ops = 0
+			if err := c.Send(0, tagBack, encodeBatch(eng.stack.takeBottom(p.BackUnit))); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package treesearch
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+)
+
+// nqueens builds an Expander counting N-queens solutions. A task encodes
+// [n, placedCount, col0, col1, ...].
+func nqueens() Expander {
+	return ExpanderFunc(func(task []byte, emit func([]byte)) int64 {
+		n := int(task[0])
+		placed := int(task[1])
+		cols := task[2 : 2+placed]
+		if placed == n {
+			return 1 // a solution
+		}
+		for c := 0; c < n; c++ {
+			ok := true
+			for r, pc := range cols {
+				if int(pc) == c || placed-r == c-int(pc) || placed-r == int(pc)-c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				child := make([]byte, 2+placed+1)
+				child[0] = byte(n)
+				child[1] = byte(placed + 1)
+				copy(child[2:], cols)
+				child[2+placed] = byte(c)
+				emit(child)
+			}
+		}
+		return 0
+	})
+}
+
+func nqueensRoot(n int) []byte { return []byte{byte(n), 0} }
+
+// knownCounts are the classic N-queens solution counts.
+var knownCounts = map[int]int64{4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352}
+
+// runWorld executes a search on a simulated LAN with the given rank count.
+func runWorld(t *testing.T, ranks int, root []byte, ex Expander, p Params) *Result {
+	t.Helper()
+	k := sim.New()
+	net := simnet.New(k)
+	net.AddRouter("sw", "")
+	pls := make([]mpi.Placement, ranks)
+	for i := range pls {
+		name := fmt.Sprintf("n%d", i)
+		net.AddHost(name, simnet.HostConfig{})
+		net.Connect(name, "sw", simnet.LinkConfig{Latency: 200 * time.Microsecond, Bandwidth: 12 << 20})
+		pls[i] = mpi.Placement{Name: name, Spawn: net.Node(name).SpawnOn}
+	}
+	w := mpi.NewWorld(pls)
+	var res *Result
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := Run(c, root, ex, p)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNQueensCountsSingleRank(t *testing.T) {
+	for n, want := range knownCounts {
+		res := runWorld(t, 1, nqueensRoot(n), nqueens(), Params{Combine: Sum})
+		if res.Score != want {
+			t.Errorf("n=%d: %d solutions, want %d", n, res.Score, want)
+		}
+	}
+}
+
+func TestNQueensParallelMatchesSequential(t *testing.T) {
+	seq := runWorld(t, 1, nqueensRoot(8), nqueens(), Params{Combine: Sum})
+	par := runWorld(t, 6, nqueensRoot(8), nqueens(), Params{
+		Combine: Sum, Interval: 10, StealUnit: 2, TaskCost: 50 * time.Microsecond,
+	})
+	if par.Score != 92 || seq.Score != 92 {
+		t.Fatalf("scores: seq=%d par=%d, want 92", seq.Score, par.Score)
+	}
+	// Work conservation: identical expansion counts regardless of ranks.
+	if par.Expanded != seq.Expanded {
+		t.Fatalf("expanded: seq=%d par=%d", seq.Expanded, par.Expanded)
+	}
+	// All ranks contributed.
+	busy := 0
+	for _, v := range par.PerRank {
+		if v > 0 {
+			busy++
+		}
+	}
+	if busy < 4 {
+		t.Fatalf("only %d of 6 ranks expanded tasks: %v", busy, par.PerRank)
+	}
+}
+
+// TestMaxCombine searches for the deepest path in a skewed tree.
+func TestMaxCombine(t *testing.T) {
+	// Task = [depth]; each node emits children up to depth 6 with widths
+	// shrinking by depth; score = depth.
+	deepest := ExpanderFunc(func(task []byte, emit func([]byte)) int64 {
+		d := int64(task[0])
+		if d < 6 {
+			for i := 0; i < 2; i++ {
+				emit([]byte{byte(d + 1)})
+			}
+		}
+		return d
+	})
+	res := runWorld(t, 3, []byte{0}, deepest, Params{Combine: Max, Interval: 5, TaskCost: 10 * time.Microsecond})
+	if res.Score != 6 {
+		t.Fatalf("max score = %d, want 6", res.Score)
+	}
+	if res.Expanded != 127 {
+		t.Fatalf("expanded = %d, want 127 (full binary tree depth 6)", res.Expanded)
+	}
+}
+
+func TestBatchCodec(t *testing.T) {
+	ts := [][]byte{{1, 2}, nil, {3}}
+	got, err := decodeBatch(encodeBatch(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got[0]) != "\x01\x02" || len(got[1]) != 0 || string(got[2]) != "\x03" {
+		t.Fatalf("round trip = %v", got)
+	}
+	if _, err := decodeBatch([]byte{0, 0}); err == nil {
+		t.Fatal("truncated batch decoded")
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	var s stack
+	for i := byte(0); i < 5; i++ {
+		s.push([]byte{i})
+	}
+	bottom := s.takeBottom(2)
+	if len(bottom) != 2 || bottom[0][0] != 0 || bottom[1][0] != 1 {
+		t.Fatalf("takeBottom = %v", bottom)
+	}
+	top, ok := s.pop()
+	if !ok || top[0] != 4 {
+		t.Fatalf("pop = %v, %v", top, ok)
+	}
+	if s.len() != 2 {
+		t.Fatalf("len = %d", s.len())
+	}
+	s.takeBottom(99)
+	if _, ok := s.pop(); ok {
+		t.Fatal("pop on empty stack")
+	}
+}
