@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples cover clean
+.PHONY: all build test check race bench bench-json experiments examples cover clean
 
-all: build test
+all: build check
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,23 @@ build:
 test:
 	$(GO) test ./...
 
+# check is the default verification gate: vet plus the full test suite under
+# the race detector (the parallel sweep makes race coverage load-bearing).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 race:
 	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json runs the kernel/data-plane microbenchmarks and emits machine-
+# readable results for tracking regressions across commits.
+bench-json:
+	$(GO) test -run NONE -bench 'KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
+	@cat BENCH_kernel.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -71,6 +71,7 @@ func knapsackReport(b *testing.B) *bench.KnapsackReport {
 }
 
 func BenchmarkTable4ExecutionAndSpeedup(b *testing.B) {
+	b.ReportAllocs()
 	r := knapsackReport(b)
 	b.ReportMetric(r.SeqTime.Seconds(), "vsec-sequential")
 	for _, row := range r.Rows {
@@ -176,6 +177,7 @@ func BenchmarkAblationProxyPlacement(b *testing.B) {
 // bytes streamed per host-second, the substrate cost every experiment pays.
 func BenchmarkSimnetThroughput(b *testing.B) {
 	const size = 1 << 20
+	b.ReportAllocs()
 	b.SetBytes(size)
 	for i := 0; i < b.N; i++ {
 		k := sim.New()
@@ -218,8 +220,44 @@ func BenchmarkSimnetThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelStep measures the kernel's per-step cost on the hot
+// Sleep/wake path: each iteration is one Step (a ready-task run or an event
+// fire). Steady state is allocation-free — events come from the kernel's
+// free list and wakeups reference the process directly, with no callback
+// closure.
+func BenchmarkKernelStep(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New()
+	k.SpawnDaemon("ticker", func(p *sim.Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step()
+	}
+	b.StopTimer()
+	k.Shutdown()
+}
+
+// BenchmarkKernelTimerStop measures arming and immediately canceling a
+// timer. The index-aware event heap removes the canceled event in O(log n)
+// instead of leaking it until its deadline, so churned timeouts cost only
+// the Timer handle.
+func BenchmarkKernelTimerStop(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New()
+	fn := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Second, fn).Stop()
+	}
+}
+
 // BenchmarkMPIPingPong measures the simulated MPI stack's host-side cost.
 func BenchmarkMPIPingPong(b *testing.B) {
+	b.ReportAllocs()
 	k := sim.New()
 	n := simnet.New(k)
 	n.AddHost("a", simnet.HostConfig{})

@@ -26,9 +26,10 @@ func main() {
 	items := flag.Int("items", 50, "knapsack items (paper: 50)")
 	capacity := flag.Int("capacity", 4, "knapsack capacity; controls tree size (4 = ~2.6M nodes, 5 = ~20.6M)")
 	rounds := flag.Int("rounds", 4, "rounds per Table 2 measurement")
+	workers := flag.Int("workers", 0, "host threads for independent simulations (0 = GOMAXPROCS, 1 = sequential); virtual-time results are identical either way")
 	flag.Parse()
 
-	kcfg := bench.KnapsackConfig{Items: *items, Capacity: *capacity}
+	kcfg := bench.KnapsackConfig{Items: *items, Capacity: *capacity, Workers: *workers}
 
 	var knapReport *bench.KnapsackReport
 	needKnap := func() *bench.KnapsackReport {
@@ -75,14 +76,14 @@ func main() {
 		section(s, err)
 	}
 	if want("sweep") {
-		sweeps, err := bench.RunBandwidthSweep(bench.Table2Config{Rounds: *rounds})
+		sweeps, err := bench.RunBandwidthSweep(bench.Table2Config{Rounds: *rounds, Workers: *workers})
 		if err != nil {
 			log.Fatalf("experiments: sweep: %v", err)
 		}
 		fmt.Println(bench.FormatSweep(sweeps))
 	}
 	if want("table2") {
-		rows, err := bench.RunTable2(bench.Table2Config{Rounds: *rounds})
+		rows, err := bench.RunTable2(bench.Table2Config{Rounds: *rounds, Workers: *workers})
 		if err != nil {
 			log.Fatalf("experiments: table2: %v", err)
 		}

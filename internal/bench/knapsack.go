@@ -25,6 +25,11 @@ type KnapsackConfig struct {
 	Params knapsack.Params
 	// Options are testbed options.
 	Options cluster.Options
+	// Workers bounds the sweep's host-side parallelism: each of the six
+	// runs (baseline + five systems) executes on its own kernel, so they
+	// can run on separate host threads without affecting virtual-time
+	// results. 0 selects GOMAXPROCS; 1 runs them sequentially.
+	Workers int
 }
 
 func (c KnapsackConfig) withDefaults() KnapsackConfig {
@@ -97,17 +102,6 @@ func RunKnapsack(cfg KnapsackConfig) (*KnapsackReport, error) {
 	wantBest := bestOf(in, cfg.Capacity)
 	report := &KnapsackReport{Config: cfg}
 
-	// Sequential baseline on RWCP-Sun: a single-rank parallel run
-	// degenerates to the pure solver loop.
-	seq, err := runOn(cfg, in, func(tb *cluster.Testbed) []mpi.Placement {
-		return tb.SequentialPlacement()
-	}, false)
-	if err != nil {
-		return nil, fmt.Errorf("bench: sequential baseline: %w", err)
-	}
-	report.SeqTime = seq.Elapsed
-	report.SeqTraversed = seq.TotalTraversed
-
 	type entry struct {
 		name     string
 		system   cluster.System
@@ -121,15 +115,44 @@ func RunKnapsack(cfg KnapsackConfig) (*KnapsackReport, error) {
 		{"Wide-area Cluster (use Nexus Proxy)", cluster.SystemWide, true, false},
 		{"Wide-area Cluster (not use Nexus Proxy)", cluster.SystemWide, false, true},
 	}
-	for _, e := range entries {
+
+	// All six runs (the sequential baseline at slot 0, the Table 3 systems
+	// after it) are independent simulations on private kernels; fan them out
+	// across host threads and aggregate by slot for deterministic ordering.
+	results := make([]*knapsack.Result, len(entries)+1)
+	err := RunParallel(len(entries)+1, cfg.Workers, func(i int) error {
+		if i == 0 {
+			// Sequential baseline on RWCP-Sun: a single-rank parallel run
+			// degenerates to the pure solver loop.
+			res, err := runOn(cfg, in, func(tb *cluster.Testbed) []mpi.Placement {
+				return tb.SequentialPlacement()
+			}, false)
+			if err != nil {
+				return fmt.Errorf("bench: sequential baseline: %w", err)
+			}
+			results[0] = res
+			return nil
+		}
+		e := entries[i-1]
 		c := cfg
 		c.Options.OpenFirewall = c.Options.OpenFirewall || e.openFW
 		res, err := runOn(c, in, func(tb *cluster.Testbed) []mpi.Placement {
 			return tb.Placements(e.system, e.useProxy)
 		}, e.useProxy)
 		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", e.name, err)
+			return fmt.Errorf("bench: %s: %w", e.name, err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	report.SeqTime = results[0].Elapsed
+	report.SeqTraversed = results[0].TotalTraversed
+
+	for i, e := range entries {
+		res := results[i+1]
 		if res.Best != wantBest {
 			return nil, fmt.Errorf("bench: %s found %d, want %d", e.name, res.Best, wantBest)
 		}

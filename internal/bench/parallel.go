@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunParallel executes n independent jobs across up to workers goroutines
+// (workers <= 0 selects GOMAXPROCS) and returns the first error in job
+// order, or nil.
+//
+// This is the experiment sweep harness: each job builds its own testbed on
+// its own simulation kernel, so runs that execute concurrently on host
+// threads remain bit-for-bit deterministic in virtual time — the kernels
+// share nothing. Callers store results into per-index slots, which keeps
+// result ordering deterministic regardless of completion order.
+//
+// With workers == 1 (or a single job) the jobs run inline on the calling
+// goroutine, stopping at the first error — the exact sequential semantics
+// the harness had before parallelization, which the determinism tests
+// compare against.
+func RunParallel(n, workers int, job func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -34,9 +34,7 @@ func RunBandwidthSweep(cfg Table2Config) ([]BandwidthSweep, error) {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 2
 	}
-	saved := Table2Sizes
-	Table2Sizes = SweepSizes
-	defer func() { Table2Sizes = saved }()
+	cfg.Sizes = SweepSizes
 
 	rows, err := RunTable2(cfg)
 	if err != nil {

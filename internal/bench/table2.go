@@ -43,6 +43,14 @@ func (r Table2Row) Mode() string {
 type Table2Config struct {
 	// Rounds per measurement point (default 4).
 	Rounds int
+	// Sizes are the message sizes bandwidth is measured at (default
+	// Table2Sizes). Carried in the config — not a package global — so
+	// concurrent measurements cannot interfere.
+	Sizes []int
+	// Workers bounds host-side parallelism across measurement points, each
+	// of which runs on its own testbed and kernel. 0 selects GOMAXPROCS;
+	// 1 measures sequentially.
+	Workers int
 	// Options are testbed options (relay calibration overrides for
 	// ablations).
 	Options cluster.Options
@@ -65,6 +73,9 @@ func RunTable2(cfg Table2Config) ([]Table2Row, error) {
 	if cfg.Rounds <= 0 {
 		cfg.Rounds = 4
 	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = Table2Sizes
+	}
 	type point struct {
 		path     string
 		peer     string
@@ -76,17 +87,24 @@ func RunTable2(cfg Table2Config) ([]Table2Row, error) {
 		{"RWCP-Sun <-> ETL-Sun", cluster.ETLSun, false},
 		{"RWCP-Sun <-> ETL-Sun", cluster.ETLSun, true},
 	}
-	var rows []Table2Row
-	for _, pt := range points {
+	// Each point runs on a fresh testbed with its own kernel; measure them
+	// across host threads and keep rows in point order.
+	rows := make([]Table2Row, len(points))
+	err := RunParallel(len(points), cfg.Workers, func(i int) error {
+		pt := points[i]
 		row, err := measurePoint(pt.path, pt.peer, pt.indirect, cfg)
 		if err != nil {
 			mode := "direct"
 			if pt.indirect {
 				mode = "indirect"
 			}
-			return nil, fmt.Errorf("bench: table2 %s (%s): %w", pt.path, mode, err)
+			return fmt.Errorf("bench: table2 %s (%s): %w", pt.path, mode, err)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -200,7 +218,7 @@ func measurePoint(path, peer string, indirect bool, cfg Table2Config) (Table2Row
 		row.Latency = (env.Now() - start) / time.Duration(2*cfg.Rounds)
 
 		// Bandwidth per message size.
-		for _, size := range Table2Sizes {
+		for _, size := range cfg.Sizes {
 			if err := pingPong(fst, rst, size); err != nil { // warmup
 				fail(err)
 				return

@@ -19,7 +19,7 @@ var ErrTimeout = errors.New("sim: operation timed out")
 type Chan[T any] struct {
 	k        *Kernel
 	capacity int
-	buf      []T
+	buf      fifo[T]
 	senders  []*chanWaiter[T] // blocked senders, FIFO
 	recvers  []*chanWaiter[T] // blocked receivers, FIFO
 	closed   bool
@@ -30,7 +30,6 @@ type chanWaiter[T any] struct {
 	// for senders: value to hand off; for receivers: slot filled by sender.
 	val       T
 	ok        bool // receiver: value delivered (vs closed/timeout)
-	timedOut  bool
 	delivered bool // sender: value was taken
 }
 
@@ -43,7 +42,7 @@ func NewChan[T any](k *Kernel, capacity int) *Chan[T] {
 }
 
 // Len reports the number of buffered values.
-func (c *Chan[T]) Len() int { return len(c.buf) }
+func (c *Chan[T]) Len() int { return c.buf.len() }
 
 // Cap reports the channel capacity.
 func (c *Chan[T]) Cap() int { return c.capacity }
@@ -63,7 +62,7 @@ func (c *Chan[T]) Close() {
 		sw.w.fire()
 	}
 	c.senders = nil
-	if len(c.buf) == 0 {
+	if c.buf.len() == 0 {
 		for _, rw := range c.recvers {
 			rw.ok = false
 			rw.w.fire()
@@ -108,8 +107,8 @@ func (c *Chan[T]) TrySend(v T) error {
 		rw.w.fire()
 		return nil
 	}
-	if len(c.buf) < c.capacity {
-		c.buf = append(c.buf, v)
+	if c.buf.len() < c.capacity {
+		c.buf.push(v)
 		return nil
 	}
 	return ErrTimeout
@@ -135,13 +134,13 @@ func (c *Chan[T]) SendTimeout(p *Proc, v T, d time.Duration) error {
 	sw := &chanWaiter[T]{w: newWaiter(p), val: v}
 	c.senders = append(c.senders, sw)
 	if d > 0 {
-		sw.w.setTimeout(d, func() { sw.timedOut = true })
+		sw.w.setTimeout(d)
 	}
 	p.park()
 	switch {
 	case sw.delivered:
 		return nil
-	case sw.timedOut:
+	case sw.w.timedOut:
 		return ErrTimeout
 	default: // woken by Close
 		return ErrClosed
@@ -152,13 +151,11 @@ func (c *Chan[T]) SendTimeout(p *Proc, v T, d time.Duration) error {
 // obtained; err is ErrClosed when the channel is closed and drained, and
 // ErrTimeout when no value is immediately available.
 func (c *Chan[T]) TryRecv() (v T, err error) {
-	if len(c.buf) > 0 {
-		v = c.buf[0]
-		copy(c.buf, c.buf[1:])
-		c.buf = c.buf[:len(c.buf)-1]
+	if c.buf.len() > 0 {
+		v = c.buf.pop()
 		// A blocked sender can now use the freed slot.
 		if sw := c.popSender(); sw != nil {
-			c.buf = append(c.buf, sw.val)
+			c.buf.push(sw.val)
 			sw.delivered = true
 			sw.w.fire()
 		}
@@ -197,14 +194,14 @@ func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (T, error) {
 	rw := &chanWaiter[T]{w: newWaiter(p)}
 	c.recvers = append(c.recvers, rw)
 	if d > 0 {
-		rw.w.setTimeout(d, func() { rw.timedOut = true })
+		rw.w.setTimeout(d)
 	}
 	p.park()
 	if rw.ok {
 		return rw.val, nil
 	}
 	var zero T
-	if rw.timedOut {
+	if rw.w.timedOut {
 		return zero, ErrTimeout
 	}
 	return zero, ErrClosed

@@ -11,11 +11,21 @@
 //
 // The design follows the classic process-interaction style of SimPy/CSIM:
 // an event queue ordered by (time, sequence) drives timer wakeups, and a FIFO
-// ready queue holds processes unblocked at the current instant.
+// ready queue holds work runnable at the current instant.
+//
+// # Fast path
+//
+// The hot paths are allocation-free in steady state: event records are
+// recycled through a kernel-owned free list, the Sleep/timeout paths wake
+// their target directly instead of allocating a callback closure, events
+// scheduled for the current instant bypass the timer heap entirely, and the
+// timer heap itself is a 4-ary index-aware heap so Timer.Stop removes its
+// event in O(log n) instead of leaking it until popped. Kernel-aware
+// subsystems (the simnet link pumps) can also enter the ready queue as
+// inline Tasks, avoiding the two goroutine handoffs a parked process costs.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -28,33 +38,192 @@ var ErrDeadlock = errors.New("sim: deadlock: processes blocked with empty event 
 // errKilled is panicked inside parked processes when the kernel shuts down.
 var errKilled = errors.New("sim: process killed by kernel shutdown")
 
-// event is a scheduled callback on the virtual timeline.
+// Event queue position markers for event.idx.
+const (
+	idxNone = -1 // not queued (free, or already fired)
+	idxDue  = -2 // in the same-instant due queue
+)
+
+// maxEventPool bounds the recycled-event free list.
+const maxEventPool = 1 << 14
+
+// event is a scheduled occurrence on the virtual timeline. Exactly one of
+// task, w, h, or fn describes what firing it does:
+//
+//   - task: post the task (a parked process or an inline continuation) to
+//     the ready queue — the closure-free Sleep/wakeup path;
+//   - w: fire the waiter as a timeout — the closure-free timeout path;
+//   - h: invoke OnEvent inline — the closure-free After path;
+//   - fn: invoke the callback (the general After path).
+//
+// Events are pooled: gen increments on every recycle so a stale Timer
+// handle can detect that its event has moved on.
 type event struct {
 	at  time.Duration
 	seq uint64
-	fn  func()
-	// canceled events stay in the heap but are skipped when popped.
+	idx int32 // heap position, idxDue, or idxNone
+	gen uint32
+	// canceled events are skipped when dequeued; heap residents are removed
+	// eagerly instead, so only due-queue entries ever carry this flag.
 	canceled bool
+	task     Task
+	w        *waiter
+	h        EventHandler
+	fn       func()
 }
 
-type eventHeap []*event
+// Task is one unit of ready-queue work at the current instant: a parked
+// process to resume, or an inline continuation that runs on the kernel
+// goroutine without a context switch (used by the virtual network's link
+// pumps). RunTask must return control to the kernel promptly; it executes
+// in kernel context, not process context.
+type Task interface{ RunTask(k *Kernel) }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// EventHandler is the allocation-free analogue of an After callback: when
+// the event fires, OnEvent runs inline in kernel context. Hot-path
+// subsystems implement it on pooled objects (e.g. in-flight network
+// segments) to avoid a closure per event.
+type EventHandler interface{ OnEvent(k *Kernel) }
+
+// eventHeap is a 4-ary min-heap ordered by (at, seq) that maintains each
+// event's position in event.idx, so arbitrary events can be removed when a
+// timer is stopped. 4-ary halves the tree depth of the binary heap and keeps
+// child scans within one cache line of pointers.
+type eventHeap struct{ a []*event }
+
+func eventLess(x, y *event) bool {
+	if x.at != y.at {
+		return x.at < y.at
 	}
-	return h[i].seq < h[j].seq
+	return x.seq < y.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+func (h *eventHeap) peek() *event {
+	if len(h.a) == 0 {
+		return nil
+	}
+	return h.a[0]
+}
+
+func (h *eventHeap) push(ev *event) {
+	i := len(h.a)
+	h.a = append(h.a, ev)
+	ev.idx = int32(i)
+	h.siftUp(i)
+}
+
+func (h *eventHeap) pop() *event {
+	root := h.a[0]
+	last := len(h.a) - 1
+	moved := h.a[last]
+	h.a[last] = nil
+	h.a = h.a[:last]
+	if last > 0 {
+		h.a[0] = moved
+		moved.idx = 0
+		h.siftDown(0)
+	}
+	root.idx = idxNone
+	return root
+}
+
+// remove deletes an event at an arbitrary heap position (Timer.Stop).
+func (h *eventHeap) remove(ev *event) {
+	i := int(ev.idx)
+	last := len(h.a) - 1
+	moved := h.a[last]
+	h.a[last] = nil
+	h.a = h.a[:last]
+	if i < last {
+		h.a[i] = moved
+		moved.idx = int32(i)
+		if !h.siftDown(i) {
+			h.siftUp(i)
+		}
+	}
+	ev.idx = idxNone
+}
+
+func (h *eventHeap) siftUp(i int) {
+	ev := h.a[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		p := h.a[parent]
+		if !eventLess(ev, p) {
+			break
+		}
+		h.a[i] = p
+		p.idx = int32(i)
+		i = parent
+	}
+	h.a[i] = ev
+	ev.idx = int32(i)
+}
+
+// siftDown reports whether the event moved.
+func (h *eventHeap) siftDown(i int) bool {
+	ev := h.a[i]
+	start := i
+	n := len(h.a)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(h.a[c], h.a[min]) {
+				min = c
+			}
+		}
+		if !eventLess(h.a[min], ev) {
+			break
+		}
+		h.a[i] = h.a[min]
+		h.a[i].idx = int32(i)
+		i = min
+	}
+	h.a[i] = ev
+	ev.idx = int32(i)
+	return i != start
+}
+
+// fifo is a slice-backed FIFO with an amortized-O(1) pop: a head index
+// advances instead of shifting elements, and the backing slice is compacted
+// only once the dead prefix reaches half its length.
+type fifo[T any] struct {
+	buf  []T
+	head int
+}
+
+func (q *fifo[T]) push(v T) { q.buf = append(q.buf, v) }
+
+func (q *fifo[T]) len() int { return len(q.buf) - q.head }
+
+func (q *fifo[T]) pop() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head >= 64 && q.head*2 >= len(q.buf):
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = zero
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
 }
 
 // Kernel is a discrete-event simulator instance. It is not safe for
@@ -64,7 +233,9 @@ type Kernel struct {
 	now     time.Duration
 	seq     uint64
 	events  eventHeap
-	ready   []*Proc // FIFO of processes runnable at the current instant
+	due     fifo[*event] // events scheduled for the current instant
+	ready   fifo[Task]   // work runnable at the current instant, FIFO
+	free    []*event     // recycled event records
 	procs   map[int]*Proc
 	nextPID int
 	current *Proc
@@ -86,14 +257,63 @@ func New() *Kernel {
 // Now reports the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
 
+// newEvent takes an event record from the pool (or allocates one) and stamps
+// it with the next sequence number.
+func (k *Kernel) newEvent(at time.Duration) *event {
+	k.seq++
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq = at, k.seq
+	return ev
+}
+
+// release recycles a fired or canceled event. The generation bump
+// invalidates any Timer still holding the record.
+func (k *Kernel) release(ev *event) {
+	ev.gen++
+	ev.task, ev.w, ev.h, ev.fn = nil, nil, nil, nil
+	ev.idx = idxNone
+	ev.canceled = false
+	if len(k.free) < maxEventPool {
+		k.free = append(k.free, ev)
+	}
+}
+
+// place queues a stamped event: the timer heap for future instants, the due
+// FIFO for the current one. Due entries always carry larger sequence numbers
+// than any heap resident at the current instant (the clock only reaches an
+// instant by popping its first heap event), so draining heap events at the
+// current time before the due queue preserves strict (at, seq) firing order.
+func (k *Kernel) place(ev *event) {
+	if ev.at <= k.now {
+		ev.at = k.now
+		ev.idx = idxDue
+		k.due.push(ev)
+		return
+	}
+	k.events.push(ev)
+}
+
 // schedule enqueues fn to run at virtual time at (>= now).
 func (k *Kernel) schedule(at time.Duration, fn func()) *event {
-	if at < k.now {
-		at = k.now
-	}
-	k.seq++
-	ev := &event{at: at, seq: k.seq, fn: fn}
-	heap.Push(&k.events, ev)
+	ev := k.newEvent(at)
+	ev.fn = fn
+	k.place(ev)
+	return ev
+}
+
+// scheduleTask enqueues t to be posted to the ready queue at virtual time
+// at, with no callback allocation.
+func (k *Kernel) scheduleTask(at time.Duration, t Task) *event {
+	ev := k.newEvent(at)
+	ev.task = t
+	k.place(ev)
 	return ev
 }
 
@@ -103,19 +323,52 @@ func (k *Kernel) schedule(at time.Duration, fn func()) *event {
 // should use Proc.Sleep or timers instead.
 func (k *Kernel) After(d time.Duration, fn func()) *Timer {
 	ev := k.schedule(k.now+d, fn)
-	return &Timer{ev: ev}
+	return &Timer{k: k, ev: ev, gen: ev.gen}
 }
 
+// AfterTask schedules t to be posted to the ready queue after delay d, with
+// no closure or Timer allocation. It is the hot-path analogue of
+// k.After(d, func() { k.Post(t) }).
+func (k *Kernel) AfterTask(d time.Duration, t Task) {
+	k.scheduleTask(k.now+d, t)
+}
+
+// AfterEvent schedules h.OnEvent to run inline after delay d, with no
+// closure or Timer allocation. It is the hot-path analogue of
+// k.After(d, func() { h.OnEvent(k) }).
+func (k *Kernel) AfterEvent(d time.Duration, h EventHandler) {
+	ev := k.newEvent(k.now + d)
+	ev.h = h
+	k.place(ev)
+}
+
+// Post appends t to the ready queue: it will run at the current virtual
+// instant, after work already queued.
+func (k *Kernel) Post(t Task) { k.ready.push(t) }
+
 // Timer is a cancelable scheduled callback.
-type Timer struct{ ev *event }
+type Timer struct {
+	k   *Kernel
+	ev  *event
+	gen uint32
+}
 
 // Stop cancels the timer if it has not fired. It reports whether the
-// callback was prevented from running.
+// callback was prevented from running. Stopping a pending timer removes its
+// event from the queue immediately, so long-lived simulations that arm and
+// cancel many timeouts do not accumulate dead events.
 func (t *Timer) Stop() bool {
-	if t.ev == nil || t.ev.canceled {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.canceled {
 		return false
 	}
-	t.ev.canceled = true
+	if ev.idx >= 0 {
+		t.k.events.remove(ev)
+		t.k.release(ev)
+		return true
+	}
+	// Due-queue entries are skipped (and recycled) when dequeued.
+	ev.canceled = true
 	return true
 }
 
@@ -146,44 +399,75 @@ func (k *Kernel) spawn(name string, fn func(p *Proc), daemon bool) *Proc {
 	}
 	k.procs[p.pid] = p
 	go p.run(fn)
-	k.ready = append(k.ready, p)
+	k.ready.push(p)
 	return p
 }
 
-// runReady resumes the next ready process and waits for it to park or exit.
-func (k *Kernel) runReady() {
-	p := k.ready[0]
-	copy(k.ready, k.ready[1:])
-	k.ready = k.ready[:len(k.ready)-1]
-	if p.exited {
-		return
+// nextEvent dequeues the next event in strict (at, seq) order, advancing the
+// clock when the timeline moves forward. Canceled due-queue entries are
+// skipped and recycled. It returns nil when no events remain.
+func (k *Kernel) nextEvent() *event {
+	for {
+		// Heap residents at the current instant predate every due entry.
+		if top := k.events.peek(); top != nil && top.at <= k.now {
+			return k.events.pop()
+		}
+		if k.due.len() > 0 {
+			ev := k.due.pop()
+			if ev.canceled {
+				k.release(ev)
+				continue
+			}
+			return ev
+		}
+		if top := k.events.peek(); top != nil {
+			ev := k.events.pop()
+			k.now = ev.at
+			return ev
+		}
+		return nil
 	}
-	k.current = p
-	p.resume <- struct{}{}
-	<-k.yield
-	k.current = nil
 }
 
-// Step executes the next unit of work: either resumes a ready process or
-// advances the clock to the next event and fires it. It reports whether any
-// work was performed.
+// fire dispatches a dequeued event and recycles its record.
+func (k *Kernel) fire(ev *event) {
+	switch {
+	case ev.task != nil:
+		t := ev.task
+		k.release(ev)
+		k.ready.push(t)
+	case ev.w != nil:
+		w := ev.w
+		k.release(ev)
+		if !w.fired {
+			w.fired = true
+			w.timedOut = true
+			w.p.wake()
+		}
+	case ev.h != nil:
+		h := ev.h
+		k.release(ev)
+		h.OnEvent(k)
+	default:
+		fn := ev.fn
+		k.release(ev)
+		fn()
+	}
+}
+
+// Step executes the next unit of work: either runs a ready task or advances
+// the clock to the next event and fires it. It reports whether any work was
+// performed.
 func (k *Kernel) Step() bool {
 	if k.stopped {
 		return false
 	}
-	if len(k.ready) > 0 {
-		k.runReady()
+	if k.ready.len() > 0 {
+		k.ready.pop().RunTask(k)
 		return true
 	}
-	for k.events.Len() > 0 {
-		ev := heap.Pop(&k.events).(*event)
-		if ev.canceled {
-			continue
-		}
-		if ev.at > k.now {
-			k.now = ev.at
-		}
-		ev.fn()
+	if ev := k.nextEvent(); ev != nil {
+		k.fire(ev)
 		return true
 	}
 	return false
@@ -206,19 +490,36 @@ func (k *Kernel) Run() error {
 // time) or exactly t if work remains beyond it.
 func (k *Kernel) RunUntil(t time.Duration) {
 	for !k.stopped {
-		if len(k.ready) > 0 {
-			k.runReady()
+		if k.ready.len() > 0 {
+			k.ready.pop().RunTask(k)
 			continue
 		}
-		if k.events.Len() == 0 {
+		// Same-instant work (heap residents at now, then due entries) fires
+		// without consulting the horizon: the clock does not move.
+		if top := k.events.peek(); top != nil && top.at <= k.now {
+			k.fire(k.events.pop())
+			continue
+		}
+		if k.due.len() > 0 {
+			ev := k.due.pop()
+			if ev.canceled {
+				k.release(ev)
+				continue
+			}
+			k.fire(ev)
+			continue
+		}
+		top := k.events.peek()
+		if top == nil {
 			break
 		}
-		next := k.events[0].at
-		if next > t {
+		if top.at > t {
 			k.now = t
 			break
 		}
-		k.Step()
+		ev := k.events.pop()
+		k.now = ev.at
+		k.fire(ev)
 	}
 }
 

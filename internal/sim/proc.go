@@ -17,8 +17,6 @@ type Proc struct {
 	exited bool
 	killed bool
 	daemon bool
-	// waking guards against double-wakeup when a timeout races a signal.
-	wakeSeq uint64
 }
 
 // PID returns the kernel-unique process id.
@@ -55,6 +53,18 @@ func (p *Proc) run(fn func(p *Proc)) {
 	fn(p)
 }
 
+// RunTask implements Task: dequeued from the ready queue, the kernel hands
+// control to the process goroutine and blocks until it parks or exits.
+func (p *Proc) RunTask(k *Kernel) {
+	if p.exited {
+		return
+	}
+	k.current = p
+	p.resume <- struct{}{}
+	<-k.yield
+	k.current = nil
+}
+
 // park returns control to the kernel and blocks until the process is
 // resumed. If the kernel was shut down meanwhile, the process unwinds.
 func (p *Proc) park() {
@@ -68,7 +78,7 @@ func (p *Proc) park() {
 // yieldNow reschedules the process at the current instant, letting other
 // ready processes run first. Useful to model round-robin CPU sharing.
 func (p *Proc) Yield() {
-	p.k.ready = append(p.k.ready, p)
+	p.k.ready.push(p)
 	p.park()
 }
 
@@ -77,7 +87,7 @@ func (p *Proc) wake() {
 	if p.exited {
 		return
 	}
-	p.k.ready = append(p.k.ready, p)
+	p.k.ready.push(p)
 }
 
 // Sleep blocks the process for d of virtual time. Negative or zero durations
@@ -87,7 +97,7 @@ func (p *Proc) Sleep(d time.Duration) {
 		p.Yield()
 		return
 	}
-	p.k.schedule(p.k.now+d, p.wake)
+	p.k.scheduleTask(p.k.now+d, p)
 	p.park()
 }
 
@@ -97,7 +107,7 @@ func (p *Proc) SleepUntil(t time.Duration) {
 		p.Yield()
 		return
 	}
-	p.k.schedule(t, p.wake)
+	p.k.scheduleTask(t, p)
 	p.park()
 }
 
@@ -109,11 +119,13 @@ func (p *Proc) Done() <-chan struct{} { return p.done }
 func (p *Proc) Exited() bool { return p.exited }
 
 // waiter represents one parked process waiting on a primitive, with
-// cancelable timeout support. A waiter fires at most once.
+// cancelable timeout support. A waiter fires at most once; timedOut records
+// whether the firing was a timeout, for the parked side to inspect on wake.
 type waiter struct {
-	p     *Proc
-	fired bool
-	timer *Timer
+	p        *Proc
+	fired    bool
+	timedOut bool
+	timer    Timer
 }
 
 func newWaiter(p *Proc) *waiter { return &waiter{p: p} }
@@ -125,24 +137,18 @@ func (w *waiter) fire() bool {
 		return false
 	}
 	w.fired = true
-	if w.timer != nil {
-		w.timer.Stop()
-	}
+	w.timer.Stop()
 	w.p.wake()
 	return true
 }
 
-// setTimeout arms a timeout that fires the waiter after d; timedOut is set
-// for the waker to distinguish timeout wakeups.
-func (w *waiter) setTimeout(d time.Duration, onTimeout func()) {
-	w.timer = w.p.k.After(d, func() {
-		if w.fired {
-			return
-		}
-		w.fired = true
-		if onTimeout != nil {
-			onTimeout()
-		}
-		w.p.wake()
-	})
+// setTimeout arms a timeout that fires the waiter after d. The timeout event
+// references the waiter directly — no callback closure — and sets w.timedOut
+// when it performs the wakeup.
+func (w *waiter) setTimeout(d time.Duration) {
+	k := w.p.k
+	ev := k.newEvent(k.now + d)
+	ev.w = w
+	k.place(ev)
+	w.timer = Timer{k: k, ev: ev, gen: ev.gen}
 }

@@ -108,12 +108,11 @@ func (e *Event) WaitTimeout(p *Proc, d time.Duration) bool {
 	}
 	w := newWaiter(p)
 	e.waiters = append(e.waiters, w)
-	timedOut := false
 	if d > 0 {
-		w.setTimeout(d, func() { timedOut = true })
+		w.setTimeout(d)
 	}
 	p.park()
-	return !timedOut
+	return !w.timedOut
 }
 
 // Cond is a condition variable: Wait parks until a Signal or Broadcast.
@@ -142,16 +141,12 @@ func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
 	}
 	w := newWaiter(p)
 	c.waiters = append(c.waiters, w)
-	timedOut := false
 	if d > 0 {
-		w.setTimeout(d, func() { timedOut = true })
+		w.setTimeout(d)
 	}
 	p.park()
-	if timedOut {
-		// Drop the fired waiter lazily; Signal skips fired entries.
-		return false
-	}
-	return true
+	// A fired-by-timeout waiter is dropped lazily; Signal skips fired entries.
+	return !w.timedOut
 }
 
 // Signal wakes one waiting process, if any.

@@ -65,6 +65,13 @@ func (nd *Node) listen(port int) (*listener, error) {
 	return l, nil
 }
 
+// inSeg is one received segment awaiting Read; off marks how much of it has
+// been consumed.
+type inSeg struct {
+	buf []byte
+	off int
+}
+
 // conn is one endpoint of an established virtual stream.
 type conn struct {
 	node   *Node
@@ -73,12 +80,19 @@ type conn struct {
 	path   []*linkDir // toward the peer
 	peer   *conn
 
-	inbox        [][]byte
+	// Received segments, FIFO; inboxHead advances instead of shifting, and
+	// fully-consumed buffers return to the network's segment pool.
+	inbox        []inSeg
+	inboxHead    int
 	readCond     *sim.Cond
 	credit       int
 	creditCond   *sim.Cond
 	closed       bool // local Close called
 	remoteClosed bool // peer FIN received
+}
+
+func (c *conn) pushInbox(seg []byte) {
+	c.inbox = append(c.inbox, inSeg{buf: seg})
 }
 
 // dial performs the connection handshake from nd to addr, blocking p for one
@@ -150,13 +164,18 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 func (c *conn) Read(env transport.Env, b []byte) (int, error) {
 	p := procOf(env, "Read")
 	for {
-		if len(c.inbox) > 0 {
-			seg := c.inbox[0]
-			n := copy(b, seg)
-			if n < len(seg) {
-				c.inbox[0] = seg[n:]
-			} else {
-				c.inbox = c.inbox[1:]
+		if c.inboxHead < len(c.inbox) {
+			seg := &c.inbox[c.inboxHead]
+			n := copy(b, seg.buf[seg.off:])
+			seg.off += n
+			if seg.off == len(seg.buf) {
+				c.node.net.putSeg(seg.buf)
+				seg.buf = nil
+				c.inboxHead++
+				if c.inboxHead == len(c.inbox) {
+					c.inbox = c.inbox[:0]
+					c.inboxHead = 0
+				}
 			}
 			return n, nil
 		}
@@ -192,18 +211,9 @@ func (c *conn) Write(env transport.Env, b []byte) (int, error) {
 			c.creditCond.Wait(p)
 		}
 		c.credit -= chunk
-		seg := make([]byte, chunk)
+		seg := c.node.net.getSeg(chunk)
 		copy(seg, b[:chunk])
-		peer := c.peer
-		src := c
-		c.node.net.send(c.path, chunk, func() {
-			if !peer.closed {
-				peer.inbox = append(peer.inbox, seg)
-				peer.readCond.Broadcast()
-			}
-			src.credit += len(seg)
-			src.creditCond.Broadcast()
-		})
+		c.node.net.sendData(c, seg)
 		b = b[chunk:]
 		total += chunk
 	}

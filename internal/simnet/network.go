@@ -25,7 +25,6 @@ package simnet
 import (
 	"container/heap"
 	"fmt"
-	"math"
 	"time"
 
 	"nxcluster/internal/firewall"
@@ -58,7 +57,19 @@ type Network struct {
 	routes    map[string][]*linkDir
 	firewalls map[string]*firewall.Firewall
 	nextConn  int
+	// Free lists for the data plane: in-flight transfer records and
+	// MTU-capacity segment buffers are recycled per network, so the
+	// steady-state per-segment cost is allocation-free. Networks are
+	// single-kernel objects, so the pools need no locking.
+	freeTr  []*transfer
+	freeSeg [][]byte
 }
+
+// Pool bounds: past these, records are left to the garbage collector.
+const (
+	maxTransferPool = 4096
+	maxSegPool      = 1024
+)
 
 // New creates an empty network on kernel k.
 func New(k *sim.Kernel) *Network {
@@ -259,93 +270,250 @@ func reversePath(path []*linkDir) []*linkDir {
 	return out
 }
 
+// linkDir pump states.
+const (
+	linkIdle        = iota // no transfer in service, ready-queue entry not posted
+	linkPosted             // continuation posted to the ready queue, pickup pending
+	linkStalling           // head transfer waiting out a link outage (10ms polls)
+	linkSerializing        // head transfer occupying the link until its serialization ends
+)
+
 // linkDir is one direction of a duplex link, with a FIFO store-and-forward
-// pump.
+// pump. The pump is an event-driven continuation (a sim.Task) rather than a
+// daemon goroutine: each wakeup that used to park/resume the pump process now
+// runs inline on the kernel goroutine, at exactly the same ready-queue
+// positions and with exactly the same event schedule, so virtual-time results
+// are unchanged while the two channel handoffs per segment disappear.
 type linkDir struct {
-	net     *Network
-	from    *Node
-	to      *Node
-	rev     *linkDir
-	cfg     LinkConfig
-	queue   *sim.Chan[*transfer]
-	pumping bool
-	down    bool
+	net  *Network
+	from *Node
+	to   *Node
+	rev  *linkDir
+	cfg  LinkConfig
+	down bool
 	// Traffic counters for utilization reporting.
 	bytes   int64
 	stalled int64
 	busy    time.Duration
+
+	// Waiting transfers, FIFO; qhead advances instead of shifting.
+	queue []*transfer
+	qhead int
+	state uint8
+	cur   *transfer     // transfer in service while stalling/serializing
+	ser   time.Duration // cur's serialization time, added to busy on completion
 }
 
-// transfer is one segment or control packet in flight along a path.
+// transfer is one segment or control packet in flight along a path. idx is
+// the index of the link currently being traversed (-1 for same-host sends).
+// Data segments carry (seg, src, dst) and deliver without any closure;
+// control packets (SYN/ACK/FIN) carry a deliver func. Records are pooled on
+// the owning Network.
 type transfer struct {
+	net     *Network
 	size    int
 	path    []*linkDir
 	idx     int
+	seg     []byte
+	src     *conn // writer credited when the segment lands
+	dst     *conn // peer whose inbox receives seg
 	deliver func()
 }
 
-// send enqueues a packet of the given size along path; deliver runs at the
-// final hop. Must be called from kernel or process context.
+func (n *Network) newTransfer() *transfer {
+	if l := len(n.freeTr); l > 0 {
+		tr := n.freeTr[l-1]
+		n.freeTr[l-1] = nil
+		n.freeTr = n.freeTr[:l-1]
+		return tr
+	}
+	return &transfer{net: n}
+}
+
+func (n *Network) putTransfer(tr *transfer) {
+	*tr = transfer{net: n}
+	if len(n.freeTr) < maxTransferPool {
+		n.freeTr = append(n.freeTr, tr)
+	}
+}
+
+// getSeg returns a segment buffer of the given size (<= MTU buffers come
+// from the pool with MTU capacity so they stay reusable).
+func (n *Network) getSeg(size int) []byte {
+	if size <= n.MTU {
+		if l := len(n.freeSeg); l > 0 {
+			b := n.freeSeg[l-1]
+			n.freeSeg[l-1] = nil
+			n.freeSeg = n.freeSeg[:l-1]
+			return b[:size]
+		}
+		return make([]byte, size, n.MTU)
+	}
+	return make([]byte, size)
+}
+
+// putSeg recycles a fully-consumed segment buffer.
+func (n *Network) putSeg(b []byte) {
+	if cap(b) == n.MTU && len(n.freeSeg) < maxSegPool {
+		n.freeSeg = append(n.freeSeg, b[:n.MTU])
+	}
+}
+
+// send enqueues a control packet of the given size along path; deliver runs
+// at the final hop. Must be called from kernel or process context.
 func (n *Network) send(path []*linkDir, size int, deliver func()) {
-	if len(path) == 0 {
+	tr := n.newTransfer()
+	tr.size, tr.path, tr.deliver = size, path, deliver
+	n.launch(tr)
+}
+
+// sendData enqueues one data segment from src to its peer; the segment
+// buffer lands in the peer's inbox and the window credit returns to src.
+func (n *Network) sendData(src *conn, seg []byte) {
+	tr := n.newTransfer()
+	tr.size, tr.path = len(seg), src.path
+	tr.seg, tr.src, tr.dst = seg, src, src.peer
+	n.launch(tr)
+}
+
+func (n *Network) launch(tr *transfer) {
+	if len(tr.path) == 0 {
 		// Same-host communication: deliver after a scheduling tick.
-		n.K.After(0, deliver)
+		tr.idx = -1
+		n.K.AfterEvent(0, tr)
 		return
 	}
-	tr := &transfer{size: size, path: path, deliver: deliver}
-	path[0].enqueue(tr)
+	tr.idx = 0
+	tr.path[0].enqueue(tr)
 }
 
 func (ld *linkDir) enqueue(tr *transfer) {
-	if ld.queue == nil {
-		ld.queue = sim.NewChan[*transfer](ld.net.K, math.MaxInt32)
+	if ld.state == linkIdle {
+		ld.state = linkPosted
+		ld.net.K.Post(ld)
 	}
-	if !ld.pumping {
-		ld.pumping = true
-		ld.net.K.SpawnDaemon("link:"+ld.from.name+">"+ld.to.name, ld.pump)
-	}
-	if err := ld.queue.TrySend(tr); err != nil {
-		panic("simnet: link queue overflow")
-	}
+	ld.queue = append(ld.queue, tr)
 }
 
-// pump serializes queued transfers onto the link one at a time; propagation
-// latency overlaps with the next serialization.
-func (ld *linkDir) pump(p *sim.Proc) {
-	for {
-		tr, err := ld.queue.Recv(p)
-		if err != nil {
-			return
-		}
+func (ld *linkDir) popQueue() *transfer {
+	if ld.qhead == len(ld.queue) {
+		ld.queue = ld.queue[:0]
+		ld.qhead = 0
+		return nil
+	}
+	tr := ld.queue[ld.qhead]
+	ld.queue[ld.qhead] = nil
+	ld.qhead++
+	if ld.qhead == len(ld.queue) {
+		ld.queue = ld.queue[:0]
+		ld.qhead = 0
+	}
+	return tr
+}
+
+// RunTask implements sim.Task: one pump wakeup. It is posted by enqueue when
+// the link is idle and re-posted by the kernel when a poll or
+// serialization-end event fires.
+func (ld *linkDir) RunTask(k *sim.Kernel) {
+	switch ld.state {
+	case linkStalling:
 		if ld.down {
 			// Out of service: traffic stalls until the link returns. At
 			// the reliable-stream abstraction this is what a link flap
 			// looks like from the endpoints (TCP retransmits cover the
 			// loss); only the delay is observable.
+			k.AfterTask(10*time.Millisecond, ld)
+			return
+		}
+		if !ld.beginSerialize(k, ld.cur) {
+			return
+		}
+	case linkSerializing:
+		ld.busy += ld.ser
+		ld.completeHead(k)
+	}
+	// Drain: pick up queued transfers until one occupies the link (or the
+	// queue empties). Zero-bandwidth links complete pickups inline, exactly
+	// like the daemon pump's no-sleep fast path.
+	for {
+		tr := ld.popQueue()
+		if tr == nil {
+			ld.state = linkIdle
+			return
+		}
+		ld.cur = tr
+		if ld.down {
+			// Stalled bytes are counted once per transfer, at pickup.
 			ld.stalled += int64(tr.size)
-			for ld.down {
-				p.Sleep(10 * time.Millisecond)
-			}
+			ld.state = linkStalling
+			k.AfterTask(10*time.Millisecond, ld)
+			return
 		}
-		if ld.cfg.Bandwidth > 0 {
-			ser := time.Duration(float64(tr.size) / float64(ld.cfg.Bandwidth) * float64(time.Second))
-			p.Sleep(ser)
-			ld.busy += ser
+		if !ld.beginSerialize(k, tr) {
+			return
 		}
-		ld.bytes += int64(tr.size)
-		t := tr
-		ld.net.K.After(ld.cfg.Latency, func() { t.advance() })
 	}
 }
 
+// beginSerialize starts tr's occupancy of the link. It reports whether the
+// transfer completed inline (zero-bandwidth or zero-duration serialization
+// re-posts keep the ready-queue position the daemon pump's Yield had).
+func (ld *linkDir) beginSerialize(k *sim.Kernel, tr *transfer) bool {
+	if ld.cfg.Bandwidth > 0 {
+		ser := time.Duration(float64(tr.size) / float64(ld.cfg.Bandwidth) * float64(time.Second))
+		ld.ser = ser
+		ld.state = linkSerializing
+		if ser > 0 {
+			k.AfterTask(ser, ld)
+		} else {
+			k.Post(ld)
+		}
+		return false
+	}
+	ld.completeHead(k)
+	return true
+}
+
+// completeHead finishes the in-service transfer: account the carried bytes
+// and launch the propagation-latency event toward the next hop.
+func (ld *linkDir) completeHead(k *sim.Kernel) {
+	tr := ld.cur
+	ld.cur = nil
+	ld.bytes += int64(tr.size)
+	k.AfterEvent(ld.cfg.Latency, tr)
+}
+
+// advance moves the transfer to its next hop, or delivers it at the final
+// one and recycles the record.
 func (tr *transfer) advance() {
 	tr.idx++
 	if tr.idx < len(tr.path) {
 		tr.path[tr.idx].enqueue(tr)
 		return
 	}
-	tr.deliver()
+	n := tr.net
+	if tr.deliver != nil {
+		// Control packet: run the handshake/teardown callback.
+		fn := tr.deliver
+		n.putTransfer(tr)
+		fn()
+		return
+	}
+	// Data segment: land in the peer's inbox and return window credit.
+	seg, src, dst := tr.seg, tr.src, tr.dst
+	n.putTransfer(tr)
+	if !dst.closed {
+		dst.pushInbox(seg)
+		dst.readCond.Broadcast()
+	} else {
+		n.putSeg(seg)
+	}
+	src.credit += len(seg)
+	src.creditCond.Broadcast()
 }
+
+// OnEvent implements sim.EventHandler: the propagation-latency event fired.
+func (tr *transfer) OnEvent(k *sim.Kernel) { tr.advance() }
 
 // checkFirewalls applies site firewall policy to a connection attempt from
 // src to dst:dstPort. Crossing out of a firewalled site consults its
