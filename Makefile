@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race bench bench-json experiments examples cover clean
+.PHONY: all build test check chaos race bench bench-json experiments examples cover clean
 
 all: build check
 
@@ -12,11 +12,17 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the default verification gate: vet plus the full test suite under
-# the race detector (the parallel sweep makes race coverage load-bearing).
-check:
+# check is the default verification gate: vet, the end-to-end chaos
+# scenarios, and the full test suite under the race detector (the parallel
+# sweep makes race coverage load-bearing).
+check: chaos
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection recovery scenarios (see EXPERIMENTS.md,
+# "Chaos runs") on their own, under the race detector.
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/chaos/
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,228 @@
+// Package chaos runs the paper's Table 4 knapsack workload on the Figure 5
+// wide-area testbed while a seeded fault plan crashes hosts and flaps links,
+// then reports whether every recovery layer did its job: the inner relay
+// re-registering with the outer server after a boundary flap, HBM marking
+// the crashed Q server DOWN and UP again after its restart, RMF requeuing
+// the lost job onto a surviving resource, and the fault-tolerant knapsack
+// scheduler reclaiming the dead rank's work.
+//
+// Everything runs under the deterministic simulation kernel, so a chaos run
+// is reproducible bit for bit: the same Config yields the same Report,
+// faults included. The branch-and-bound optimum is the invariant the whole
+// exercise hangs on — faults may slow the search down, but they must never
+// change its answer.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nxcluster/internal/cluster"
+	"nxcluster/internal/hbm"
+	"nxcluster/internal/knapsack"
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/proxy"
+	"nxcluster/internal/rmf"
+	"nxcluster/internal/simnet"
+	"nxcluster/internal/transport"
+)
+
+// HBMPort is where the heartbeat monitor listens on rwcp-inner.
+const HBMPort = 7300
+
+// Config describes one chaos run.
+type Config struct {
+	// Items and Capacity select the normalized knapsack instance
+	// (the paper's Table 4 workload uses capacity 3).
+	Items    int
+	Capacity int
+	// System picks the Table 3 configuration; UseProxy routes RWCP ranks
+	// through the Nexus Proxy.
+	System   cluster.System
+	UseProxy bool
+	// FT are the fault-tolerant scheduler's knobs (including Params).
+	FT knapsack.FTParams
+	// Plan is the fault schedule (nil for a fault-free baseline).
+	Plan *simnet.FaultPlan
+	// Horizon is how long the kernel runs. Control-plane daemons beat
+	// forever, so the run always ends at the horizon; size it well past
+	// the expected completion time.
+	Horizon time.Duration
+	// Keepalive tunes the inner server's registration channel.
+	Keepalive proxy.KeepaliveConfig
+	// ControlPlane additionally runs the HBM monitor, the RMF allocator
+	// with an HBM watcher, a Q server plus heartbeat reporter on every
+	// COMPaS node (rebooted by host restarts), and one RMF job with
+	// recovery enabled.
+	ControlPlane bool
+	// JobRuntime is how long the RMF job's process runs (default 3s) —
+	// long enough that a crash window can catch it mid-execution.
+	JobRuntime time.Duration
+	// Options forwards testbed construction options.
+	Options cluster.Options
+}
+
+// Report is the outcome of a chaos run.
+type Report struct {
+	// WantBest and WantNodes are the sequential optimum and the full
+	// normalized tree size — the ground truth the run is checked against.
+	WantBest  int64
+	WantNodes int64
+	// Completed reports whether the knapsack master terminated before the
+	// horizon; Best, Elapsed, TotalTraversed are its result.
+	Completed      bool
+	Best           int64
+	Elapsed        time.Duration
+	TotalTraversed int64
+	// RankErrs holds per-rank outcomes (nil for ranks killed mid-run);
+	// Orphans counts slaves that gave up with ErrOrphaned.
+	RankErrs []error
+	Orphans  int
+	// InnerRegistrations counts registration sessions the inner relay
+	// established (1 fault-free; +1 per recovery). OuterBoots counts outer
+	// server boots (1 + restarts).
+	InnerRegistrations int
+	OuterBoots         int
+	// OuterStats snapshots the outer relay's counters at the horizon.
+	OuterStats proxy.Stats
+	// HBM is the monitor's view of every registered process at the
+	// horizon (control plane only).
+	HBM map[string]hbm.Health
+	// JobErr, JobRequeues, JobResource describe the RMF job: its Wait
+	// outcome, how many times it was requeued, and where it finally ran.
+	JobErr      error
+	JobRequeues int
+	JobResource string
+}
+
+// Run executes one chaos scenario and returns its report.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Items <= 0 || cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("chaos: instance size %d/%d", cfg.Items, cfg.Capacity)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, errors.New("chaos: horizon required")
+	}
+	rep := &Report{}
+	in := knapsack.Normalized(cfg.Items, cfg.Capacity)
+	rep.WantBest, _ = knapsack.Solve(in)
+	rep.WantNodes = knapsack.NormalizedTreeNodes(cfg.Items, cfg.Capacity)
+
+	tb := cluster.NewTestbed(cfg.Options)
+	tb.EnableRecovery(cfg.Keepalive)
+	var mon *hbm.Monitor
+	if cfg.ControlPlane {
+		mon = startControlPlane(tb, cfg, rep)
+	}
+
+	var res *knapsack.Result
+	w := mpi.NewWorld(tb.Placements(cfg.System, cfg.UseProxy))
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := knapsack.RunFT(c, in, cfg.FT)
+		if c.Rank() == 0 && r != nil {
+			res = r
+		}
+		return err
+	})
+
+	if cfg.Plan != nil {
+		if err := tb.Net.ApplyPlan(cfg.Plan); err != nil {
+			return nil, err
+		}
+	}
+	tb.K.RunUntil(cfg.Horizon)
+
+	if res != nil {
+		rep.Completed = true
+		rep.Best = res.Best
+		rep.Elapsed = res.Elapsed
+		rep.TotalTraversed = res.TotalTraversed
+	}
+	rep.RankErrs = w.RankErrs()
+	for _, e := range rep.RankErrs {
+		if errors.Is(e, knapsack.ErrOrphaned) {
+			rep.Orphans++
+		}
+	}
+	rep.InnerRegistrations = tb.Inner.Stats().Registrations
+	rep.OuterBoots = tb.OuterBoots
+	rep.OuterStats = tb.Outer.Stats()
+	if mon != nil {
+		rep.HBM = mon.Snapshot(cfg.Horizon)
+	}
+	tb.K.Shutdown()
+	return rep, nil
+}
+
+// startControlPlane stands up the monitoring and job-management stack: HBM
+// monitor on rwcp-inner, allocator (with HBM watcher) on rwcp-sun, a Q
+// server and heartbeat reporter on every COMPaS node — with OnRestart boot
+// scripts so a host restart brings them back — and one recoverable RMF job
+// submitted from rwcp-sun. All of it stays inside the firewall, matching
+// the paper's deployment of RMF at the protected site.
+func startControlPlane(tb *cluster.Testbed, cfg Config, rep *Report) *hbm.Monitor {
+	const beat = 250 * time.Millisecond
+	monAddr := transport.JoinAddr(cluster.RWCPInner, HBMPort)
+	allocAddr := transport.JoinAddr(cluster.RWCPSun, rmf.AllocatorPort)
+
+	mon := hbm.NewMonitor(beat)
+	tb.Host(cluster.RWCPInner).SpawnDaemonOn("hbm-monitor", func(env transport.Env) {
+		_ = mon.Serve(env, HBMPort, nil)
+	})
+	// The inner relay daemon reports its own liveness too.
+	tb.Host(cluster.RWCPInner).SpawnDaemonOn("hbm-rep-nxproxy", func(env transport.Env) {
+		env.Sleep(2 * time.Millisecond)
+		r := &hbm.Reporter{MonitorAddr: monAddr, Name: "nxproxy-inner", Interval: beat}
+		r.Start(env)
+	})
+
+	alloc := rmf.NewAllocator()
+	tb.Host(cluster.RWCPSun).SpawnDaemonOn("rmf-alloc", func(env transport.Env) {
+		alloc.WatchHBM(env, monAddr, beat)
+		_ = alloc.Serve(env, rmf.AllocatorPort, nil)
+	})
+
+	reg := rmf.NewRegistry()
+	spin := cfg.JobRuntime
+	if spin <= 0 {
+		spin = 3 * time.Second
+	}
+	reg.Register("chaos-spin", func(env transport.Env, ctx *rmf.JobContext) error {
+		env.Sleep(spin)
+		fmt.Fprintf(&ctx.Stdout, "spun %v on %s\n", spin, ctx.Resource)
+		return nil
+	})
+	for i := 0; i < cluster.CompasNodes; i++ {
+		name := cluster.CompasNode(i)
+		boot := func(env transport.Env) {
+			env.Sleep(2 * time.Millisecond) // let monitor and allocator bind
+			r := &hbm.Reporter{MonitorAddr: monAddr, Name: name, Interval: beat}
+			r.Start(env)
+			q := rmf.NewQServer(name, "compas", 1, reg)
+			_ = q.Serve(env, rmf.QServerPort, allocAddr, nil)
+		}
+		tb.Host(name).SpawnDaemonOn("qserver-"+name, boot)
+		tb.Host(name).OnRestart("qserver-"+name, boot)
+	}
+
+	tb.Host(cluster.RWCPSun).SpawnOn("chaos-qclient", func(env transport.Env) {
+		env.Sleep(500 * time.Millisecond)
+		h, err := rmf.SubmitJob(env, allocAddr, rmf.JobRequest{
+			Count:   1,
+			Cluster: "compas",
+			Spec:    rmf.ProcessSpec{Executable: "chaos-spin"},
+		})
+		if err != nil {
+			rep.JobErr = err
+			return
+		}
+		h.Recovery = &rmf.RecoveryPolicy{StatusRetries: 3}
+		rep.JobErr = h.Wait(env, 100*time.Millisecond, 30*time.Second)
+		rep.JobRequeues = h.Requeues
+		if len(h.Processes) > 0 {
+			rep.JobResource = h.Processes[0].Resource
+		}
+	})
+	return mon
+}

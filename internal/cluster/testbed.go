@@ -112,7 +112,10 @@ type Testbed struct {
 	Inner    *proxy.InnerServer
 	// ProxyCfg is the client configuration RWCP-site processes use.
 	ProxyCfg proxy.Config
-	opts     Options
+	// OuterBoots counts outer-server boots (1 + restarts after host
+	// crashes); maintained once EnableRecovery is on.
+	OuterBoots int
+	opts       Options
 }
 
 // NewTestbed builds the Figure 5 environment on a fresh kernel and starts
@@ -191,6 +194,45 @@ func NewTestbed(opts Options) *Testbed {
 		_ = tb.Outer.Serve(env, OuterPort, nil)
 	})
 	return tb
+}
+
+// EnableRecovery arms the testbed's fault-tolerance plumbing: the inner
+// server keeps a registered keepalive session with the outer server
+// (re-dialing with backoff when the boundary flaps or the outer host
+// restarts), and both relay daemons get OnRestart boot scripts so
+// Network.RestartHost brings them back. Call it right after NewTestbed,
+// before driving the kernel. ka.OuterAddr defaults to the testbed's outer
+// control address.
+//
+// With recovery on, the registration keepalive ticks forever — drive the
+// kernel with RunUntil, not Run.
+func (tb *Testbed) EnableRecovery(ka proxy.KeepaliveConfig) {
+	if ka.OuterAddr == "" {
+		ka.OuterAddr = tb.ProxyCfg.OuterServer
+	}
+	relay := proxy.RelayConfig{BufBytes: tb.opts.RelayBufBytes, PerBuffer: tb.opts.RelayPerBuffer}
+	tb.OuterBoots = 1
+	tb.Net.Node(RWCPInner).SpawnDaemonOn("nxproxy-inner-register", func(env transport.Env) {
+		env.Sleep(time.Millisecond) // after Serve binds the nxport
+		tb.Inner.MaintainRegistration(env, ka)
+	})
+	tb.Net.Node(RWCPOuter).OnRestart("nxproxy-outer", func(env transport.Env) {
+		o := proxy.NewOuterServer(transport.JoinAddr(RWCPInner, NXPort), relay)
+		o.Secret = tb.opts.Secret
+		tb.Outer = o
+		tb.OuterBoots++
+		_ = o.Serve(env, OuterPort, nil)
+	})
+	tb.Net.Node(RWCPInner).OnRestart("nxproxy-inner", func(env transport.Env) {
+		in := proxy.NewInnerServer(relay)
+		in.Secret = tb.opts.Secret
+		tb.Inner = in
+		env.SpawnService("nxproxy-inner-register", func(e transport.Env) {
+			e.Sleep(time.Millisecond)
+			in.MaintainRegistration(e, ka)
+		})
+		_ = in.Serve(env, NXPort, nil)
+	})
 }
 
 // Host returns a named node.

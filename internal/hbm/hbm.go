@@ -46,9 +46,10 @@ func (h Health) String() string {
 
 // Wire ops.
 const (
-	opBeat   = int32(1) // fields: name (registers implicitly)
-	opStatus = int32(2) // fields: name
-	opList   = int32(3)
+	opBeat       = int32(1) // fields: name (registers implicitly)
+	opStatus     = int32(2) // fields: name
+	opList       = int32(3)
+	opDeregister = int32(4) // fields: name (graceful shutdown, not a death)
 )
 
 // record tracks one process.
@@ -65,6 +66,13 @@ type Monitor struct {
 	// Grace is how far past the interval a beat may be before the process
 	// is DOWN (default: 3x Interval).
 	Grace time.Duration
+	// LateAfter, when nonzero, overrides the UP->LATE threshold: a process
+	// whose last beat is overdue by more than LateAfter is LATE. Zero
+	// derives the threshold from Interval.
+	LateAfter time.Duration
+	// DownAfter, when nonzero, overrides the LATE->DOWN threshold. Zero
+	// derives it from Interval+Grace.
+	DownAfter time.Duration
 
 	mu       sync.Mutex
 	procs    map[string]*record
@@ -105,15 +113,31 @@ func (m *Monitor) Status(name string, now time.Duration) (Health, error) {
 }
 
 func (m *Monitor) classify(r *record, now time.Duration) Health {
+	late := m.LateAfter
+	if late <= 0 {
+		late = m.Interval
+	}
+	down := m.DownAfter
+	if down <= 0 {
+		down = m.Interval + m.Grace
+	}
 	overdue := now - r.lastBeat
 	switch {
-	case overdue <= m.Interval:
+	case overdue <= late:
 		return Up
-	case overdue <= m.Interval+m.Grace:
+	case overdue <= down:
 		return Late
 	default:
 		return Down
 	}
+}
+
+// deregister removes a process from the monitor: a graceful shutdown is not
+// a death, and keeping the record around would report a phantom DOWN.
+func (m *Monitor) deregister(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.procs, name)
 }
 
 // Snapshot lists every process's health at time now, sorted by name.
@@ -186,6 +210,15 @@ func (m *Monitor) handle(env transport.Env, c transport.Conn) {
 		}
 		m.beat(name, env.Now())
 		resp.PutBool(true)
+	case opDeregister:
+		name, err := req.GetString()
+		if err != nil || name == "" {
+			resp.PutBool(false)
+			resp.PutString("hbm: bad deregister")
+			break
+		}
+		m.deregister(name)
+		resp.PutBool(true)
 	case opStatus:
 		name, err := req.GetString()
 		if err != nil {
@@ -225,6 +258,17 @@ func (m *Monitor) handle(env transport.Env, c transport.Conn) {
 func Beat(env transport.Env, addr, name string) error {
 	req := nexus.NewBuffer()
 	req.PutInt32(opBeat)
+	req.PutString(name)
+	_, err := roundTrip(env, addr, req)
+	return err
+}
+
+// Deregister removes name from the monitor at addr: the process is shutting
+// down on purpose and should stop being reported at all, rather than decay
+// to DOWN.
+func Deregister(env transport.Env, addr, name string) error {
+	req := nexus.NewBuffer()
+	req.PutInt32(opDeregister)
 	req.PutString(name)
 	_, err := roundTrip(env, addr, req)
 	return err
@@ -293,7 +337,8 @@ func roundTrip(env transport.Env, addr string, req *nexus.Buffer) (*nexus.Buffer
 }
 
 // Reporter periodically beats on behalf of a named process. Start launches
-// the beat loop as a service process; Stop ends it.
+// the beat loop as a service process; Stop ends it gracefully (with a final
+// deregister beat), Abandon ends it silently, modeling a crash.
 type Reporter struct {
 	// MonitorAddr is the monitor's "host:port".
 	MonitorAddr string
@@ -302,8 +347,9 @@ type Reporter struct {
 	// Interval between beats (use the monitor's).
 	Interval time.Duration
 
-	stopped bool
-	mu      sync.Mutex
+	stopped   bool
+	abandoned bool
+	mu        sync.Mutex
 }
 
 // Start launches the beat loop.
@@ -311,9 +357,12 @@ func (r *Reporter) Start(env transport.Env) {
 	env.SpawnService("hbm:reporter:"+r.Name, func(e transport.Env) {
 		for {
 			r.mu.Lock()
-			stopped := r.stopped
+			stopped, abandoned := r.stopped, r.abandoned
 			r.mu.Unlock()
 			if stopped {
+				if !abandoned {
+					_ = Deregister(e, r.MonitorAddr, r.Name) // best effort
+				}
 				return
 			}
 			_ = Beat(e, r.MonitorAddr, r.Name) // best effort
@@ -322,9 +371,21 @@ func (r *Reporter) Start(env transport.Env) {
 	})
 }
 
-// Stop ends the beat loop after its current sleep.
+// Stop ends the beat loop after its current sleep; on its way out the loop
+// sends a deregister beat so the monitor drops the record instead of letting
+// it decay to DOWN.
 func (r *Reporter) Stop() {
 	r.mu.Lock()
 	r.stopped = true
+	r.mu.Unlock()
+}
+
+// Abandon ends the beat loop without deregistering: the monitor keeps the
+// record and will classify the process LATE, then DOWN, exactly as if it
+// crashed. Tests and fault-injection harnesses use this to model failures.
+func (r *Reporter) Abandon() {
+	r.mu.Lock()
+	r.stopped = true
+	r.abandoned = true
 	r.mu.Unlock()
 }

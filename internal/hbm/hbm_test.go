@@ -62,6 +62,7 @@ func TestMonitorDetectsDeadProcessInSim(t *testing.T) {
 	steady := &Reporter{MonitorAddr: "mon:7300", Name: "steady", Interval: time.Second}
 	var atFive, atTwenty Health
 	var steadyLater Health
+	var steadyBeats int64
 	n.Node("svc").SpawnOn("driver", func(e transport.Env) {
 		flaky.Start(e)
 		steady.Start(e)
@@ -71,7 +72,7 @@ func TestMonitorDetectsDeadProcessInSim(t *testing.T) {
 		if err != nil {
 			t.Error(err)
 		}
-		flaky.Stop()
+		flaky.Abandon() // crash: stop beating without deregistering
 		e.Sleep(15 * time.Second)
 		atTwenty, err = QueryStatus(e, "mon:7300", "flaky")
 		if err != nil {
@@ -88,7 +89,8 @@ func TestMonitorDetectsDeadProcessInSim(t *testing.T) {
 		if len(all) != 2 {
 			t.Errorf("QueryAll = %v", all)
 		}
-		steady.Stop()
+		steadyBeats = m.Beats("steady")
+		steady.Stop() // graceful: the final deregister beat removes the record
 	})
 	k.RunUntil(60 * time.Second)
 	k.Shutdown()
@@ -102,8 +104,87 @@ func TestMonitorDetectsDeadProcessInSim(t *testing.T) {
 	if steadyLater != Up {
 		t.Fatalf("steady at t=20s: %v, want UP", steadyLater)
 	}
-	if m.Beats("steady") < 15 {
-		t.Fatalf("steady beat only %d times", m.Beats("steady"))
+	if steadyBeats < 15 {
+		t.Fatalf("steady beat only %d times", steadyBeats)
+	}
+	// steady.Stop deregistered on its way out; flaky's abandoned record stays.
+	final := m.Snapshot(20 * time.Second)
+	if _, ok := final["steady"]; ok {
+		t.Errorf("steady still registered after graceful Stop: %v", final)
+	}
+	if h, ok := final["flaky"]; !ok || h != Down {
+		t.Errorf("flaky after Abandon = %v, %v; want DOWN", h, ok)
+	}
+}
+
+// TestCustomThresholds exercises LateAfter/DownAfter overrides: the
+// UP->LATE->DOWN transitions must follow the explicit knobs, not the
+// Interval/Grace-derived defaults.
+func TestCustomThresholds(t *testing.T) {
+	m := NewMonitor(time.Second) // defaults: late after 1s, down after 4s
+	m.LateAfter = 3 * time.Second
+	m.DownAfter = 10 * time.Second
+	m.beat("p", 0)
+	cases := []struct {
+		now  time.Duration
+		want Health
+	}{
+		{2 * time.Second, Up},
+		{3 * time.Second, Up},
+		{3*time.Second + 1, Late},
+		{10 * time.Second, Late},
+		{10*time.Second + 1, Down},
+	}
+	for _, tc := range cases {
+		h, err := m.Status("p", tc.now)
+		if err != nil || h != tc.want {
+			t.Errorf("Status at %v = %v, %v; want %v", tc.now, h, err, tc.want)
+		}
+	}
+}
+
+// TestDeregisterOverWire checks the opDeregister round trip: a deregistered
+// process vanishes from Status and QueryAll instead of decaying to DOWN, and
+// a later beat re-registers it from scratch.
+func TestDeregisterOverWire(t *testing.T) {
+	k := sim.New()
+	n := simnet.New(k)
+	n.AddHost("mon", simnet.HostConfig{})
+	n.AddHost("svc", simnet.HostConfig{})
+	n.Connect("mon", "svc", simnet.LinkConfig{Latency: time.Millisecond})
+
+	m := NewMonitor(time.Second)
+	n.Node("mon").SpawnDaemonOn("monitor", func(e transport.Env) {
+		_ = m.Serve(e, 7300, nil)
+	})
+	n.Node("svc").SpawnOn("driver", func(e transport.Env) {
+		if err := Beat(e, "mon:7300", "p"); err != nil {
+			t.Error(err)
+		}
+		if h, err := QueryStatus(e, "mon:7300", "p"); err != nil || h != Up {
+			t.Errorf("after beat: %v, %v", h, err)
+		}
+		if err := Deregister(e, "mon:7300", "p"); err != nil {
+			t.Error(err)
+		}
+		if _, err := QueryStatus(e, "mon:7300", "p"); err == nil {
+			t.Error("after deregister: status query succeeded, want unknown-process error")
+		}
+		all, err := QueryAll(e, "mon:7300")
+		if err != nil || len(all) != 0 {
+			t.Errorf("QueryAll after deregister = %v, %v", all, err)
+		}
+		if err := Beat(e, "mon:7300", "p"); err != nil {
+			t.Error(err)
+		}
+		if h, err := QueryStatus(e, "mon:7300", "p"); err != nil || h != Up {
+			t.Errorf("after re-registration: %v, %v", h, err)
+		}
+	})
+	k.RunUntil(10 * time.Second)
+	k.Shutdown()
+	if got := m.Beats("p"); got != 1 {
+		t.Errorf("beats after deregister+rebeat = %d, want 1 (counter reset)", got)
 	}
 }
 

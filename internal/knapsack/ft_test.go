@@ -1,0 +1,214 @@
+package knapsack
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+)
+
+// buildFTWorld prepares a simulated LAN cluster world for RunFT tests and
+// returns the kernel, network, and world so callers can inject faults.
+func buildFTWorld(ranks int) (*sim.Kernel, *simnet.Network, *mpi.World) {
+	k := sim.New()
+	net := simnet.New(k)
+	net.AddRouter("sw", "")
+	pls := make([]mpi.Placement, ranks)
+	for i := range pls {
+		name := fmt.Sprintf("node%d", i)
+		net.AddHost(name, simnet.HostConfig{})
+		net.Connect(name, "sw", simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 12 << 20})
+		pls[i] = mpi.Placement{Name: name, Spawn: net.Node(name).SpawnOn}
+	}
+	return k, net, mpi.NewWorld(pls)
+}
+
+// TestRunFTFaultFreeMatchesRun: with no faults injected, the FT scheduler
+// must find the same optimum and expand every node exactly once, like the
+// plain scheduler.
+func TestRunFTFaultFreeMatchesRun(t *testing.T) {
+	in := NoPruning(14)
+	wantBest, wantNodes := SolveExhaustive(in)
+	k, _, w := buildFTWorld(4)
+	var res *Result
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := RunFT(c, in, FTParams{Params: Params{Interval: 50, StealUnit: 3, NodeCost: time.Microsecond}})
+		if c.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != wantBest {
+		t.Fatalf("ft best = %d, want %d", res.Best, wantBest)
+	}
+	if res.TotalTraversed != wantNodes {
+		t.Fatalf("ft traversed = %d, want %d (fault-free runs must not duplicate work)",
+			res.TotalTraversed, wantNodes)
+	}
+	if len(res.Stats) != 4 {
+		t.Fatalf("stats for %d ranks", len(res.Stats))
+	}
+	for _, st := range res.Stats[1:] {
+		if st.Traversed == 0 {
+			t.Errorf("slave %d did no work", st.Rank)
+		}
+	}
+}
+
+// TestRunFTSurvivesSlaveCrash kills one slave's host mid-search: the master
+// must reclaim its outstanding batch and still return the exact optimum.
+// The killed rank's error slot stays nil (its process never returns).
+func TestRunFTSurvivesSlaveCrash(t *testing.T) {
+	in := NoPruning(14)
+	wantBest, wantNodes := SolveExhaustive(in)
+	k, net, w := buildFTWorld(4)
+	var res *Result
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := RunFT(c, in, FTParams{
+			Params:       Params{Interval: 50, StealUnit: 3, NodeCost: 200 * time.Microsecond},
+			SlaveTimeout: 300 * time.Millisecond,
+			StealTimeout: 100 * time.Millisecond,
+		})
+		if c.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	// The full tree is ~32k nodes at 200us each across 4 ranks: well over a
+	// second of virtual time. Crash node2 in the thick of it.
+	k.After(400*time.Millisecond, func() {
+		if err := net.CrashHost("node2"); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if res == nil {
+		t.Fatal("master produced no result")
+	}
+	if res.Best != wantBest {
+		t.Fatalf("ft best after crash = %d, want %d", res.Best, wantBest)
+	}
+	// Reclaimed batches are re-expanded, so the total can only grow.
+	if res.TotalTraversed < wantNodes {
+		t.Fatalf("ft traversed %d < %d: work was lost, not reclaimed", res.TotalTraversed, wantNodes)
+	}
+	errs := w.RankErrs()
+	if errs[0] != nil {
+		t.Fatalf("master error: %v", errs[0])
+	}
+	if errs[2] != nil {
+		t.Fatalf("killed rank reported %v, want nil (never returned)", errs[2])
+	}
+}
+
+// TestRunFTSurvivesTwoCrashes: with two of three slaves dead the master and
+// the last slave still finish exactly.
+func TestRunFTSurvivesTwoCrashes(t *testing.T) {
+	in := NoPruning(13)
+	wantBest, _ := SolveExhaustive(in)
+	k, net, w := buildFTWorld(4)
+	var res *Result
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := RunFT(c, in, FTParams{
+			Params:       Params{Interval: 40, StealUnit: 2, NodeCost: 200 * time.Microsecond},
+			SlaveTimeout: 300 * time.Millisecond,
+			StealTimeout: 100 * time.Millisecond,
+		})
+		if c.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	k.After(200*time.Millisecond, func() { _ = net.CrashHost("node1") })
+	k.After(500*time.Millisecond, func() { _ = net.CrashHost("node3") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if res == nil {
+		t.Fatal("master produced no result")
+	}
+	if res.Best != wantBest {
+		t.Fatalf("ft best after two crashes = %d, want %d", res.Best, wantBest)
+	}
+}
+
+// TestRunFTOrphanedSlave: a slave whose master dies must not hang — it
+// gives up with ErrOrphaned after its retry budget.
+func TestRunFTOrphanedSlave(t *testing.T) {
+	in := NoPruning(12)
+	k, net, w := buildFTWorld(2)
+	w.Launch(func(c *mpi.Comm) error {
+		_, err := RunFT(c, in, FTParams{
+			Params:       Params{Interval: 40, StealUnit: 2, NodeCost: 200 * time.Microsecond},
+			StealTimeout: 50 * time.Millisecond,
+			StealRetries: 3,
+		})
+		return err
+	})
+	k.After(100*time.Millisecond, func() { _ = net.CrashHost("node0") })
+	// The orphaned slave's rank error is only recorded once it gives up;
+	// the run has no other live work, so the queue drains on its own.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	errs := w.RankErrs()
+	if errs[0] != nil {
+		t.Fatalf("killed master reported %v, want nil", errs[0])
+	}
+	if !errors.Is(errs[1], ErrOrphaned) {
+		t.Fatalf("orphaned slave error = %v, want ErrOrphaned", errs[1])
+	}
+}
+
+// TestRunFTDeterministic: the FT scheduler must stay bit-reproducible — the
+// same instance and fault-free world give identical elapsed virtual time
+// and identical per-rank traversal counts run after run.
+func TestRunFTDeterministic(t *testing.T) {
+	in := Random(15, 300, 7)
+	run := func() (time.Duration, []int64) {
+		k, _, w := buildFTWorld(3)
+		var res *Result
+		w.Launch(func(c *mpi.Comm) error {
+			r, err := RunFT(c, in, FTParams{Params: Params{Interval: 30, StealUnit: 2, NodeCost: time.Microsecond}})
+			if c.Rank() == 0 {
+				res = r
+			}
+			return err
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		k.Shutdown()
+		var tr []int64
+		for _, st := range res.Stats {
+			tr = append(tr, st.Traversed)
+		}
+		return res.Elapsed, tr
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 {
+		t.Fatalf("elapsed differs across runs: %v vs %v", e1, e2)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("rank %d traversed %d vs %d", i, t1[i], t2[i])
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package mpi
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRecvTimeout: a too-short wait times out without losing messages; a
+// long enough wait delivers; non-matching traffic is kept for later.
+func TestRecvTimeout(t *testing.T) {
+	k, w := simWorld(t, 2)
+	var early, late bool
+	var gotOther Message
+	w.Launch(func(c *Comm) error {
+		if c.Rank() == 1 {
+			c.Env().Sleep(100 * time.Millisecond)
+			if err := c.Send(0, 7, []byte("slow")); err != nil {
+				return err
+			}
+			return c.Send(0, 8, []byte("other"))
+		}
+		// Times out before the sender wakes up.
+		_, ok, err := c.RecvTimeout(1, 7, 10*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		early = ok
+		// Long enough: the message arrives.
+		m, ok, err := c.RecvTimeout(1, 7, time.Second)
+		if err != nil {
+			return err
+		}
+		late = ok && string(m.Data) == "slow"
+		// The tag-8 message is still retrievable by a normal Recv.
+		gotOther, err = c.Recv(1, 8)
+		return err
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if early {
+		t.Error("10ms RecvTimeout matched a message sent at t=100ms")
+	}
+	if !late {
+		t.Error("1s RecvTimeout missed the message")
+	}
+	if string(gotOther.Data) != "other" {
+		t.Errorf("tag-8 message = %q", gotOther.Data)
+	}
+}
+
+// TestRankErrs: per-rank outcomes are exposed in rank order.
+func TestRankErrs(t *testing.T) {
+	k, w := simWorld(t, 3)
+	w.Launch(func(c *Comm) error {
+		if c.Rank() == 1 {
+			return ErrInvalidTag // stand-in application error
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	errs := w.RankErrs()
+	if len(errs) != 3 || errs[0] != nil || errs[1] == nil || errs[2] != nil {
+		t.Fatalf("RankErrs = %v", errs)
+	}
+}

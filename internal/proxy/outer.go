@@ -31,9 +31,14 @@ type OuterServer struct {
 	connectRelays int64
 	bindRelays    int64
 	bytes         int64
-	mu            sync.Mutex // guards binds across TCP goroutines
+	registrations int64
+	innerLive     int32
+	mu            sync.Mutex // guards binds and registeredInner across TCP goroutines
 	binds         map[string]*outerBind
-	trace         func(format string, args ...interface{})
+	// registeredInner is the inner address most recently advertised over a
+	// msgRegister session; it overrides the static InnerAddr.
+	registeredInner string
+	trace           func(format string, args ...interface{})
 }
 
 type outerBind struct {
@@ -62,10 +67,24 @@ func (s *OuterServer) tracef(format string, args ...interface{}) {
 // Stats returns a snapshot of relay counters.
 func (s *OuterServer) Stats() Stats {
 	return Stats{
-		ConnectRelays: int(atomic.LoadInt64(&s.connectRelays)),
-		BindRelays:    int(atomic.LoadInt64(&s.bindRelays)),
-		Bytes:         atomic.LoadInt64(&s.bytes),
+		ConnectRelays:  int(atomic.LoadInt64(&s.connectRelays)),
+		BindRelays:     int(atomic.LoadInt64(&s.bindRelays)),
+		Bytes:          atomic.LoadInt64(&s.bytes),
+		Registrations:  int(atomic.LoadInt64(&s.registrations)),
+		InnerConnected: atomic.LoadInt32(&s.innerLive) != 0,
 	}
+}
+
+// innerAddr returns the inner server's current nxport address: the one
+// registered over the control channel when there is one, the statically
+// configured InnerAddr otherwise.
+func (s *OuterServer) innerAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.registeredInner != "" {
+		return s.registeredInner
+	}
+	return s.InnerAddr
 }
 
 // Addr returns the control listener address once Serve has bound it.
@@ -141,10 +160,46 @@ func (s *OuterServer) handleControl(env transport.Env, c transport.Conn) {
 			return
 		}
 		s.handleBind(env, c, fields[0])
+	case msgRegister:
+		if len(fields) != 1 {
+			_ = writeMsg(st, msgError, "register: want 1 field")
+			_ = c.Close(env)
+			return
+		}
+		s.handleRegister(env, c, fields[0])
 	default:
 		_ = writeMsg(st, msgError, fmt.Sprintf("unexpected message %#x", typ))
 		_ = c.Close(env)
 	}
+}
+
+// handleRegister serves one registration session from the inner server:
+// record its advertised nxport address, then answer keepalive pings until
+// the session breaks (connection error or reset). A broken session leaves
+// the last registered address in place — splices keep working through a
+// flap; the inner server re-registers when it notices the break.
+func (s *OuterServer) handleRegister(env transport.Env, c transport.Conn, innerAddr string) {
+	st := transport.Stream{Env: env, Conn: c}
+	s.mu.Lock()
+	s.registeredInner = innerAddr
+	s.mu.Unlock()
+	n := atomic.AddInt64(&s.registrations, 1)
+	atomic.StoreInt32(&s.innerLive, 1)
+	s.tracef("outer: inner server registered from %s as %s (session %d)", c.RemoteAddr(), innerAddr, n)
+	if err := writeMsg(st, msgRegisterOK); err == nil {
+		for {
+			typ, _, err := readMsg(st)
+			if err != nil || typ != msgPing {
+				break
+			}
+			if err := writeMsg(st, msgPong); err != nil {
+				break
+			}
+		}
+	}
+	atomic.StoreInt32(&s.innerLive, 0)
+	s.tracef("outer: registration session %d ended", n)
+	_ = c.Close(env)
 }
 
 // handleConnect implements the active open (paper Figure 3): dial the
@@ -219,8 +274,9 @@ func (s *OuterServer) acceptPublic(env transport.Env, b *outerBind) {
 		pc := peer
 		env.SpawnService("outer:"+b.id+":peer", func(e transport.Env) {
 			connID := fmt.Sprintf("%s/conn-%d", b.id, atomic.AddInt64(&b.nextConn, 1))
-			s.tracef("outer: peer %s for %s; splicing via inner %s", pc.RemoteAddr(), b.id, s.InnerAddr)
-			in, err := e.Dial(s.InnerAddr)
+			inner := s.innerAddr()
+			s.tracef("outer: peer %s for %s; splicing via inner %s", pc.RemoteAddr(), b.id, inner)
+			in, err := e.Dial(inner)
 			if err != nil {
 				_ = pc.Close(e)
 				return

@@ -55,6 +55,18 @@ const (
 	msgAccept = byte(0x07)
 	// msgUnbind (client → outer): no fields. Releases a bind.
 	msgUnbind = byte(0x08)
+	// msgRegister (inner → outer): fields [innerNxAddr]. The inner server
+	// advertises its nxport address on a persistent control connection; the
+	// outer server splices passive opens toward the registered address. The
+	// connection doubles as the liveness channel between the two daemons.
+	msgRegister = byte(0x09)
+	// msgRegisterOK (outer → inner): no fields.
+	msgRegisterOK = byte(0x0a)
+	// msgPing (inner → outer) / msgPong (outer → inner): keepalives on the
+	// registration channel; a missed pong makes the inner server tear the
+	// session down and re-register with backoff.
+	msgPing = byte(0x0b)
+	msgPong = byte(0x0c)
 )
 
 // maxFieldLen bounds a single protocol field on the wire.

@@ -1,0 +1,204 @@
+package proxy
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+	"nxcluster/internal/transport"
+)
+
+// bootRegisteredProxy starts the inner server with a registration loop and
+// the outer server with an OnRestart boot script. The outer server is
+// created with NO static inner address, so every passive-open splice depends
+// on the registration channel working.
+func bootRegisteredProxy(n *simnet.Network, ka KeepaliveConfig) (*InnerServer, *[]*OuterServer) {
+	inner := NewInnerServer(RelayConfig{})
+	n.Node("inner").SpawnDaemonOn("inner-server", func(env transport.Env) {
+		_ = inner.Serve(env, 7010, func(string) {
+			env.SpawnService("inner-register", func(e transport.Env) {
+				inner.MaintainRegistration(e, ka)
+			})
+		})
+	})
+	outers := &[]*OuterServer{}
+	bootOuter := func(env transport.Env) {
+		o := NewOuterServer("", RelayConfig{})
+		*outers = append(*outers, o)
+		_ = o.Serve(env, 7000, nil)
+	}
+	n.Node("outer").SpawnDaemonOn("outer-server", bootOuter)
+	n.Node("outer").OnRestart("outer-server", bootOuter)
+	return inner, outers
+}
+
+// TestRegistrationSurvivesOuterRestart crashes the outer host mid-run. The
+// inner server must fail fast on its dead session (reset, then ErrHostDown
+// dials), back off, and re-register with the restarted daemon — after which
+// the full passive-open chain works purely off the re-registered address.
+func TestRegistrationSurvivesOuterRestart(t *testing.T) {
+	k := sim.New()
+	n := buildFirewalledSite(k)
+	ka := KeepaliveConfig{
+		OuterAddr: "outer:7000",
+		Interval:  100 * time.Millisecond,
+		Backoff:   transport.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+	}
+	inner, outers := bootRegisteredProxy(n, ka)
+	if err := n.ApplyPlan((&simnet.FaultPlan{}).CrashWindow("outer", time.Second, 1500*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{OuterServer: "outer:7000", InnerServer: "inner:7010"}
+	var paAddr string
+	var echoed string
+	n.Node("pa").SpawnOn("pa", func(env transport.Env) {
+		env.Sleep(3 * time.Second) // well past the recovery
+		pl, err := NXProxyBind(env, cfg)
+		if err != nil {
+			t.Errorf("NXProxyBind after recovery: %v", err)
+			return
+		}
+		paAddr = pl.Addr()
+		c, err := pl.Accept(env)
+		if err != nil {
+			t.Errorf("NXProxyAccept: %v", err)
+			return
+		}
+		st := transport.Stream{Env: env, Conn: c}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(st, buf); err != nil {
+			t.Errorf("pa read: %v", err)
+			return
+		}
+		_, _ = st.Write(buf)
+		_ = c.Close(env)
+	})
+	n.Node("pb").SpawnOn("pb", func(env transport.Env) {
+		for paAddr == "" {
+			env.Sleep(10 * time.Millisecond)
+		}
+		c, err := env.Dial(paAddr)
+		if err != nil {
+			t.Errorf("pb dial: %v", err)
+			return
+		}
+		st := transport.Stream{Env: env, Conn: c}
+		_, _ = st.Write([]byte("ping"))
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(st, buf); err != nil {
+			t.Errorf("pb read: %v", err)
+			return
+		}
+		echoed = string(buf)
+		_ = c.Close(env)
+	})
+
+	// The registration keepalive runs forever, so drive to a horizon rather
+	// than draining the event queue.
+	k.RunUntil(6 * time.Second)
+	if echoed != "ping" {
+		t.Errorf("echo through re-registered proxy = %q, want %q", echoed, "ping")
+	}
+	if got := inner.Stats().Registrations; got < 2 {
+		t.Errorf("inner registrations = %d, want >= 2 (initial + after restart)", got)
+	}
+	if len(*outers) != 2 {
+		t.Fatalf("outer server booted %d times, want 2", len(*outers))
+	}
+	last := (*outers)[1].Stats()
+	if last.Registrations < 1 {
+		t.Error("restarted outer server never saw a registration")
+	}
+	if !last.InnerConnected {
+		t.Error("restarted outer server does not show a live inner session")
+	}
+	k.Shutdown()
+}
+
+// TestRegistrationSurvivesBoundaryFlap flaps the link between the site
+// gateway and the outer host for longer than the keepalive timeout: the
+// inner server must notice the dead session via a missed pong and establish
+// a second one once connectivity returns.
+func TestRegistrationSurvivesBoundaryFlap(t *testing.T) {
+	k := sim.New()
+	n := buildFirewalledSite(k)
+	ka := KeepaliveConfig{
+		OuterAddr: "outer:7000",
+		Interval:  100 * time.Millisecond,
+		Timeout:   200 * time.Millisecond,
+		Backoff:   transport.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+	}
+	inner, outers := bootRegisteredProxy(n, ka)
+	if err := n.ApplyPlan((&simnet.FaultPlan{}).LinkOutage("gw", "outer", time.Second, 2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(4 * time.Second)
+	if got := inner.Stats().Registrations; got != 2 {
+		t.Errorf("inner registrations = %d, want 2 (initial + after flap)", got)
+	}
+	st := (*outers)[0].Stats()
+	if st.Registrations != 2 {
+		t.Errorf("outer registrations = %d, want 2", st.Registrations)
+	}
+	if !st.InnerConnected {
+		t.Error("outer does not show a live inner session after the flap healed")
+	}
+	k.Shutdown()
+}
+
+// TestRelayPropagatesResetThroughSplice aborts one endpoint of a fully
+// spliced passive-open chain (pb -> outer -> inner -> pa) mid-stream and
+// asserts the opposite endpoint reads ErrReset, not a clean EOF.
+func TestRelayPropagatesResetThroughSplice(t *testing.T) {
+	k := sim.New()
+	n := buildFirewalledSite(k)
+	cfg := startSimProxy(n, RelayConfig{})
+
+	var paAddr string
+	var paErr error
+	n.Node("pa").SpawnOn("pa", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		pl, err := NXProxyBind(env, cfg)
+		if err != nil {
+			t.Errorf("NXProxyBind: %v", err)
+			return
+		}
+		paAddr = pl.Addr()
+		c, err := pl.Accept(env)
+		if err != nil {
+			t.Errorf("NXProxyAccept: %v", err)
+			return
+		}
+		st := transport.Stream{Env: env, Conn: c}
+		buf := make([]byte, 2)
+		if _, err := io.ReadFull(st, buf); err != nil {
+			t.Errorf("pa first read: %v", err)
+			return
+		}
+		_, paErr = c.Read(env, buf) // blocks until pb aborts
+	})
+	n.Node("pb").SpawnOn("pb", func(env transport.Env) {
+		for paAddr == "" {
+			env.Sleep(10 * time.Millisecond)
+		}
+		c, err := env.Dial(paAddr)
+		if err != nil {
+			t.Errorf("pb dial: %v", err)
+			return
+		}
+		_, _ = c.Write(env, []byte("hi"))
+		env.Sleep(100 * time.Millisecond) // let the bytes traverse the chain
+		_ = transport.Abort(env, c)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(paErr, transport.ErrReset) {
+		t.Errorf("pa read after pb abort = %v, want ErrReset", paErr)
+	}
+	k.Shutdown()
+}

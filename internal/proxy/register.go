@@ -1,0 +1,105 @@
+package proxy
+
+import (
+	"sync/atomic"
+	"time"
+
+	"nxcluster/internal/transport"
+)
+
+// KeepaliveConfig tunes the inner server's persistent registration channel
+// to the outer server.
+type KeepaliveConfig struct {
+	// OuterAddr is the outer server's control address ("host:port").
+	OuterAddr string
+	// Interval is the ping period (default 500ms).
+	Interval time.Duration
+	// Timeout is how long to wait for a pong before declaring the session
+	// dead (default 2*Interval). A WAN flap longer than this triggers a
+	// re-registration once connectivity returns.
+	Timeout time.Duration
+	// Backoff is the redial schedule after a failed or broken session; the
+	// zero value uses the transport defaults (100ms base, 5s cap) with a
+	// jitter key derived from the inner host's name.
+	Backoff transport.Backoff
+}
+
+// MaintainRegistration keeps the inner server registered with the outer
+// server for as long as the calling process lives: it dials the control
+// port, registers the nxport address, then exchanges keepalives. When the
+// session breaks — the outer host restarts, the boundary link flaps past
+// the keepalive timeout — it re-dials with capped exponential backoff and
+// deterministic jitter, re-registers, and resumes service.
+//
+// Call it from a daemon process after Serve has bound the nxport (the
+// registered address is s.Addr()). It never returns.
+func (s *InnerServer) MaintainRegistration(env transport.Env, cfg KeepaliveConfig) {
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 2 * interval
+	}
+	bo := cfg.Backoff
+	if bo.Key == "" {
+		bo.Key = "inner-register@" + env.Hostname()
+	}
+	for {
+		c, err := env.Dial(cfg.OuterAddr)
+		if err != nil {
+			s.tracef("inner: register dial %s: %v (retry in backoff)", cfg.OuterAddr, err)
+			env.Sleep(bo.Next())
+			continue
+		}
+		st := transport.Stream{Env: env, Conn: c}
+		err = sendAuthedRequest(st, s.Secret, msgRegister, s.Addr())
+		if err == nil {
+			_, err = expect(st, msgRegisterOK)
+		}
+		if err != nil {
+			s.tracef("inner: register with %s failed: %v", cfg.OuterAddr, err)
+			_ = c.Close(env)
+			env.Sleep(bo.Next())
+			continue
+		}
+		n := atomic.AddInt64(&s.registrations, 1)
+		s.tracef("inner: registered with %s (session %d)", cfg.OuterAddr, n)
+		bo.Reset()
+		s.keepalive(env, c, interval, timeout)
+		s.tracef("inner: registration session %d broke; re-registering", n)
+		env.Sleep(bo.Next())
+	}
+}
+
+// keepalive pings the outer server every interval and waits for pongs. It
+// returns when the session is no longer healthy: a write error, a missed
+// pong, or a connection reset. The connection is aborted on return so the
+// outer server (if alive) sees the session end as a reset, and the reader
+// process unblocks.
+func (s *InnerServer) keepalive(env transport.Env, c transport.Conn, interval, timeout time.Duration) {
+	st := transport.Stream{Env: env, Conn: c}
+	pongs := transport.NewQueue[byte](env)
+	env.SpawnService("inner:reg-reader", func(e transport.Env) {
+		for {
+			typ, _, err := readMsg(transport.Stream{Env: e, Conn: c})
+			if err != nil {
+				pongs.Close()
+				return
+			}
+			pongs.Put(e, typ)
+		}
+	})
+	for {
+		env.Sleep(interval)
+		if err := writeMsg(st, msgPing); err != nil {
+			break
+		}
+		typ, ok, timedOut := pongs.GetTimeout(env, timeout)
+		if timedOut || !ok || typ != msgPong {
+			break
+		}
+	}
+	_ = transport.Abort(env, c)
+}

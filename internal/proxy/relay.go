@@ -1,6 +1,8 @@
 package proxy
 
 import (
+	"errors"
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -38,14 +40,26 @@ type Stats struct {
 	BindRelays int
 	// Bytes counts payload bytes pumped in both directions.
 	Bytes int64
+	// Registrations counts registration sessions established on the
+	// inner-to-outer control channel (1 in a fault-free run; each recovery
+	// after a flap or outer restart adds one).
+	Registrations int
+	// InnerConnected reports whether a registration session is currently
+	// live (outer server only).
+	InnerConnected bool
 }
 
 // pump copies bytes from src to dst until EOF or error, charging the
-// configured per-buffer processing cost, then closes dst's write side by
-// closing the connection. It runs as its own process; a relayed connection
-// uses two pumps, one per direction.
+// configured per-buffer processing cost. It runs as its own process; a
+// relayed connection uses two pumps, one per direction.
+//
+// Teardown distinguishes how the stream ended: a clean EOF closes both legs
+// in order, while a mid-stream transport failure (connection reset, crashed
+// endpoint) aborts both legs, so the surviving endpoint observes ErrReset
+// rather than mistaking the break for an orderly close.
 func pump(env transport.Env, src, dst transport.Conn, cfg RelayConfig, bytes *int64) {
 	buf := make([]byte, cfg.bufBytes())
+	var failure error
 	for {
 		n, err := src.Read(env, buf)
 		if n > 0 {
@@ -53,6 +67,7 @@ func pump(env transport.Env, src, dst transport.Conn, cfg RelayConfig, bytes *in
 				env.Compute(cfg.PerBuffer)
 			}
 			if _, werr := dst.Write(env, buf[:n]); werr != nil {
+				failure = werr
 				break
 			}
 			if bytes != nil {
@@ -63,8 +78,16 @@ func pump(env transport.Env, src, dst transport.Conn, cfg RelayConfig, bytes *in
 			}
 		}
 		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				failure = err
+			}
 			break
 		}
+	}
+	if failure != nil {
+		_ = transport.Abort(env, dst)
+		_ = transport.Abort(env, src)
+		return
 	}
 	_ = dst.Close(env)
 	_ = src.Close(env)

@@ -2,6 +2,7 @@ package rmf
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"nxcluster/internal/nexus"
@@ -161,7 +162,17 @@ type JobHandle struct {
 	AllocatorAddr string
 	// Processes are the submitted processes.
 	Processes []Process
-	released  bool
+	// Cluster is the allocation filter the job was submitted with.
+	Cluster string
+	// Specs holds each process's submitted spec so a lost process can be
+	// requeued verbatim.
+	Specs []ProcessSpec
+	// Recovery, when non-nil, makes Wait requeue processes lost to Q server
+	// failures instead of reporting them as errors.
+	Recovery *RecoveryPolicy
+	// Requeues counts processes recovered onto replacement resources.
+	Requeues int
+	released bool
 }
 
 // JobRequest is a whole-job submission: count processes of one spec.
@@ -185,7 +196,7 @@ func SubmitJob(env transport.Env, allocatorAddr string, req JobRequest) (*JobHan
 	if err != nil {
 		return nil, err
 	}
-	h := &JobHandle{AllocatorAddr: allocatorAddr}
+	h := &JobHandle{AllocatorAddr: allocatorAddr, Cluster: req.Cluster}
 	for i := range names {
 		spec := req.Spec
 		if spec.StdoutURL != "" && req.Count > 1 {
@@ -198,25 +209,63 @@ func SubmitJob(env transport.Env, allocatorAddr string, req JobRequest) (*JobHan
 			return nil, fmt.Errorf("rmf: submit to %s: %w", names[i], err)
 		}
 		h.Processes = append(h.Processes, Process{Resource: names[i], QServerAddr: addrs[i], JobID: id})
+		h.Specs = append(h.Specs, spec)
 	}
 	return h, nil
 }
 
 // Wait polls until every process reaches a terminal state or the timeout
 // expires, then releases the allocation. It returns the first failure.
+//
+// With a RecoveryPolicy set, a process whose Q server stops answering —
+// crashed host, restarted daemon that forgot the job id — is requeued onto a
+// fresh slot instead of failing the job (see RecoveryPolicy for semantics).
 func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 	if poll <= 0 {
 		poll = 50 * time.Millisecond
 	}
 	deadline := env.Now() + timeout
+	if timeout <= 0 {
+		deadline = time.Duration(math.MaxInt64)
+	}
+	statusRetries := 0
+	var bo transport.Backoff
+	if h.Recovery != nil {
+		statusRetries = h.Recovery.StatusRetries
+		if statusRetries <= 0 {
+			statusRetries = 3
+		}
+		bo = h.Recovery.Backoff
+		if bo.Key == "" {
+			bo.Key = "rmf-requeue@" + h.AllocatorAddr
+		}
+	}
 	var firstErr error
-	for _, p := range h.Processes {
+	for i := range h.Processes {
+		errStreak := 0
 		for {
+			p := h.Processes[i]
 			state, msg, err := Status(env, p.QServerAddr, p.JobID)
 			if err != nil {
-				firstErr = err
-				break
+				errStreak++
+				if h.Recovery == nil {
+					firstErr = err
+					break
+				}
+				if errStreak >= statusRetries {
+					// The Q server is gone or lost the job: requeue.
+					if rqErr := h.requeue(env, i, deadline, &bo); rqErr != nil {
+						if firstErr == nil {
+							firstErr = rqErr
+						}
+						break
+					}
+					errStreak = 0
+				}
+				env.Sleep(poll)
+				continue
 			}
+			errStreak = 0
 			if state == StateDone {
 				break
 			}

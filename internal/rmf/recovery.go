@@ -1,0 +1,140 @@
+package rmf
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nxcluster/internal/hbm"
+	"nxcluster/internal/transport"
+)
+
+// This file is RMF's failure-detection and recovery layer. The allocator
+// learns liveness from the heartbeat monitor and stops handing out slots on
+// dead Q servers; the Q client resubmits with backoff and requeues processes
+// lost to a crashed resource onto survivors. Everything here is opt-in: a
+// job without a RecoveryPolicy behaves exactly as before.
+
+// SetHealth records a resource's heartbeat classification. A transition to
+// DOWN clears the resource's outstanding load — slots held by a dead host
+// are gone, and keeping them would starve it after a restart. Unknown names
+// are ignored (the monitor may track processes the allocator does not own).
+func (a *Allocator) SetHealth(name string, h hbm.Health) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r, ok := a.resources[name]
+	if !ok {
+		return
+	}
+	if h == hbm.Down && r.Health != hbm.Down {
+		a.tracef("allocator: %s is DOWN; clearing %d slots", name, r.Load)
+		r.Load = 0
+	}
+	if h != r.Health {
+		a.tracef("allocator: %s health %v -> %v", name, r.Health, h)
+	}
+	r.Health = h
+}
+
+// Health reports the allocator's current view of a resource (Up for
+// resources never classified, Down for unknown names).
+func (a *Allocator) Health(name string) hbm.Health {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r, ok := a.resources[name]; ok {
+		return r.Health
+	}
+	return hbm.Down
+}
+
+// WatchHBM launches a service that polls the heartbeat monitor at hbmAddr
+// every interval and feeds the classifications into the allocator. Resource
+// names must match the names their Q servers beat under. Poll errors are
+// tolerated — the allocator keeps its last view while the monitor is
+// unreachable.
+func (a *Allocator) WatchHBM(env transport.Env, hbmAddr string, interval time.Duration) {
+	env.SpawnService("rmf-alloc:hbm-watch", func(e transport.Env) {
+		for {
+			e.Sleep(interval)
+			all, err := hbm.QueryAll(e, hbmAddr)
+			if err != nil {
+				continue
+			}
+			names := make([]string, 0, len(all))
+			for n := range all {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				a.SetHealth(n, all[n])
+			}
+		}
+	})
+}
+
+// SubmitRetry submits one process to a Q server, retrying transient failures
+// (dial refused during a restart window, a reset mid-handshake) with capped
+// exponential backoff. attempts bounds the total tries; zero means 5.
+func SubmitRetry(env transport.Env, qserverAddr string, spec ProcessSpec, bo transport.Backoff, attempts int) (string, error) {
+	if attempts <= 0 {
+		attempts = 5
+	}
+	if bo.Key == "" {
+		bo.Key = "rmf-submit@" + qserverAddr
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		id, err := Submit(env, qserverAddr, spec)
+		if err == nil {
+			return id, nil
+		}
+		lastErr = err
+		env.Sleep(bo.Next())
+	}
+	return "", fmt.Errorf("rmf: submit to %s after %d attempts: %w", qserverAddr, attempts, lastErr)
+}
+
+// RecoveryPolicy makes JobHandle.Wait survive Q server failures. A process
+// whose Q server stops answering Status (or forgets the job id across a
+// restart) is declared lost after StatusRetries consecutive errors; its slot
+// is released, a replacement is allocated — the health-aware allocator
+// steers it off the dead resource — and the same spec resubmitted. Recovery
+// gives at-least-once execution: a process that dies after doing work runs
+// again from scratch, so programs must be idempotent or restartable.
+type RecoveryPolicy struct {
+	// StatusRetries is the number of consecutive Status failures before a
+	// process is declared lost (default 3).
+	StatusRetries int
+	// Backoff paces replacement allocation and resubmission (zero value:
+	// transport defaults).
+	Backoff transport.Backoff
+}
+
+// requeue replaces a lost process: release its slot, allocate a fresh one,
+// resubmit the original spec. It retries until it succeeds or the deadline
+// passes, because the allocator may briefly keep offering the dead resource
+// until the heartbeat monitor classifies it DOWN.
+func (h *JobHandle) requeue(env transport.Env, i int, deadline time.Duration, bo *transport.Backoff) error {
+	p := h.Processes[i]
+	_ = Release(env, h.AllocatorAddr, []string{p.Resource})
+	for {
+		if env.Now() > deadline {
+			return fmt.Errorf("rmf: requeue of %s (lost on %s) timed out", p.JobID, p.Resource)
+		}
+		names, addrs, err := Allocate(env, h.AllocatorAddr, 1, h.Cluster)
+		if err != nil {
+			env.Sleep(bo.Next())
+			continue
+		}
+		id, err := Submit(env, addrs[0], h.Specs[i])
+		if err != nil {
+			_ = Release(env, h.AllocatorAddr, names)
+			env.Sleep(bo.Next())
+			continue
+		}
+		h.Processes[i] = Process{Resource: names[0], QServerAddr: addrs[0], JobID: id}
+		h.Requeues++
+		bo.Reset()
+		return nil
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"sync"
 
+	"nxcluster/internal/hbm"
 	"nxcluster/internal/mds"
 	"nxcluster/internal/nexus"
 	"nxcluster/internal/transport"
@@ -126,7 +127,8 @@ type resourceInfo struct {
 	Addr    string // Q server "host:port"
 	Cluster string
 	CPUs    int
-	Load    int // outstanding allocated slots
+	Load    int        // outstanding allocated slots
+	Health  hbm.Health // zero value Up: resources are eligible until proven dead
 }
 
 // Allocator is the resource allocator daemon.
@@ -230,6 +232,9 @@ func (a *Allocator) allocate(count int, cluster string) ([]string, []string, err
 	for _, r := range a.resources {
 		if cluster != "" && r.Cluster != cluster {
 			continue
+		}
+		if r.Health == hbm.Down {
+			continue // the heartbeat monitor declared it dead
 		}
 		cands = append(cands, r)
 	}

@@ -536,6 +536,27 @@ func (k *Kernel) liveProcs() int {
 // Live reports the number of non-daemon processes that have not exited.
 func (k *Kernel) Live() int { return k.liveProcs() }
 
+// Kill terminates a single process: it is resumed with a kill signal and
+// unwinds its stack immediately (deferred functions run), exactly like one
+// process's share of Shutdown. Pending timers referencing the process become
+// no-ops. Kill models a host crash taking a process down mid-flight.
+//
+// Kill must be called from kernel context — an event callback (After), an
+// inline Task, or before Run — never from a running process: the kernel
+// goroutine must be parked on the scheduler loop to hand control to the dying
+// process's unwinding.
+func (k *Kernel) Kill(p *Proc) {
+	if p == nil || p.exited || p.killed {
+		return
+	}
+	if k.current != nil {
+		panic("sim: Kill must be called from kernel context, not from a process")
+	}
+	p.killed = true
+	p.resume <- struct{}{}
+	<-k.yield
+}
+
 // Shutdown terminates the simulation: every parked process is resumed with a
 // kill signal, unwinding its stack so goroutines do not leak. The kernel
 // cannot be used after Shutdown.

@@ -33,7 +33,6 @@ func (p *Proc) Now() time.Duration { return p.k.now }
 
 // run is the goroutine body wrapping the user function.
 func (p *Proc) run(fn func(p *Proc)) {
-	<-p.resume // wait for first scheduling
 	defer func() {
 		if r := recover(); r != nil && r != errKilled { //nolint:errorlint // sentinel identity
 			// Re-panicking here would crash the whole test binary from a
@@ -49,6 +48,12 @@ func (p *Proc) run(fn func(p *Proc)) {
 		p.k.tracef("proc %s exit", p.name)
 		p.k.yield <- struct{}{}
 	}()
+	<-p.resume // wait for first scheduling
+	if p.killed {
+		// Killed before ever running (host crashed between Spawn and the
+		// first scheduling): unwind without executing the body.
+		panic(errKilled)
+	}
 	p.k.tracef("proc %s start", p.name)
 	fn(p)
 }

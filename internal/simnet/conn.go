@@ -50,6 +50,9 @@ func (nd *Node) listen(port int) (*listener, error) {
 	if !nd.isHost {
 		return nil, fmt.Errorf("simnet: %s is not a host", nd.name)
 	}
+	if nd.crashed {
+		return nil, fmt.Errorf("simnet: listen on %s: %w", nd.name, transport.ErrHostDown)
+	}
 	if port == 0 {
 		for nd.listeners[nd.nextPort] != nil {
 			nd.nextPort++
@@ -89,6 +92,8 @@ type conn struct {
 	creditCond   *sim.Cond
 	closed       bool // local Close called
 	remoteClosed bool // peer FIN received
+	aborted      bool // local Abort called or host crashed
+	remoteReset  bool // peer RST received: the stream broke mid-flight
 }
 
 func (c *conn) pushInbox(seg []byte) {
@@ -121,6 +126,18 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 	var dialErr error
 	n := nd.net
 	n.send(path, ctlSize, func() {
+		if nd.crashed {
+			// The dialer's host died while the SYN was in flight; nobody is
+			// left to answer to, so the attempt evaporates.
+			return
+		}
+		if dst.crashed {
+			n.send(reversePath(path), ctlSize, func() {
+				dialErr = transport.ErrHostDown
+				done.Set()
+			})
+			return
+		}
 		l := dst.listeners[port]
 		if l == nil || l.closed {
 			n.send(reversePath(path), ctlSize, func() {
@@ -148,6 +165,8 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 			})
 			return
 		}
+		nd.trackConn(cDial)
+		dst.trackConn(cAcc)
 		n.send(reversePath(path), ctlSize, func() {
 			dialed = cDial
 			done.Set()
@@ -179,8 +198,14 @@ func (c *conn) Read(env transport.Env, b []byte) (int, error) {
 			}
 			return n, nil
 		}
+		if c.remoteReset {
+			return 0, transport.ErrReset
+		}
 		if c.remoteClosed {
 			return 0, io.EOF
+		}
+		if c.aborted {
+			return 0, transport.ErrReset
 		}
 		if c.closed {
 			return 0, transport.ErrClosed
@@ -197,6 +222,9 @@ func (c *conn) Write(env transport.Env, b []byte) (int, error) {
 	total := 0
 	mtu := c.node.net.MTU
 	for len(b) > 0 {
+		if c.aborted || c.remoteReset {
+			return total, transport.ErrReset
+		}
 		if c.closed || c.remoteClosed {
 			return total, transport.ErrClosed
 		}
@@ -205,6 +233,9 @@ func (c *conn) Write(env transport.Env, b []byte) (int, error) {
 			chunk = mtu
 		}
 		for c.credit < chunk {
+			if c.aborted || c.remoteReset {
+				return total, transport.ErrReset
+			}
 			if c.closed || c.remoteClosed {
 				return total, transport.ErrClosed
 			}
@@ -227,6 +258,7 @@ func (c *conn) Close(env transport.Env) error {
 		return nil
 	}
 	c.closed = true
+	c.node.untrackConn(c)
 	c.readCond.Broadcast()
 	c.creditCond.Broadcast()
 	peer := c.peer
@@ -236,6 +268,45 @@ func (c *conn) Close(env transport.Env) error {
 		peer.creditCond.Broadcast()
 	})
 	return nil
+}
+
+// Abort implements transport.Aborter: the connection is torn down abruptly
+// (TCP RST). The local end is dead immediately; the RST propagates along the
+// path and makes the peer's pending and future Read/Write calls fail with
+// transport.ErrReset instead of a clean EOF.
+func (c *conn) Abort(env transport.Env) error {
+	procOf(env, "Abort") // assert the caller belongs to this network
+	if c.closed {
+		return nil
+	}
+	c.reset()
+	peer := c.peer
+	c.node.net.send(c.path, ctlSize, func() {
+		peer.deliverReset()
+	})
+	return nil
+}
+
+// reset marks the local endpoint dead: buffered data is discarded, blocked
+// readers and writers wake with ErrReset. Used by Abort and by host crashes.
+func (c *conn) reset() {
+	c.closed, c.aborted = true, true
+	for i := c.inboxHead; i < len(c.inbox); i++ {
+		c.node.net.putSeg(c.inbox[i].buf)
+		c.inbox[i].buf = nil
+	}
+	c.inbox = c.inbox[:0]
+	c.inboxHead = 0
+	c.node.untrackConn(c)
+	c.readCond.Broadcast()
+	c.creditCond.Broadcast()
+}
+
+// deliverReset is the receiving side of an RST control packet.
+func (c *conn) deliverReset() {
+	c.remoteReset = true
+	c.readCond.Broadcast()
+	c.creditCond.Broadcast()
 }
 
 // LocalAddr implements transport.Conn.

@@ -1,0 +1,312 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+// crashPair builds a-r-b: two hosts joined through a router, so faults on
+// individual links of a routed path can be tested.
+func crashPair(lat time.Duration, bw int64) (*sim.Kernel, *Network) {
+	k := sim.New()
+	n := New(k)
+	n.AddHost("a", HostConfig{})
+	n.AddRouter("r", "")
+	n.AddHost("b", HostConfig{})
+	n.Connect("a", "r", LinkConfig{Latency: lat, Bandwidth: bw})
+	n.Connect("r", "b", LinkConfig{Latency: lat, Bandwidth: bw})
+	return k, n
+}
+
+func TestCrashHostResetsPeerConnections(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 1<<20)
+	var readErr, writeErr error
+	n.Node("b").SpawnDaemonOn("srv", func(env transport.Env) {
+		l, _ := env.Listen(1)
+		for {
+			c, err := l.Accept(env)
+			if err != nil {
+				return
+			}
+			// Echo forever; the crash should break us out with ErrReset.
+			buf := make([]byte, 256)
+			for {
+				if _, err := c.Read(env, buf); err != nil {
+					return
+				}
+			}
+		}
+	})
+	n.Node("a").SpawnOn("cli", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		c, err := env.Dial("b:1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := c.Write(env, make([]byte, 128)); err != nil {
+			t.Error(err)
+		}
+		// Block in Read until the crash resets the stream.
+		_, readErr = c.Read(env, make([]byte, 16))
+		_, writeErr = c.Write(env, make([]byte, 16))
+	})
+	k.After(50*time.Millisecond, func() {
+		if err := n.CrashHost("b"); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(readErr, transport.ErrReset) {
+		t.Errorf("read after peer crash: %v, want ErrReset", readErr)
+	}
+	if !errors.Is(writeErr, transport.ErrReset) {
+		t.Errorf("write after peer crash: %v, want ErrReset", writeErr)
+	}
+	k.Shutdown()
+}
+
+func TestCrashHostKillsProcessesAndFailsDials(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	aliveTicks := 0
+	n.Node("b").SpawnDaemonOn("ticker", func(env transport.Env) {
+		for {
+			env.Sleep(10 * time.Millisecond)
+			aliveTicks++
+		}
+	})
+	var dialErr error
+	n.Node("a").SpawnOn("cli", func(env transport.Env) {
+		env.Sleep(100 * time.Millisecond) // past the crash
+		_, dialErr = env.Dial("b:1")
+	})
+	k.After(45*time.Millisecond, func() { _ = n.CrashHost("b") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aliveTicks != 4 {
+		t.Errorf("ticker ticked %d times, want 4 (killed at 45ms)", aliveTicks)
+	}
+	if !errors.Is(dialErr, transport.ErrHostDown) {
+		t.Errorf("dial to crashed host: %v, want ErrHostDown", dialErr)
+	}
+	if !n.Node("b").Crashed() {
+		t.Error("host not marked crashed")
+	}
+	k.Shutdown()
+}
+
+func TestRestartHostRunsBootScriptsAndAcceptsDials(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	boots := 0
+	serve := func(env transport.Env) {
+		boots++
+		l, err := env.Listen(1)
+		if err != nil {
+			t.Errorf("rebind after restart: %v", err)
+			return
+		}
+		for {
+			c, err := l.Accept(env)
+			if err != nil {
+				return
+			}
+			_ = c.Close(env)
+		}
+	}
+	n.Node("b").OnRestart("srv", serve)
+	n.Node("b").SpawnDaemonOn("srv", serve)
+	var errDuring, errAfter error
+	n.Node("a").SpawnOn("cli", func(env transport.Env) {
+		env.Sleep(60 * time.Millisecond) // inside the crash window
+		_, errDuring = env.Dial("b:1")
+		env.Sleep(100 * time.Millisecond) // past the restart
+		_, errAfter = env.Dial("b:1")
+	})
+	k.After(50*time.Millisecond, func() { _ = n.CrashHost("b") })
+	k.After(100*time.Millisecond, func() { _ = n.RestartHost("b") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errDuring, transport.ErrHostDown) {
+		t.Errorf("dial during crash window: %v, want ErrHostDown", errDuring)
+	}
+	if errAfter != nil {
+		t.Errorf("dial after restart: %v, want success", errAfter)
+	}
+	if boots != 2 {
+		t.Errorf("server booted %d times, want 2 (initial + restart hook)", boots)
+	}
+	k.Shutdown()
+}
+
+func TestAbortSurfacesResetNotEOF(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	var readErr error
+	got := 0
+	n.Node("b").SpawnDaemonOn("srv", func(env transport.Env) {
+		l, _ := env.Listen(1)
+		c, err := l.Accept(env)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		for {
+			nn, err := c.Read(env, buf)
+			got += nn
+			if err != nil {
+				readErr = err
+				return
+			}
+		}
+	})
+	n.Node("a").SpawnOn("cli", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		c, _ := env.Dial("b:1")
+		_, _ = c.Write(env, make([]byte, 32))
+		env.Sleep(50 * time.Millisecond) // let it land
+		_ = transport.Abort(env, c)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 32 {
+		t.Errorf("received %d bytes before abort, want 32", got)
+	}
+	if !errors.Is(readErr, transport.ErrReset) {
+		t.Errorf("read on aborted stream: %v, want ErrReset", readErr)
+	}
+	k.Shutdown()
+}
+
+// TestFaultPlanSchedule drives a full crash window and a link flap from one
+// declarative plan and checks the timeline executed as written.
+func TestFaultPlanSchedule(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	plan := (&FaultPlan{}).
+		CrashWindow("b", 20*time.Millisecond, 40*time.Millisecond).
+		LinkOutage("a", "r", 60*time.Millisecond, 80*time.Millisecond)
+	if err := n.ApplyPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	type sample struct {
+		at      time.Duration
+		crashed bool
+		down    bool
+	}
+	var samples []sample
+	for _, at := range []time.Duration{10, 30, 50, 70, 90} {
+		at := at * time.Millisecond
+		k.After(at, func() {
+			samples = append(samples, sample{at, n.Node("b").Crashed(), n.LinkDown("a", "r")})
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []sample{
+		{10 * time.Millisecond, false, false},
+		{30 * time.Millisecond, true, false},
+		{50 * time.Millisecond, false, false},
+		{70 * time.Millisecond, false, true},
+		{90 * time.Millisecond, false, false},
+	}
+	for i, w := range want {
+		if samples[i] != w {
+			t.Errorf("sample %d = %+v, want %+v", i, samples[i], w)
+		}
+	}
+	if plan.String() == "" {
+		t.Error("plan renders empty")
+	}
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	defer k.Shutdown()
+	cases := []*FaultPlan{
+		{Faults: []Fault{{Kind: FaultLinkDown, A: "a", B: "zzz"}}},
+		{Faults: []Fault{{Kind: FaultLinkDown, A: "a", B: "b"}}}, // no direct link
+		{Faults: []Fault{{Kind: FaultCrash, A: "r"}}},            // router, not host
+		{Faults: []Fault{{Kind: FaultKind(99), A: "a"}}},
+	}
+	for i, p := range cases {
+		if err := n.ApplyPlan(p); err == nil {
+			t.Errorf("case %d: invalid plan accepted", i)
+		}
+	}
+}
+
+// TestLinkStatsAcrossOutage pins the Bytes/Stalled accounting of one
+// directed link across an outage window on a multi-hop routed path, and that
+// downing one constituent link stalls the whole path.
+func TestLinkStatsAcrossOutage(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 1<<20)
+	received := 0
+	n.Node("b").SpawnDaemonOn("sink", func(env transport.Env) {
+		l, _ := env.Listen(1)
+		c, err := l.Accept(env)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 1024)
+		for {
+			nn, err := c.Read(env, buf)
+			received += nn
+			if err != nil {
+				return
+			}
+		}
+	})
+	n.Node("a").SpawnOn("src", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		c, err := env.Dial("b:1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, _ = c.Write(env, make([]byte, 512))
+		env.Sleep(100 * time.Millisecond)
+		// Down only the far link r-b: the path a->r->b must stall even
+		// though a->r stays up.
+		n.SetLinkDown("r", "b")
+		_, _ = c.Write(env, make([]byte, 512))
+		env.Sleep(100 * time.Millisecond)
+		if received != 512 {
+			t.Errorf("received %d during r-b outage, want 512", received)
+		}
+		n.SetLinkUp("r", "b")
+		env.Sleep(100 * time.Millisecond)
+	})
+	k.RunUntil(time.Second)
+	if received != 1024 {
+		t.Fatalf("received %d bytes, want 1024", received)
+	}
+	stats := map[string]LinkStats{}
+	for _, st := range n.Stats() {
+		stats[st.From+">"+st.To] = st
+	}
+	// Both data-direction links carried everything: handshake + 1024 data.
+	for _, link := range []string{"a>r", "r>b"} {
+		if stats[link].Bytes < 1024 {
+			t.Errorf("%s carried %d bytes, want >= 1024", link, stats[link].Bytes)
+		}
+	}
+	// Only r->b saw the stall, and only for the second burst.
+	if got := stats["r>b"].Stalled; got != 512 {
+		t.Errorf("r->b stalled %d bytes, want 512", got)
+	}
+	if got := stats["a>r"].Stalled; got != 0 {
+		t.Errorf("a->r stalled %d bytes, want 0", got)
+	}
+	if stats["a>r"].Busy == 0 || stats["r>b"].Busy == 0 {
+		t.Error("busy time not accounted on path links")
+	}
+	k.Shutdown()
+}

@@ -28,18 +28,20 @@ func (e *Env) Spawn(name string, fn func(transport.Env)) {
 	if e.daemon {
 		spawn = node.net.K.SpawnDaemon
 	}
-	spawn(name, func(p *sim.Proc) {
+	node.trackProc(spawn(name, func(p *sim.Proc) {
+		defer node.untrackProc(p)
 		fn(&Env{node: node, p: p, daemon: e.daemon})
-	})
+	}))
 }
 
 // SpawnService starts fn as a daemon process on the same host regardless of
 // the spawner's own status: service loops never count as pending work.
 func (e *Env) SpawnService(name string, fn func(transport.Env)) {
 	node := e.node
-	node.net.K.SpawnDaemon(name, func(p *sim.Proc) {
+	node.trackProc(node.net.K.SpawnDaemon(name, func(p *sim.Proc) {
+		defer node.untrackProc(p)
 		fn(&Env{node: node, p: p, daemon: true})
-	})
+	}))
 }
 
 // Hostname implements transport.Env.
@@ -79,17 +81,19 @@ func (e *Env) Node() *Node { return e.node }
 // SpawnOn starts fn as a process on host nd; the usual way to boot daemons
 // and application ranks onto the virtual testbed.
 func (nd *Node) SpawnOn(name string, fn func(transport.Env)) {
-	nd.net.K.Spawn(name, func(p *sim.Proc) {
+	nd.trackProc(nd.net.K.Spawn(name, func(p *sim.Proc) {
+		defer nd.untrackProc(p)
 		fn(&Env{node: nd, p: p})
-	})
+	}))
 }
 
 // SpawnDaemonOn is SpawnOn for never-exiting service processes, so that
 // sim.Kernel.Run still returns once application work completes.
 func (nd *Node) SpawnDaemonOn(name string, fn func(transport.Env)) {
-	nd.net.K.SpawnDaemon(name, func(p *sim.Proc) {
+	nd.trackProc(nd.net.K.SpawnDaemon(name, func(p *sim.Proc) {
+		defer nd.untrackProc(p)
 		fn(&Env{node: nd, p: p, daemon: true})
-	})
+	}))
 }
 
 // procOf extracts the kernel process from a caller's Env, guarding against

@@ -1,0 +1,155 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FaultKind enumerates the fault injections a FaultPlan can schedule.
+type FaultKind int
+
+const (
+	// FaultLinkDown takes the duplex link A<->B out of service.
+	FaultLinkDown FaultKind = iota
+	// FaultLinkUp restores the duplex link A<->B.
+	FaultLinkUp
+	// FaultCrash crashes host A (CrashHost).
+	FaultCrash
+	// FaultRestart restarts host A (RestartHost).
+	FaultRestart
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultLinkDown:
+		return "link-down"
+	case FaultLinkUp:
+		return "link-up"
+	case FaultCrash:
+		return "crash"
+	case FaultRestart:
+		return "restart"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// Fault is one scheduled injection. A names the host (crash/restart) or one
+// link endpoint; B names the other link endpoint for link faults.
+type Fault struct {
+	At   time.Duration
+	Kind FaultKind
+	A    string
+	B    string
+}
+
+// FaultPlan is a declarative schedule of fault injections, executed by
+// kernel timers when applied to a network. Plans are plain data: a seeded
+// generator can build one up front, the harness can log it, and replaying
+// the same plan yields a bit-identical run.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// LinkOutage schedules the duplex link a<->b down at from and back up at to.
+func (p *FaultPlan) LinkOutage(a, b string, from, to time.Duration) *FaultPlan {
+	p.Faults = append(p.Faults,
+		Fault{At: from, Kind: FaultLinkDown, A: a, B: b},
+		Fault{At: to, Kind: FaultLinkUp, A: a, B: b})
+	return p
+}
+
+// CrashWindow schedules host h to crash at from and restart at to.
+func (p *FaultPlan) CrashWindow(h string, from, to time.Duration) *FaultPlan {
+	p.Faults = append(p.Faults,
+		Fault{At: from, Kind: FaultCrash, A: h},
+		Fault{At: to, Kind: FaultRestart, A: h})
+	return p
+}
+
+// Crash schedules host h to crash at t with no restart.
+func (p *FaultPlan) Crash(h string, t time.Duration) *FaultPlan {
+	p.Faults = append(p.Faults, Fault{At: t, Kind: FaultCrash, A: h})
+	return p
+}
+
+// String renders the plan one fault per line, in execution order.
+func (p *FaultPlan) String() string {
+	faults := p.ordered()
+	s := ""
+	for _, f := range faults {
+		target := f.A
+		if f.B != "" {
+			target += "<->" + f.B
+		}
+		s += fmt.Sprintf("%12v %-9s %s\n", f.At, f.Kind, target)
+	}
+	return s
+}
+
+// ordered returns the faults sorted by (At, insertion order).
+func (p *FaultPlan) ordered() []Fault {
+	out := make([]Fault, len(p.Faults))
+	copy(out, p.Faults)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// ApplyPlan validates the plan against the topology and schedules every
+// fault on the kernel timeline. It must be called before the faults' times
+// pass (normally before Run). Faults at the same instant execute in
+// insertion order.
+func (n *Network) ApplyPlan(p *FaultPlan) error {
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case FaultLinkDown, FaultLinkUp:
+			na, nb := n.nodes[f.A], n.nodes[f.B]
+			if na == nil || nb == nil {
+				return fmt.Errorf("simnet: fault plan: unknown node in link %q<->%q", f.A, f.B)
+			}
+			linked := false
+			for _, ld := range na.links {
+				if ld.to == nb {
+					linked = true
+				}
+			}
+			if !linked {
+				return fmt.Errorf("simnet: fault plan: no link %q<->%q", f.A, f.B)
+			}
+		case FaultCrash, FaultRestart:
+			nd := n.nodes[f.A]
+			if nd == nil || !nd.isHost {
+				return fmt.Errorf("simnet: fault plan: %q is not a host", f.A)
+			}
+		default:
+			return fmt.Errorf("simnet: fault plan: unknown fault kind %v", f.Kind)
+		}
+	}
+	now := n.K.Now()
+	for _, f := range p.ordered() {
+		f := f
+		d := f.At - now
+		if d < 0 {
+			d = 0
+		}
+		n.K.After(d, func() { n.execute(f) })
+	}
+	return nil
+}
+
+func (n *Network) execute(f Fault) {
+	switch f.Kind {
+	case FaultLinkDown:
+		n.SetLinkDown(f.A, f.B)
+	case FaultLinkUp:
+		n.SetLinkUp(f.A, f.B)
+	case FaultCrash:
+		if err := n.CrashHost(f.A); err != nil {
+			panic(err) // validated at ApplyPlan; unreachable
+		}
+	case FaultRestart:
+		if err := n.RestartHost(f.A); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -4,7 +4,139 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
 )
+
+// trackProc registers a process as running on the host so CrashHost can take
+// it down; untrackProc runs from the process's own deferred cleanup.
+func (nd *Node) trackProc(p *sim.Proc) {
+	if nd.procs != nil {
+		nd.procs[p.PID()] = p
+	}
+}
+
+func (nd *Node) untrackProc(p *sim.Proc) {
+	if nd.procs != nil {
+		delete(nd.procs, p.PID())
+	}
+}
+
+// trackConn registers an open connection endpoint on its host.
+func (nd *Node) trackConn(c *conn) {
+	if nd.conns != nil {
+		nd.conns[c] = struct{}{}
+	}
+}
+
+func (nd *Node) untrackConn(c *conn) {
+	if nd.conns != nil {
+		delete(nd.conns, c)
+	}
+}
+
+// Crashed reports whether the host is currently down.
+func (nd *Node) Crashed() bool { return nd.crashed }
+
+// OnRestart registers a boot script for the host: after every RestartHost,
+// fn is spawned as a daemon process (in registration order), modeling init
+// scripts that bring a machine's services back after a reboot.
+func (nd *Node) OnRestart(name string, fn func(transport.Env)) {
+	nd.restartHooks = append(nd.restartHooks, restartHook{name: name, fn: fn})
+}
+
+// CrashHost fails the named host abruptly, as a power loss would: every
+// process on it is killed mid-flight (stacks unwind, no goroutine leaks),
+// every listener dies, and every open connection endpoint is reset — the
+// surviving peer's pending and future Read/Write calls fail with
+// transport.ErrReset after the RST propagates along the path. Dials to a
+// crashed host fail with transport.ErrHostDown after one path round trip.
+//
+// CrashHost must be called from kernel context (an event callback, a
+// FaultPlan, or between Run calls), because killing a process requires the
+// scheduler to be parked. All teardown is ordered deterministically: conns by
+// address, processes by PID.
+func (n *Network) CrashHost(name string) error {
+	nd := n.nodes[name]
+	if nd == nil || !nd.isHost {
+		return fmt.Errorf("simnet: CrashHost(%q): not a host", name)
+	}
+	if nd.crashed {
+		return nil
+	}
+	nd.crashed = true
+
+	// Listeners die: blocked Accepts fail, queued-but-unaccepted conns are
+	// reset with their dialer's endpoints below.
+	ports := make([]int, 0, len(nd.listeners))
+	for port := range nd.listeners {
+		ports = append(ports, port)
+	}
+	sort.Ints(ports)
+	for _, port := range ports {
+		l := nd.listeners[port]
+		l.closed = true
+		l.pending.Close()
+	}
+	nd.listeners = make(map[int]*listener)
+
+	// Reset open connections and notify surviving peers with an RST that
+	// travels the path like any control packet.
+	conns := make([]*conn, 0, len(nd.conns))
+	for c := range nd.conns {
+		conns = append(conns, c)
+	}
+	sort.Slice(conns, func(i, j int) bool {
+		if conns[i].local != conns[j].local {
+			return conns[i].local < conns[j].local
+		}
+		return conns[i].remote < conns[j].remote
+	})
+	for _, c := range conns {
+		c.reset()
+		peer := c.peer
+		if peer.node.crashed {
+			continue // both endpoints down; nobody left to notify
+		}
+		n.send(c.path, ctlSize, func() { peer.deliverReset() })
+	}
+	nd.conns = make(map[*conn]struct{})
+
+	// Kill processes in PID order. Their deferred cleanup runs, but any
+	// conn.Close they attempt is a no-op on the already-reset endpoints.
+	pids := make([]int, 0, len(nd.procs))
+	for pid := range nd.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		n.K.Kill(nd.procs[pid])
+	}
+	nd.procs = make(map[int]*sim.Proc)
+	return nil
+}
+
+// RestartHost brings a crashed host back: fresh NIC and port state, a fresh
+// CPU semaphore (crash-killed processes may have died holding CPUs), and the
+// host's OnRestart boot scripts spawned in registration order. Like
+// CrashHost it must run from kernel context.
+func (n *Network) RestartHost(name string) error {
+	nd := n.nodes[name]
+	if nd == nil || !nd.isHost {
+		return fmt.Errorf("simnet: RestartHost(%q): not a host", name)
+	}
+	if !nd.crashed {
+		return nil
+	}
+	nd.crashed = false
+	nd.cpus = sim.NewSemaphore(n.K, nd.cpuCount)
+	nd.nextPort = 32768
+	for _, h := range nd.restartHooks {
+		nd.SpawnDaemonOn(h.name, h.fn)
+	}
+	return nil
+}
 
 // SetLinkDown takes the duplex link between a and b out of service: packets
 // already serialized onto the wire still arrive; everything else — data

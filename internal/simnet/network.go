@@ -29,6 +29,7 @@ import (
 
 	"nxcluster/internal/firewall"
 	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
 )
 
 // DefaultMTU is the segment size streams are chopped into.
@@ -91,9 +92,25 @@ type Node struct {
 	isHost    bool
 	speed     float64
 	cpus      *sim.Semaphore
+	cpuCount  int
 	links     []*linkDir
 	listeners map[int]*listener
 	nextPort  int
+
+	// Crash/restart state: every process spawned on the host and every open
+	// connection endpoint is tracked so CrashHost can take them down, and
+	// restart hooks rebuild the host's daemons after RestartHost.
+	crashed      bool
+	procs        map[int]*sim.Proc
+	conns        map[*conn]struct{}
+	restartHooks []restartHook
+}
+
+// restartHook is a boot script re-run after RestartHost (e.g. respawning a
+// Q server daemon), named for trace attribution.
+type restartHook struct {
+	name string
+	fn   func(transport.Env)
 }
 
 // HostConfig describes a host's compute capability.
@@ -121,8 +138,11 @@ func (n *Network) AddHost(name string, cfg HostConfig) *Node {
 		isHost:    true,
 		speed:     cfg.Speed,
 		cpus:      sim.NewSemaphore(n.K, cfg.CPUs),
+		cpuCount:  cfg.CPUs,
 		listeners: make(map[int]*listener),
 		nextPort:  32768,
+		procs:     make(map[int]*sim.Proc),
+		conns:     make(map[*conn]struct{}),
 	}
 	n.addNode(node)
 	return node

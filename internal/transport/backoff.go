@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Backoff computes capped exponential retry delays with deterministic
+// jitter. The jitter is a pure function of (Key, attempt number), so two
+// runs of the same simulation produce bit-identical retry timelines, while
+// distinct clients (distinct Keys) still decorrelate — the property real
+// systems buy with randomness, bought here with a hash.
+//
+// The zero value is usable: Base defaults to 100ms, Max to 5s.
+type Backoff struct {
+	Base time.Duration // first delay
+	Max  time.Duration // cap applied before jitter
+	Key  string        // jitter seed, e.g. "inner-register@rwcp-inner"
+
+	attempt int
+}
+
+// Next returns the delay to sleep before the next retry and advances the
+// attempt counter. Delays double from Base up to Max, then up to 25% of the
+// capped delay is added back as deterministic jitter.
+func (b *Backoff) Next() time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < b.attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	h := fnv.New64a()
+	h.Write([]byte(b.Key))
+	var n [8]byte
+	v := uint64(b.attempt)
+	for i := range n {
+		n[i] = byte(v >> (8 * i))
+	}
+	h.Write(n[:])
+	jitter := time.Duration(h.Sum64() % uint64(d/4+1))
+	b.attempt++
+	return d + jitter
+}
+
+// Attempts reports how many delays Next has handed out since the last Reset.
+func (b *Backoff) Attempts() int { return b.attempt }
+
+// Reset rewinds the schedule to the first delay; call it after a successful
+// attempt so the next failure starts from Base again.
+func (b *Backoff) Reset() { b.attempt = 0 }

@@ -120,6 +120,9 @@ type tcpConn struct {
 func (t *tcpConn) Read(env Env, b []byte) (int, error) {
 	n, err := t.c.Read(b)
 	if err != nil && !errors.Is(err, io.EOF) {
+		if isResetErr(err) {
+			return n, ErrReset
+		}
 		if isClosedErr(err) {
 			return n, io.EOF
 		}
@@ -129,22 +132,42 @@ func (t *tcpConn) Read(env Env, b []byte) (int, error) {
 
 func (t *tcpConn) Write(env Env, b []byte) (int, error) {
 	n, err := t.c.Write(b)
-	if err != nil && isClosedErr(err) {
-		return n, ErrClosed
+	if err != nil {
+		if isResetErr(err) {
+			return n, ErrReset
+		}
+		if isClosedErr(err) {
+			return n, ErrClosed
+		}
 	}
 	return n, err
 }
 
 func (t *tcpConn) Close(env Env) error { return t.c.Close() }
 
+// Abort implements Aborter: linger zero makes Close emit an RST, so the
+// peer's reads fail with ErrReset instead of reading a clean EOF.
+func (t *tcpConn) Abort(env Env) error {
+	if tc, ok := t.c.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0)
+	}
+	return t.c.Close()
+}
+
 func (t *tcpConn) LocalAddr() string { return t.local }
 
 func (t *tcpConn) RemoteAddr() string { return t.remote }
 
-// isClosedErr folds the various "use of closed connection"/reset flavors the
-// OS can return into one category, so upper layers see io.EOF/ErrClosed.
+// isResetErr detects an abrupt peer teardown (RST / broken pipe), which
+// upper layers must see as ErrReset, never as an orderly EOF.
+func isResetErr(err error) bool {
+	return errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE)
+}
+
+// isClosedErr folds the various "use of closed connection" flavors the OS
+// can return into one category, so upper layers see io.EOF/ErrClosed.
 func isClosedErr(err error) bool {
-	if errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+	if errors.Is(err, net.ErrClosed) || isResetErr(err) {
 		return true
 	}
 	return strings.Contains(err.Error(), "use of closed network connection")

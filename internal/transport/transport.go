@@ -35,6 +35,17 @@ var ErrClosed = errors.New("transport: closed")
 // unreachable.
 var ErrNoRoute = errors.New("transport: no route to host")
 
+// ErrReset is returned by Read/Write when the connection was torn down
+// abruptly — the peer aborted it, the peer's host crashed, or a relay on the
+// path surfaced a mid-stream transport failure. Unlike io.EOF it means "the
+// stream broke", never "the stream finished".
+var ErrReset = errors.New("transport: connection reset by peer")
+
+// ErrHostDown is returned by Dial when the destination host is known but
+// currently crashed (fault injection). Callers that implement recovery treat
+// it like ErrRefused: back off and retry until the host restarts.
+var ErrHostDown = errors.New("transport: host is down")
+
 // Env is the execution environment of one logical process.
 //
 // Every blocking primitive goes through the Env so that the simulated
@@ -86,6 +97,23 @@ type Conn interface {
 	LocalAddr() string
 	// RemoteAddr returns "host:port" of the remote endpoint.
 	RemoteAddr() string
+}
+
+// Aborter is implemented by connections that can be torn down abruptly
+// (TCP RST rather than FIN). After Abort, the peer's pending and future
+// Read/Write calls fail with ErrReset instead of observing a clean EOF.
+// Relays use it to propagate a mid-stream failure on one leg to the other.
+type Aborter interface {
+	Abort(env Env) error
+}
+
+// Abort tears c down abruptly when it supports aborting, and falls back to
+// an orderly Close when it does not.
+func Abort(env Env, c Conn) error {
+	if a, ok := c.(Aborter); ok {
+		return a.Abort(env)
+	}
+	return c.Close(env)
 }
 
 // Listener accepts inbound connections on a bound port.
