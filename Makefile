@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check chaos race bench bench-json experiments examples cover clean
+.PHONY: all build test check chaos race bench bench-json experiments examples cover fuzz clean
 
 all: build check
 
@@ -13,11 +13,14 @@ test:
 	$(GO) test ./...
 
 # check is the default verification gate: vet, the end-to-end chaos
-# scenarios, and the full test suite under the race detector (the parallel
-# sweep makes race coverage load-bearing).
+# scenarios, the full test suite under the race detector (the parallel
+# sweep makes race coverage load-bearing), a short fuzz smoke over the
+# wire-facing parsers, and the coverage floor.
 check: chaos
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz
+	$(MAKE) cover
 
 # chaos runs the fault-injection recovery scenarios (see EXPERIMENTS.md,
 # "Chaos runs") on their own, under the race detector.
@@ -46,8 +49,25 @@ examples:
 	$(GO) run ./examples/knapsackrun
 	$(GO) run ./examples/nqueens
 
+# COVER_MIN is the statement-coverage floor `make cover` enforces over the
+# whole module (cmd binaries included).
+COVER_MIN ?= 70
+
 cover:
-	$(GO) test -cover ./internal/...
+	$(GO) test -coverprofile=coverage.out ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+	{ echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
+
+# fuzz gives each wire-facing parser a short, deterministic-budget fuzz run:
+# the RSL parser and the proxy control-channel decoder. Crashers land in
+# testdata/fuzz/ and fail the build until fixed.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/rsl/
+	$(GO) test -fuzz FuzzReadMsg -fuzztime $(FUZZTIME) ./internal/proxy/
 
 clean:
 	$(GO) clean ./...

@@ -7,18 +7,26 @@
 //
 // Valid -run values: table2, table3, table4, table5, table6, figure1,
 // figure2, figure3, figure4, figure5, sweep (bandwidth vs message size),
-// all.
+// decomp (per-hop latency decomposition of the Table 2 points), ktrace
+// (wide-area knapsack run with tracing and a metrics snapshot), all.
+//
+// Tracing (decomp and ktrace only; runs stay deterministic in virtual time):
+//
+//	experiments -run decomp -trace decomp.jsonl
+//	experiments -run ktrace -trace-chrome knap.json   # chrome://tracing, Perfetto
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
 	"nxcluster/internal/bench"
 	"nxcluster/internal/knapsack"
+	"nxcluster/internal/obs"
 )
 
 func main() {
@@ -27,6 +35,8 @@ func main() {
 	capacity := flag.Int("capacity", 4, "knapsack capacity; controls tree size (4 = ~2.6M nodes, 5 = ~20.6M)")
 	rounds := flag.Int("rounds", 4, "rounds per Table 2 measurement")
 	workers := flag.Int("workers", 0, "host threads for independent simulations (0 = GOMAXPROCS, 1 = sequential); virtual-time results are identical either way")
+	traceOut := flag.String("trace", "", "write the run's event trace as JSONL (decomp, ktrace)")
+	traceChrome := flag.String("trace-chrome", "", "write the run's event trace in Chrome trace_event format (ktrace)")
 	flag.Parse()
 
 	kcfg := bench.KnapsackConfig{Items: *items, Capacity: *capacity, Workers: *workers}
@@ -92,6 +102,56 @@ func main() {
 	if want("table3") {
 		fmt.Println(bench.FormatTable3())
 	}
+	if *run == "decomp" {
+		ds, err := bench.RunDecomposition(bench.Table2Config{Workers: *workers})
+		if err != nil {
+			log.Fatalf("experiments: decomp: %v", err)
+		}
+		fmt.Println(bench.FormatDecomposition(ds))
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				log.Fatalf("experiments: %v", err)
+			}
+			// Concatenated JSONL, one section per point; each point's
+			// timestamps restart at its own kernel's zero.
+			for _, d := range ds {
+				if err := d.Obs.WriteJSONL(f); err != nil {
+					log.Fatalf("experiments: trace: %v", err)
+				}
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("experiments: trace: %v", err)
+			}
+		}
+	}
+	if *run == "ktrace" {
+		o := obs.New()
+		res, err := bench.RunKnapsackTraced(bench.KnapsackConfig{Items: *items, Capacity: *capacity}, o)
+		if err != nil {
+			log.Fatalf("experiments: ktrace: %v", err)
+		}
+		fmt.Printf("wide-area knapsack (traced): best %d, %d nodes, %s virtual time, %d trace events\n",
+			res.Best, res.TotalTraversed, res.Elapsed, o.Len())
+		fmt.Println(o.Metrics().Format())
+		writeTrace := func(path string, write func(w io.Writer) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatalf("experiments: %v", err)
+			}
+			if err := write(f); err != nil {
+				log.Fatalf("experiments: trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("experiments: trace: %v", err)
+			}
+		}
+		writeTrace(*traceOut, o.WriteJSONL)
+		writeTrace(*traceChrome, o.WriteChromeTrace)
+	}
 	if want("table4") {
 		fmt.Println(bench.FormatTable4(needKnap()))
 	}
@@ -104,7 +164,7 @@ func main() {
 
 	switch *run {
 	case "all", "sweep", "table2", "table3", "table4", "table5", "table6",
-		"figure1", "figure2", "figure3", "figure4", "figure5":
+		"figure1", "figure2", "figure3", "figure4", "figure5", "decomp", "ktrace":
 	default:
 		log.Fatalf("experiments: unknown -run %q", *run)
 	}

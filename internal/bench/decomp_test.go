@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDecompositionTelescopes pins the report's core contract: per-hop rows
+// sum bit-exactly (in virtual time) to the measured round trip, and the
+// reported one-way latency is RTT/2.
+func TestDecompositionTelescopes(t *testing.T) {
+	ds, err := RunDecomposition(Table2Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("got %d points, want 4", len(ds))
+	}
+	for _, d := range ds {
+		if len(d.Rows) == 0 {
+			t.Errorf("%s (%s): no rows", d.Path, d.Mode())
+			continue
+		}
+		var sum time.Duration
+		for _, r := range d.Rows {
+			if r.Delta < 0 {
+				t.Errorf("%s (%s): negative delta %v at %v", d.Path, d.Mode(), r.Delta, r.At)
+			}
+			sum += r.Delta
+		}
+		if sum != d.RTT {
+			t.Errorf("%s (%s): rows sum to %v, RTT %v", d.Path, d.Mode(), sum, d.RTT)
+		}
+		if d.Latency != d.RTT/2 {
+			t.Errorf("%s (%s): latency %v, want RTT/2 = %v", d.Path, d.Mode(), d.Latency, d.RTT/2)
+		}
+	}
+}
+
+// TestDecompositionMatchesTable2 checks the decomposition measures the same
+// steady-state ping-pong Table 2 does: each point's RTT/2 equals the Table 2
+// row's latency exactly, so the per-hop rows are a decomposition of the
+// reported number, not of some lookalike traffic.
+func TestDecompositionMatchesTable2(t *testing.T) {
+	rows, err := RunTable2(Table2Config{Rounds: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := RunDecomposition(Table2Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range ds {
+		if d.Latency != rows[i].Latency {
+			t.Errorf("%s (%s): decomposition latency %v != Table 2 latency %v",
+				d.Path, d.Mode(), d.Latency, rows[i].Latency)
+		}
+	}
+}
+
+// TestDecompositionAttributesRelays checks the indirect points expose the
+// store-and-forward legs: relay buffer events appear on the proxy chain and
+// never on the direct path.
+func TestDecompositionAttributesRelays(t *testing.T) {
+	ds, err := RunDecomposition(Table2Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		relay := false
+		for _, r := range d.Rows {
+			if strings.HasPrefix(r.Label, "relay/") {
+				relay = true
+			}
+		}
+		if relay != d.Indirect {
+			t.Errorf("%s (%s): relay rows present = %v, want %v", d.Path, d.Mode(), relay, d.Indirect)
+		}
+	}
+}
+
+// decompTraceHashes runs the decomposition and hashes each point's full
+// JSONL trace.
+func decompTraceHashes(t *testing.T, workers int) []uint64 {
+	t.Helper()
+	ds, err := RunDecomposition(Table2Config{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]uint64, len(ds))
+	for i, d := range ds {
+		hs[i] = d.Obs.Hash()
+	}
+	return hs
+}
+
+// TestDecompTraceHostConfigInvariant pins the tracing determinism contract:
+// the byte-exact JSONL trace of every Table 2 point is identical whether the
+// host runs single-threaded or parallel, and whether the sweep fans out
+// across workers. Virtual time owns the trace; the host schedule must not
+// leak into it.
+func TestDecompTraceHostConfigInvariant(t *testing.T) {
+	combos := []struct {
+		gomaxprocs int
+		workers    int
+	}{
+		{1, 1},
+		{1, 4},
+		{8, 1},
+		{8, 4},
+	}
+	var base []uint64
+	for i, c := range combos {
+		prev := runtime.GOMAXPROCS(c.gomaxprocs)
+		hs := decompTraceHashes(t, c.workers)
+		runtime.GOMAXPROCS(prev)
+		if i == 0 {
+			base = hs
+			continue
+		}
+		for j := range hs {
+			if hs[j] != base[j] {
+				t.Errorf("GOMAXPROCS=%d Workers=%d: point %d trace hash %#x, want %#x",
+					c.gomaxprocs, c.workers, j, hs[j], base[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"nxcluster/internal/cluster"
+	"nxcluster/internal/obs"
+)
+
+// resultsHash runs a small Table 2 + knapsack sweep with the given testbed
+// options and hashes every formatted virtual-time number.
+func resultsHash(t *testing.T, opts cluster.Options) uint64 {
+	t.Helper()
+	rows, err := RunTable2(Table2Config{Rounds: 2, Workers: 1, Options: opts})
+	if err != nil {
+		t.Fatalf("table2: %v", err)
+	}
+	rep, err := RunKnapsack(KnapsackConfig{Capacity: 2, Workers: 1, Options: opts})
+	if err != nil {
+		t.Fatalf("knapsack: %v", err)
+	}
+	h := fnv.New64a()
+	fmt.Fprint(h, FormatTable2(rows))
+	fmt.Fprint(h, FormatTable4(rep))
+	fmt.Fprint(h, FormatTable5(rep))
+	fmt.Fprint(h, FormatTable6(rep))
+	return h.Sum64()
+}
+
+// TestTracingDoesNotPerturbResults pins the observability overhead contract
+// from the other side: attaching an observer must never change a
+// virtual-time result. The same sweep runs with tracing off and on and must
+// produce bit-identical tables.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	off := resultsHash(t, cluster.Options{})
+	o := obs.New()
+	on := resultsHash(t, cluster.Options{Obs: o})
+	if off != on {
+		t.Errorf("results diverged: tracing off %#x, tracing on %#x", off, on)
+	}
+	if o.Len() == 0 {
+		t.Error("tracing on recorded no events (observer not wired through the testbed?)")
+	}
+}

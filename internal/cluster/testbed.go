@@ -32,6 +32,7 @@ import (
 
 	"nxcluster/internal/firewall"
 	"nxcluster/internal/mpi"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/proxy"
 	"nxcluster/internal/sim"
 	"nxcluster/internal/simnet"
@@ -101,6 +102,14 @@ type Options struct {
 	// control channels (the hardened deployment; see proxy/secure.go) and
 	// configures every RWCP-site client with the same site secret.
 	Secret string
+	// Obs, when non-nil, attaches an observability sink to the testbed's
+	// network: every layer running on this kernel emits spans, events and
+	// metrics into it, stamped with virtual time. Nil (the default) keeps
+	// every hot path allocation-free and all results bit-identical.
+	Obs *obs.Observer
+	// Seed, when nonzero, seeds the kernel's deterministic RNG (backoff
+	// jitter and any other randomized decisions draw from it).
+	Seed uint64
 }
 
 // Testbed is the simulated Figure 5 environment with proxy daemons running.
@@ -128,7 +137,11 @@ func NewTestbed(opts Options) *Testbed {
 		opts.RelayBufBytes = RelayBufBytes
 	}
 	k := sim.New()
+	if opts.Seed != 0 {
+		k.Seed(opts.Seed)
+	}
 	n := simnet.New(k)
+	n.Obs = opts.Obs
 
 	// RWCP site (firewalled): RWCP-Sun, the COMPaS cluster, the inner
 	// server, and the gateway.

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nxcluster/internal/nexus"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/transport"
 )
 
@@ -52,11 +53,15 @@ const (
 	opDeregister = int32(4) // fields: name (graceful shutdown, not a death)
 )
 
-// record tracks one process.
+// record tracks one process. seen is the classification last observed (by a
+// beat, status query, or snapshot) — the reference point for transition
+// events; health is computed lazily, so a transition becomes visible only
+// when something looks.
 type record struct {
 	name     string
 	lastBeat time.Duration
 	beats    int64
+	seen     Health
 }
 
 // Monitor is the heartbeat collector daemon.
@@ -77,6 +82,7 @@ type Monitor struct {
 	mu       sync.Mutex
 	procs    map[string]*record
 	listener transport.Listener
+	obs      *obs.Observer // bound at Serve; nil when tracing is off
 }
 
 // NewMonitor creates a monitor expecting beats every interval.
@@ -99,6 +105,21 @@ func (m *Monitor) beat(name string, now time.Duration) {
 	}
 	r.lastBeat = now
 	r.beats++
+	m.note(r, Up, now)
+}
+
+// note records an observed classification, emitting a transition event when
+// it differs from the last one seen. Callers hold m.mu.
+func (m *Monitor) note(r *record, h Health, now time.Duration) {
+	if h == r.seen {
+		return
+	}
+	if o := m.obs; o != nil {
+		o.Emit(now, "hbm", "transition", r.name,
+			obs.Str("from", r.seen.String()), obs.Str("to", h.String()))
+		o.Metrics().Counter("hbm.transitions").Add(1)
+	}
+	r.seen = h
 }
 
 // Status classifies a process at time now.
@@ -109,7 +130,9 @@ func (m *Monitor) Status(name string, now time.Duration) (Health, error) {
 	if !ok {
 		return Down, fmt.Errorf("%w: %s", ErrUnknown, name)
 	}
-	return m.classify(r, now), nil
+	h := m.classify(r, now)
+	m.note(r, h, now)
+	return h, nil
 }
 
 func (m *Monitor) classify(r *record, now time.Duration) Health {
@@ -144,9 +167,19 @@ func (m *Monitor) deregister(name string) {
 func (m *Monitor) Snapshot(now time.Duration) map[string]Health {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Transition events fire in sorted name order so traces stay
+	// deterministic (map iteration order is not).
+	names := make([]string, 0, len(m.procs))
+	for name := range m.procs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	out := make(map[string]Health, len(m.procs))
-	for name, r := range m.procs {
-		out[name] = m.classify(r, now)
+	for _, name := range names {
+		r := m.procs[name]
+		h := m.classify(r, now)
+		m.note(r, h, now)
+		out[name] = h
 	}
 	return out
 }
@@ -168,6 +201,7 @@ func (m *Monitor) Serve(env transport.Env, port int, ready func(addr string)) er
 		return fmt.Errorf("hbm: listen: %w", err)
 	}
 	m.listener = l
+	m.obs = obs.From(env)
 	if ready != nil {
 		ready(l.Addr())
 	}

@@ -7,6 +7,7 @@ import (
 
 	"nxcluster/internal/mpi"
 	"nxcluster/internal/nexus"
+	"nxcluster/internal/obs"
 )
 
 // This file is the fault-tolerant variant of the self-scheduling
@@ -214,6 +215,7 @@ func runFTMaster(c *mpi.Comm, in *Instance, p FTParams, start time.Duration) (*R
 	var pending []int
 	inPending := make([]bool, size)
 	var handled int64
+	o, trk, _ := knapObs(c, solver.Best)
 
 	markDead := func(s int) {
 		st := slaves[s]
@@ -221,6 +223,11 @@ func runFTMaster(c *mpi.Comm, in *Instance, p FTParams, start time.Duration) (*R
 			return
 		}
 		st.alive = false
+		if o != nil {
+			o.Emit(c.Env().Now(), "knap", "reclaim", trk,
+				obs.Int("slave", int64(s)), obs.Int("nodes", int64(len(st.outstanding))))
+			o.Metrics().Counter("knap.reclaims").Add(1)
+		}
 		solver.Stack.PushAll(st.outstanding)
 		st.outstanding = nil
 	}
@@ -247,6 +254,10 @@ func runFTMaster(c *mpi.Comm, in *Instance, p FTParams, start time.Duration) (*R
 			st.served = st.lastSteal
 			st.outstanding = batch
 			handled++
+			if o != nil {
+				o.Emit(c.Env().Now(), "knap", "serve", trk,
+					obs.Int("to", int64(s)), obs.Int("nodes", int64(len(batch))))
+			}
 		}
 	}
 	handleMsg := func(m mpi.Message) error {
@@ -411,6 +422,7 @@ func runFTSlave(c *mpi.Comm, in *Instance, p FTParams) (*Result, error) {
 	worker := NewWorker(in)
 	worker.PruneBound = p.PruneBound
 	var seq, steals, sentBack int64
+	o, trk, _ := knapObs(c, worker.Best)
 	snapshot := func() ftSnapshot {
 		return ftSnapshot{best: worker.Best, traversed: worker.Traversed, sentBack: sentBack, steals: steals}
 	}
@@ -435,6 +447,10 @@ func runFTSlave(c *mpi.Comm, in *Instance, p FTParams) (*Result, error) {
 		if worker.Stack.Len() == 0 {
 			seq++
 			steals++
+			if o != nil {
+				o.Emit(c.Env().Now(), "knap", "steal", trk, obs.Int("seq", seq))
+				o.Metrics().Counter("knap.steals").Add(1)
+			}
 			retries := 0
 			for worker.Stack.Len() == 0 {
 				if err := c.Send(0, tagFTSteal, encodeFTSteal(seq, snapshot())); err != nil {

@@ -2,10 +2,12 @@ package knapsack
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"nxcluster/internal/mpi"
 	"nxcluster/internal/nexus"
+	"nxcluster/internal/obs"
 )
 
 // Message tags of the self-scheduling protocol.
@@ -165,6 +167,18 @@ func Run(c *mpi.Comm, in *Instance, p Params) (*Result, error) {
 	return collectResult(c, local, handled, elapsed)
 }
 
+// knapObs resolves a rank's observer and trace track, and seeds the
+// incumbent used to suppress duplicate bound events. All three are inert
+// when tracing is off (nil observer).
+func knapObs(c *mpi.Comm, best int64) (*obs.Observer, string, int64) {
+	o := obs.From(c.Env())
+	trk := ""
+	if o != nil {
+		trk = "knap/rank" + strconv.Itoa(c.Rank())
+	}
+	return o, trk, best
+}
+
 // encodeStats serializes one rank's statistics for the final gather.
 func encodeStats(st RankStats) []byte {
 	b := nexus.NewBuffer()
@@ -231,6 +245,7 @@ func runMaster(c *mpi.Comm, in *Instance, p Params) (int64, RankStats, error) {
 	nslaves := c.Size() - 1
 	var pending []int // slaves with unanswered steal requests, FIFO
 	var handled int64
+	o, trk, lastBest := knapObs(c, solver.Best)
 
 	reserve := p.MasterReserve
 	if reserve < 0 {
@@ -254,6 +269,10 @@ func runMaster(c *mpi.Comm, in *Instance, p Params) (int64, RankStats, error) {
 				return err
 			}
 			handled++
+			if o != nil {
+				o.Emit(c.Env().Now(), "knap", "serve", trk,
+					obs.Int("to", int64(to)), obs.Int("nodes", int64(len(batch))))
+			}
 		}
 		return nil
 	}
@@ -278,6 +297,10 @@ func runMaster(c *mpi.Comm, in *Instance, p Params) (int64, RankStats, error) {
 			ran := solver.BranchN(p.Interval)
 			if p.NodeCost > 0 && ran > 0 {
 				c.Env().Compute(time.Duration(ran) * p.NodeCost)
+			}
+			if o != nil && solver.Best != lastBest {
+				lastBest = solver.Best
+				o.Emit(c.Env().Now(), "knap", "bound", trk, obs.Int("best", lastBest))
 			}
 			for c.Iprobe(mpi.AnySource, mpi.AnyTag) {
 				m, err := c.Recv(mpi.AnySource, mpi.AnyTag)
@@ -328,16 +351,24 @@ func runSlave(c *mpi.Comm, in *Instance, p Params) (RankStats, error) {
 	var st RankStats
 	st.Rank = c.Rank()
 	st.Name = c.Name(c.Rank())
+	o, trk, lastBest := knapObs(c, worker.Best)
 	opsSinceShare := 0
 	sendBack := func(k int) error {
 		batch := worker.Stack.TakeBottom(k)
 		st.SentBack += int64(len(batch))
 		opsSinceShare = 0
+		if o != nil {
+			o.Emit(c.Env().Now(), "knap", "back", trk, obs.Int("nodes", int64(len(batch))))
+		}
 		return c.Send(0, tagBack, EncodeNodes(batch))
 	}
 	for {
 		if worker.Stack.Len() == 0 {
 			st.Steals++
+			if o != nil {
+				o.Emit(c.Env().Now(), "knap", "steal", trk)
+				o.Metrics().Counter("knap.steals").Add(1)
+			}
 			if err := c.Send(0, tagSteal, nil); err != nil {
 				return st, err
 			}
@@ -362,6 +393,10 @@ func runSlave(c *mpi.Comm, in *Instance, p Params) (RankStats, error) {
 		opsSinceShare += ran
 		if p.NodeCost > 0 && ran > 0 {
 			c.Env().Compute(time.Duration(ran) * p.NodeCost)
+		}
+		if o != nil && worker.Best != lastBest {
+			lastBest = worker.Best
+			o.Emit(c.Env().Now(), "knap", "bound", trk, obs.Int("best", lastBest))
 		}
 		switch {
 		case p.BackThreshold > 0 && worker.Stack.Len() > p.BackThreshold:

@@ -15,9 +15,11 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"nxcluster/internal/nexus"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/proxy"
 	"nxcluster/internal/transport"
 )
@@ -143,6 +145,12 @@ func (w *World) runRank(env transport.Env, rank int, pl Placement, fn func(*Comm
 		sps:   make([]*nexus.Startpoint, len(w.placements)),
 		inbox: transport.NewQueue[Message](env),
 	}
+	if o := obs.From(env); o != nil {
+		pfx := "mpi.rank" + strconv.Itoa(rank)
+		c.mSent = o.Metrics().Counter(pfx + ".sent")
+		c.mBytes = o.Metrics().Counter(pfx + ".sent_bytes")
+		c.mRecvd = o.Metrics().Counter(pfx + ".received")
+	}
 	ep := ctx.NewEndpoint()
 	ep.Register(hData, func(e transport.Env, b *nexus.Buffer) {
 		src, err1 := b.GetInt32()
@@ -194,6 +202,11 @@ type Comm struct {
 	// counters
 	sent, received int64
 	sentBytes      int64
+	// cached observability handles (nil when tracing is off — updates are
+	// then branch-and-return no-ops, keeping the send path allocation-free)
+	mSent  *obs.Counter
+	mBytes *obs.Counter
+	mRecvd *obs.Counter
 }
 
 // Rank returns this process's rank.
@@ -260,6 +273,8 @@ func (c *Comm) send(to, tag int, data []byte) error {
 	}
 	c.sent++
 	c.sentBytes += int64(len(data))
+	c.mSent.Add(1)
+	c.mBytes.Add(int64(len(data)))
 	return nil
 }
 
@@ -281,6 +296,7 @@ func (c *Comm) recv(src, tag int) (Message, error) {
 		if match(m, src, tag) {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			c.received++
+			c.mRecvd.Add(1)
 			return m, nil
 		}
 	}
@@ -291,6 +307,7 @@ func (c *Comm) recv(src, tag int) (Message, error) {
 		}
 		if match(m, src, tag) {
 			c.received++
+			c.mRecvd.Add(1)
 			return m, nil
 		}
 		c.pending = append(c.pending, m)
@@ -315,6 +332,7 @@ func (c *Comm) recvUser(src int) (Message, error) {
 		if m.Tag >= 0 && (src == AnySource || m.Src == src) {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			c.received++
+			c.mRecvd.Add(1)
 			return m, nil
 		}
 	}
@@ -325,6 +343,7 @@ func (c *Comm) recvUser(src int) (Message, error) {
 		}
 		if m.Tag >= 0 && (src == AnySource || m.Src == src) {
 			c.received++
+			c.mRecvd.Add(1)
 			return m, nil
 		}
 		c.pending = append(c.pending, m)

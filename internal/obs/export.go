@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Serialization is hand-rolled rather than encoding/json so the byte stream
+// is exactly reproducible: field order is emission order, numbers are plain
+// base-10 int64s (sim time in nanoseconds), and no reflection or map
+// iteration is involved. Trace hashes are FNV-64a over the JSONL bytes, the
+// same construction internal/bench/golden_test.go uses for table output.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hasher accumulates an FNV-64a hash. The zero value is ready to use.
+type Hasher struct{ h uint64 }
+
+// Write folds p into the hash; it never fails.
+func (s *Hasher) Write(p []byte) (int, error) {
+	h := s.h
+	if h == 0 {
+		h = fnvOffset
+	}
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	s.h = h
+	return len(p), nil
+}
+
+// Sum64 returns the current hash.
+func (s *Hasher) Sum64() uint64 {
+	if s.h == 0 {
+		return fnvOffset
+	}
+	return s.h
+}
+
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigit(c>>4), hexDigit(c&0xf))
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+func hexDigit(n byte) byte {
+	if n < 10 {
+		return '0' + n
+	}
+	return 'a' + n - 10
+}
+
+func appendEventJSON(b []byte, e *Event) []byte {
+	b = append(b, `{"at":`...)
+	b = strconv.AppendInt(b, int64(e.At), 10)
+	b = append(b, `,"ph":"`...)
+	b = append(b, e.Ph, '"')
+	b = append(b, `,"cat":`...)
+	b = appendJSONString(b, e.Cat)
+	b = append(b, `,"name":`...)
+	b = appendJSONString(b, e.Name)
+	b = append(b, `,"track":`...)
+	b = appendJSONString(b, e.Track)
+	if e.ID != 0 {
+		b = append(b, `,"id":`...)
+		b = strconv.AppendUint(b, e.ID, 10)
+	}
+	for i := range e.Fields {
+		f := &e.Fields[i]
+		b = append(b, ',')
+		b = appendJSONString(b, f.Key)
+		b = append(b, ':')
+		if f.IsStr {
+			b = appendJSONString(b, f.Str)
+		} else {
+			b = strconv.AppendInt(b, f.Int, 10)
+		}
+	}
+	return append(b, '}')
+}
+
+// WriteJSONL writes one JSON object per event, in emission order. The bytes
+// are deterministic for a deterministic run.
+func (o *Observer) WriteJSONL(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for i := range o.events {
+		buf = appendEventJSON(buf[:0], &o.events[i])
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Hash returns the FNV-64a hash of the JSONL serialization — the value the
+// golden-trace tests pin across GOMAXPROCS and worker counts.
+func (o *Observer) Hash() uint64 {
+	var h Hasher
+	_ = o.WriteJSONL(&h)
+	return h.Sum64()
+}
+
+// WriteChromeTrace writes the trace in Chrome's trace_event JSON array
+// format, loadable in chrome://tracing or https://ui.perfetto.dev. Each
+// Track becomes a named "thread"; timestamps are virtual microseconds with
+// nanosecond remainders carried in the span args. Instant events use
+// thread scope.
+func (o *Observer) WriteChromeTrace(w io.Writer) error {
+	if o == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	// Assign stable tids in order of first appearance.
+	tids := make(map[string]int)
+	var order []string
+	for i := range o.events {
+		t := o.events[i].Track
+		if _, ok := tids[t]; !ok {
+			tids[t] = len(tids) + 1
+			order = append(order, t)
+		}
+	}
+	var buf []byte
+	first := true
+	put := func() error {
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := bw.Write(buf)
+		return err
+	}
+	for _, t := range order {
+		buf = append(buf[:0], `{"ph":"M","pid":1,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(tids[t]), 10)
+		buf = append(buf, `,"name":"thread_name","args":{"name":`...)
+		buf = appendJSONString(buf, t)
+		buf = append(buf, `}}`...)
+		if err := put(); err != nil {
+			return err
+		}
+	}
+	for i := range o.events {
+		e := &o.events[i]
+		buf = append(buf[:0], `{"ph":"`...)
+		buf = append(buf, e.Ph, '"')
+		buf = append(buf, `,"pid":1,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(tids[e.Track]), 10)
+		buf = append(buf, `,"ts":`...)
+		us := int64(e.At) / 1000
+		ns := int64(e.At) % 1000
+		buf = strconv.AppendInt(buf, us, 10)
+		if ns != 0 {
+			buf = append(buf, '.')
+			buf = append(buf, byte('0'+ns/100), byte('0'+ns/10%10), byte('0'+ns%10))
+		}
+		buf = append(buf, `,"cat":`...)
+		buf = appendJSONString(buf, e.Cat)
+		buf = append(buf, `,"name":`...)
+		buf = appendJSONString(buf, e.Name)
+		if e.Ph == PhaseInstant {
+			buf = append(buf, `,"s":"t"`...)
+		}
+		if len(e.Fields) > 0 || e.ID != 0 {
+			buf = append(buf, `,"args":{`...)
+			n := 0
+			if e.ID != 0 {
+				buf = append(buf, `"span":`...)
+				buf = strconv.AppendUint(buf, e.ID, 10)
+				n++
+			}
+			for j := range e.Fields {
+				f := &e.Fields[j]
+				if n > 0 {
+					buf = append(buf, ',')
+				}
+				n++
+				buf = appendJSONString(buf, f.Key)
+				buf = append(buf, ':')
+				if f.IsStr {
+					buf = appendJSONString(buf, f.Str)
+				} else {
+					buf = strconv.AppendInt(buf, f.Int, 10)
+				}
+			}
+			buf = append(buf, '}')
+		}
+		buf = append(buf, '}')
+		if err := put(); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,155 @@
+// Package obs is the deterministic, virtual-time observability layer: every
+// timestamp is simulation time (never wall clock), every record is appended
+// from kernel-driven code — which executes one process at a time — so a trace
+// is a pure function of the simulated run. Two runs of the same scenario
+// produce bit-identical traces regardless of GOMAXPROCS or how many
+// independent simulations execute concurrently on host threads (each kernel
+// owns its own Observer).
+//
+// The layer has three parts:
+//
+//   - structured tracing (this file): instant events and begin/end spans,
+//     categorized (net, relay, proxy, rmf, hbm, knap, xfer, proc) and stamped
+//     with sim time, exported as JSONL and Chrome trace_event JSON;
+//   - metrics (metrics.go): an allocation-free registry of counters, gauges
+//     and power-of-two histograms with a snapshot table printer;
+//   - export (export.go): deterministic serialization and hashing.
+//
+// # Overhead contract
+//
+// Disabled is the default, and disabled means free: the no-op observer is a
+// nil *Observer, every instrumentation site guards with a nil check before
+// building any event, and cached *Counter handles are nil too (Add on a nil
+// counter is a branch and a return). The zero-alloc regression tests in
+// internal/sim and internal/simnet pin this. Enabling tracing must never
+// change virtual-time results: instrumentation only reads the clock, it
+// never sleeps, computes, or schedules.
+package obs
+
+import "time"
+
+// Field is one key/value annotation on an event. Only strings and int64s are
+// representable, which keeps serialization trivially deterministic.
+type Field struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// Str builds a string field.
+func Str(k, v string) Field { return Field{Key: k, Str: v, IsStr: true} }
+
+// Int builds an integer field.
+func Int(k string, v int64) Field { return Field{Key: k, Int: v} }
+
+// Phase markers, mirroring the Chrome trace_event "ph" values.
+const (
+	PhaseInstant = byte('i')
+	PhaseBegin   = byte('B')
+	PhaseEnd     = byte('E')
+)
+
+// Event is one trace record. At is virtual time. Track names the timeline
+// the event belongs to (a host name, a link name, or host/process). ID links
+// a PhaseEnd to its PhaseBegin.
+type Event struct {
+	At     time.Duration
+	Ph     byte
+	Cat    string
+	Name   string
+	Track  string
+	ID     uint64
+	Fields []Field
+}
+
+// SpanID identifies an open span returned by Begin.
+type SpanID uint64
+
+// Observer collects a run's trace and metrics. It belongs to exactly one
+// simulation kernel: all appends happen from that kernel's cooperatively
+// scheduled code, so no locking is needed and event order is deterministic.
+// A nil *Observer is the no-op sink; every method is nil-safe, but hot paths
+// should still guard with Enabled (or a direct nil check) so that argument
+// construction costs nothing when tracing is off.
+type Observer struct {
+	events  []Event
+	metrics Metrics
+	nextID  uint64
+}
+
+// New creates an enabled observer.
+func New() *Observer { return &Observer{} }
+
+// Enabled reports whether events are being recorded.
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Emit records an instant event.
+func (o *Observer) Emit(at time.Duration, cat, name, track string, fields ...Field) {
+	if o == nil {
+		return
+	}
+	o.events = append(o.events, Event{At: at, Ph: PhaseInstant, Cat: cat, Name: name, Track: track, Fields: fields})
+}
+
+// Begin opens a span and returns its ID (0 when disabled).
+func (o *Observer) Begin(at time.Duration, cat, name, track string, fields ...Field) SpanID {
+	if o == nil {
+		return 0
+	}
+	o.nextID++
+	id := o.nextID
+	o.events = append(o.events, Event{At: at, Ph: PhaseBegin, Cat: cat, Name: name, Track: track, ID: id, Fields: fields})
+	return SpanID(id)
+}
+
+// End closes the span opened by Begin. Cat, name and track are repeated so
+// the end record is self-describing (and so Chrome's flow view pairs them).
+func (o *Observer) End(at time.Duration, id SpanID, cat, name, track string, fields ...Field) {
+	if o == nil || id == 0 {
+		return
+	}
+	o.events = append(o.events, Event{At: at, Ph: PhaseEnd, Cat: cat, Name: name, Track: track, ID: uint64(id), Fields: fields})
+}
+
+// Events returns the recorded trace in emission order. The slice is owned by
+// the observer; callers must not mutate it.
+func (o *Observer) Events() []Event {
+	if o == nil {
+		return nil
+	}
+	return o.events
+}
+
+// Len reports the number of recorded events.
+func (o *Observer) Len() int {
+	if o == nil {
+		return 0
+	}
+	return len(o.events)
+}
+
+// Metrics returns the observer's metric registry (nil when disabled; the
+// registry's constructors are nil-safe and hand back nil instruments, whose
+// update methods are no-ops).
+func (o *Observer) Metrics() *Metrics {
+	if o == nil {
+		return nil
+	}
+	return &o.metrics
+}
+
+// carrier is implemented by execution environments that carry an observer
+// (simnet.Env does; the real-TCP env does not, so production protocol code
+// stays uninstrumented at zero cost).
+type carrier interface{ Observer() *Observer }
+
+// From extracts the observer carried by v (typically a transport.Env),
+// returning nil — the no-op observer — when v carries none. Protocol layers
+// call this once per operation or connection, never per byte.
+func From(v interface{}) *Observer {
+	if c, ok := v.(carrier); ok {
+		return c.Observer()
+	}
+	return nil
+}

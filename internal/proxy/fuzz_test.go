@@ -1,0 +1,68 @@
+package proxy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMsg hammers the proxy control-channel decoder with arbitrary
+// frames. Malformed input must produce an error — never a panic, a hang, or
+// a read past the frame — and anything that decodes must round-trip through
+// writeMsg bit-exactly, so encoder and decoder agree on the wire format.
+func FuzzReadMsg(f *testing.F) {
+	// Well-formed frames from the encoder itself.
+	for _, m := range []struct {
+		typ    byte
+		fields []string
+	}{
+		{msgConnect, []string{"etl-sun:6100"}},
+		{msgBind, []string{"rwcp-sun:32768"}},
+		{msgBindOK, []string{"rwcp-outer:40000", "7"}},
+		{msgOK, nil},
+		{msgError, []string{"proxy: no route"}},
+		{msgRegister, []string{"rwcp-inner:7010"}},
+		{msgPing, nil},
+	} {
+		var b bytes.Buffer
+		if err := writeMsg(&b, m.typ, m.fields...); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
+	// Hand-built malformations: truncated header, truncated length,
+	// truncated field, oversized field length, trailing garbage.
+	f.Add([]byte{})
+	f.Add([]byte{msgConnect})
+	f.Add([]byte{msgConnect, 1})
+	f.Add([]byte{msgConnect, 1, 0x00})
+	f.Add([]byte{msgConnect, 1, 0x00, 0x05, 'a', 'b'})
+	f.Add([]byte{msgConnect, 1, 0xff, 0xff})
+	f.Add([]byte{msgConnect, 255, 0x00, 0x00})
+	f.Add([]byte{msgOK, 0, 'x', 'y', 'z'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		typ, fields, err := readMsg(r)
+		if err != nil {
+			return
+		}
+		// The decoder accepted the prefix it consumed; it must satisfy the
+		// frame invariants and re-encode to exactly those consumed bytes.
+		if len(fields) > 255 {
+			t.Fatalf("decoded %d fields, wire maximum is 255", len(fields))
+		}
+		for _, fl := range fields {
+			if len(fl) > maxFieldLen {
+				t.Fatalf("decoded field of %d bytes, limit %d", len(fl), maxFieldLen)
+			}
+		}
+		consumed := len(data) - r.Len()
+		var out bytes.Buffer
+		if err := writeMsg(&out, typ, fields...); err != nil {
+			t.Fatalf("decoded message fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatalf("round trip mismatch:\n consumed %x\n re-encoded %x", data[:consumed], out.Bytes())
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nxcluster/internal/obs"
 	"nxcluster/internal/transport"
 )
 
@@ -46,6 +47,13 @@ func (s *InnerServer) MaintainRegistration(env transport.Env, cfg KeepaliveConfi
 	if bo.Key == "" {
 		bo.Key = "inner-register@" + env.Hostname()
 	}
+	if bo.Rand == nil {
+		// Under simulation the jitter must come from the kernel's seeded
+		// stream so chaos runs replay bit for bit; on real TCP RandOf returns
+		// nil and the hash fallback applies.
+		bo.Rand = transport.RandOf(env)
+	}
+	o := obs.From(env)
 	for {
 		c, err := env.Dial(cfg.OuterAddr)
 		if err != nil {
@@ -66,9 +74,16 @@ func (s *InnerServer) MaintainRegistration(env transport.Env, cfg KeepaliveConfi
 		}
 		n := atomic.AddInt64(&s.registrations, 1)
 		s.tracef("inner: registered with %s (session %d)", cfg.OuterAddr, n)
+		if o != nil {
+			o.Emit(env.Now(), "proxy", "register", env.Hostname(), obs.Int("session", n))
+			o.Metrics().Counter("proxy.registrations").Add(1)
+		}
 		bo.Reset()
 		s.keepalive(env, c, interval, timeout)
 		s.tracef("inner: registration session %d broke; re-registering", n)
+		if o != nil {
+			o.Emit(env.Now(), "proxy", "register.broken", env.Hostname(), obs.Int("session", n))
+		}
 		env.Sleep(bo.Next())
 	}
 }

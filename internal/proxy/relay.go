@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nxcluster/internal/obs"
 	"nxcluster/internal/transport"
 )
 
@@ -57,18 +58,40 @@ type Stats struct {
 // in order, while a mid-stream transport failure (connection reset, crashed
 // endpoint) aborts both legs, so the surviving endpoint observes ErrReset
 // rather than mistaking the break for an orderly close.
-func pump(env transport.Env, src, dst transport.Conn, cfg RelayConfig, bytes *int64) {
+func pump(env transport.Env, name string, src, dst transport.Conn, cfg RelayConfig, bytes *int64) {
 	buf := make([]byte, cfg.bufBytes())
+	// The observer is resolved once per pump: nil on real TCP and when
+	// tracing is off. recv marks a buffer landing in the relay, fwd marks it
+	// leaving — the gap between them is the store-and-forward cost the paper
+	// attributes the proxy's latency penalty to. The occupancy gauge sums
+	// held bytes across all pumps on this relay host.
+	o := obs.From(env)
+	var mOcc *obs.Gauge
+	var mBytes *obs.Counter
+	track := env.Hostname() + "/" + name
+	if o != nil {
+		mOcc = o.Metrics().Gauge("relay." + env.Hostname() + ".occupancy")
+		mBytes = o.Metrics().Counter("relay." + env.Hostname() + ".bytes")
+	}
 	var failure error
 	for {
 		n, err := src.Read(env, buf)
 		if n > 0 {
+			if o != nil {
+				o.Emit(env.Now(), "relay", "recv", track, obs.Int("bytes", int64(n)))
+				mOcc.Add(int64(n))
+			}
 			if cfg.PerBuffer > 0 {
 				env.Compute(cfg.PerBuffer)
 			}
 			if _, werr := dst.Write(env, buf[:n]); werr != nil {
 				failure = werr
 				break
+			}
+			if o != nil {
+				o.Emit(env.Now(), "relay", "fwd", track, obs.Int("bytes", int64(n)))
+				mOcc.Add(-int64(n))
+				mBytes.Add(int64(n))
 			}
 			if bytes != nil {
 				// Atomic because the two pumps of a TCP relay are separate
@@ -95,6 +118,6 @@ func pump(env transport.Env, src, dst transport.Conn, cfg RelayConfig, bytes *in
 
 // splice wires a and b together with two pumps and returns immediately.
 func splice(env transport.Env, name string, a, b transport.Conn, cfg RelayConfig, bytes *int64) {
-	env.SpawnService(name+":fwd", func(e transport.Env) { pump(e, a, b, cfg, bytes) })
-	env.SpawnService(name+":rev", func(e transport.Env) { pump(e, b, a, cfg, bytes) })
+	env.SpawnService(name+":fwd", func(e transport.Env) { pump(e, name+":fwd", a, b, cfg, bytes) })
+	env.SpawnService(name+":rev", func(e transport.Env) { pump(e, name+":rev", b, a, cfg, bytes) })
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nxcluster/internal/nexus"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/transport"
 )
 
@@ -192,9 +193,18 @@ func SubmitJob(env transport.Env, allocatorAddr string, req JobRequest) (*JobHan
 	if req.Count <= 0 {
 		return nil, fmt.Errorf("rmf: job count must be positive")
 	}
+	o := obs.From(env)
+	if o != nil {
+		o.Emit(env.Now(), "rmf", "submit", env.Hostname(), obs.Int("count", int64(req.Count)), obs.Str("cluster", req.Cluster))
+	}
 	names, addrs, err := Allocate(env, allocatorAddr, req.Count, req.Cluster)
 	if err != nil {
 		return nil, err
+	}
+	if o != nil {
+		for _, n := range names {
+			o.Emit(env.Now(), "rmf", "allocate", env.Hostname(), obs.Str("resource", n))
+		}
 	}
 	h := &JobHandle{AllocatorAddr: allocatorAddr, Cluster: req.Cluster}
 	for i := range names {
@@ -239,7 +249,11 @@ func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 		if bo.Key == "" {
 			bo.Key = "rmf-requeue@" + h.AllocatorAddr
 		}
+		if bo.Rand == nil {
+			bo.Rand = transport.RandOf(env)
+		}
 	}
+	o := obs.From(env)
 	var firstErr error
 	for i := range h.Processes {
 		errStreak := 0
@@ -267,9 +281,15 @@ func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 			}
 			errStreak = 0
 			if state == StateDone {
+				if o != nil {
+					o.Emit(env.Now(), "rmf", "exit", env.Hostname(), obs.Str("job", p.JobID), obs.Str("resource", p.Resource))
+				}
 				break
 			}
 			if state == StateFailed {
+				if o != nil {
+					o.Emit(env.Now(), "rmf", "failed", env.Hostname(), obs.Str("job", p.JobID), obs.Str("resource", p.Resource))
+				}
 				if firstErr == nil {
 					firstErr = fmt.Errorf("rmf: job %s on %s failed: %s", p.JobID, p.Resource, msg)
 				}

@@ -6,6 +6,7 @@ import (
 
 	"nxcluster/internal/gass"
 	"nxcluster/internal/nexus"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/transport"
 )
 
@@ -198,6 +199,9 @@ func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus
 	q.mu.Unlock()
 	q.tracef("qserver %s: job %s accepted (%s %v)", q.Resource, id, executable, args)
 
+	if o := obs.From(env); o != nil {
+		o.Emit(env.Now(), "rmf", "spawn", q.Resource, obs.Str("job", id), obs.Str("exe", executable))
+	}
 	env.Spawn("job:"+id, func(e transport.Env) {
 		ctx := &JobContext{JobID: id, Resource: q.Resource, Args: args, Env: envMap}
 		// Stage input via GASS, as the paper's Q system does.

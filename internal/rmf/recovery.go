@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nxcluster/internal/hbm"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/transport"
 )
 
@@ -82,6 +83,9 @@ func SubmitRetry(env transport.Env, qserverAddr string, spec ProcessSpec, bo tra
 	if bo.Key == "" {
 		bo.Key = "rmf-submit@" + qserverAddr
 	}
+	if bo.Rand == nil {
+		bo.Rand = transport.RandOf(env)
+	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		id, err := Submit(env, qserverAddr, spec)
@@ -134,6 +138,11 @@ func (h *JobHandle) requeue(env transport.Env, i int, deadline time.Duration, bo
 		}
 		h.Processes[i] = Process{Resource: names[0], QServerAddr: addrs[0], JobID: id}
 		h.Requeues++
+		if o := obs.From(env); o != nil {
+			o.Emit(env.Now(), "rmf", "requeue", env.Hostname(),
+				obs.Str("lost", p.Resource), obs.Str("to", names[0]), obs.Str("job", id))
+			o.Metrics().Counter("rmf.requeues").Add(1)
+		}
 		bo.Reset()
 		return nil
 	}

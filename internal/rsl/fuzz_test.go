@@ -1,0 +1,49 @@
+package rsl
+
+import "testing"
+
+// FuzzParse hammers the RSL parser with arbitrary input. Malformed
+// specifications must come back as ErrSyntax-wrapped errors — never a panic
+// — and anything that parses must round-trip through String: the rendered
+// form reparses, and rendering is a fixed point (render(parse(render(s))) ==
+// render(s)), so the printer and parser agree on the grammar.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"&(executable=/usr/local/bin/knapsack)(count=8)",
+		`&(arguments=50 "steal=4")(environment=(NEXUS_PROXY_OUTER_SERVER rwcp-outer:7000))`,
+		"+(&(resourceManagerContact=rwcp)(count=4))(&(resourceManagerContact=etl)(count=8))",
+		"&(count=8",
+		"&()",
+		"+()",
+		"&(a=())",
+		"&(a=(b (c d)))",
+		`&(a="unterminated`,
+		"&(a=\"quo\\\"te\")",
+		"(count=8)",
+		"&(=8)",
+		"& (x = 1 2 3)",
+		"+(&(a=1))(junk",
+		"&(a=1)trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		spec, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if spec == nil {
+			t.Fatalf("Parse(%q) returned nil spec and nil error", input)
+		}
+		rendered := spec.String()
+		spec2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but rendered form %q fails to reparse: %v", input, rendered, err)
+		}
+		if r2 := spec2.String(); r2 != rendered {
+			t.Fatalf("render not a fixed point: %q -> %q -> %q", input, rendered, r2)
+		}
+	})
+}

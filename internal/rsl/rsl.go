@@ -179,13 +179,30 @@ func renderValue(b *strings.Builder, v Value) {
 		b.WriteByte(')')
 		return
 	}
-	if v.Str == "" || strings.ContainsAny(v.Str, " \t\n()=\"&+") {
+	if needsQuoting(v.Str) {
 		b.WriteByte('"')
 		b.WriteString(strings.ReplaceAll(v.Str, `"`, `""`))
 		b.WriteByte('"')
 		return
 	}
 	b.WriteString(v.Str)
+}
+
+// needsQuoting reports whether a scalar must be rendered quoted to survive
+// reparsing: empty strings, RSL structural characters, and anything below
+// 0x21 (whitespace and control bytes, which the word scanner either stops
+// at or which read ambiguously unquoted).
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= 0x20 || c == '(' || c == ')' || c == '=' || c == '"' || c == '&' || c == '+' {
+			return true
+		}
+	}
+	return false
 }
 
 // Parse parses an RSL string.
@@ -290,7 +307,9 @@ func (p *parser) parseRelation() (Relation, error) {
 			p.pos++
 			return Relation{Attr: attr, Values: values}, nil
 		}
-		if c == 0 {
+		// Check the position, not the byte: a literal NUL is word data, not
+		// end of input.
+		if p.pos >= len(p.in) {
 			return Relation{}, fmt.Errorf("%w: unterminated relation %q", ErrSyntax, attr)
 		}
 		v, err := p.parseValue()
@@ -313,7 +332,7 @@ func (p *parser) parseValue() (Value, error) {
 				p.pos++
 				return Value{List: list}, nil
 			}
-			if p.peek() == 0 {
+			if p.pos >= len(p.in) {
 				return Value{}, fmt.Errorf("%w: unterminated value list", ErrSyntax)
 			}
 			v, err := p.parseValue()

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStepZeroAlloc pins the kernel's hot-path contract: once pools are
+// warm, a Step on the Sleep/wake path allocates nothing — events come from
+// the free list, wakeups reference the process directly. The observability
+// layer must keep it that way: with no observer attached there is nothing
+// to pay.
+func TestStepZeroAlloc(t *testing.T) {
+	k := New()
+	k.SpawnDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	for i := 0; i < 100; i++ { // warm the event pool
+		k.Step()
+	}
+	if avg := testing.AllocsPerRun(1000, func() { k.Step() }); avg != 0 {
+		t.Errorf("kernel Step allocates %.2f objects/op in steady state, want 0", avg)
+	}
+	k.Shutdown()
+}

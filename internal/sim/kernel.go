@@ -241,6 +241,7 @@ type Kernel struct {
 	current *Proc
 	yield   chan struct{} // signaled by a process when it parks or exits
 	stopped bool
+	rng     uint64 // splitmix64 state; zero until Seed (Rand self-seeds to 1)
 	// Trace, when non-nil, receives a line for every process start/exit and
 	// every Sleep wakeup. Used by experiment harnesses to render timelines.
 	Trace func(at time.Duration, format string, args ...interface{})
@@ -256,6 +257,28 @@ func New() *Kernel {
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() time.Duration { return k.now }
+
+// Seed initializes the kernel's random stream. Simulations that want
+// distinct-but-reproducible randomness (retry jitter, randomized placement)
+// call Seed once before Run; leaving it unseeded is equivalent to Seed(1).
+func (k *Kernel) Seed(s uint64) { k.rng = s }
+
+// Rand returns the next value of the kernel's deterministic random stream
+// (splitmix64). Because all simulated code runs under the kernel's
+// cooperative scheduler, draw order — and therefore every value — is a pure
+// function of the seed and the simulation itself, independent of GOMAXPROCS.
+// This is the only randomness source simulated code may use: anything global
+// (math/rand, crypto/rand, wall clock) would break reproducibility.
+func (k *Kernel) Rand() uint64 {
+	if k.rng == 0 {
+		k.rng = 1
+	}
+	k.rng += 0x9e3779b97f4a7c15
+	z := k.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 // newEvent takes an event record from the pool (or allocates one) and stamps
 // it with the next sequence number.

@@ -1,0 +1,81 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+// pingPongKernel builds a two-host network with a perpetual 4 KiB echo
+// stream and steps it past connection setup, so subsequent steps exercise
+// only the steady-state data plane: serialization, propagation, delivery,
+// wakeup.
+func pingPongKernel(t *testing.T) *sim.Kernel {
+	t.Helper()
+	k := sim.New()
+	n := New(k)
+	n.AddHost("a", HostConfig{})
+	n.AddHost("b", HostConfig{})
+	n.Connect("a", "b", LinkConfig{Latency: time.Millisecond, Bandwidth: 100 << 20})
+	n.Node("b").SpawnDaemonOn("echo", func(env transport.Env) {
+		l, err := env.Listen(1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c, err := l.Accept(env)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			nn, err := c.Read(env, buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(env, buf[:nn]); err != nil {
+				return
+			}
+		}
+	})
+	n.Node("a").SpawnDaemonOn("src", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		c, err := env.Dial("b:1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 4096)
+		for {
+			if _, err := c.Write(env, buf); err != nil {
+				return
+			}
+			total := 0
+			for total < len(buf) {
+				nn, err := c.Read(env, buf[total:])
+				if err != nil {
+					return
+				}
+				total += nn
+			}
+		}
+	})
+	for i := 0; i < 20000; i++ { // handshake + segment/transfer pool warmup
+		k.Step()
+	}
+	return k
+}
+
+// TestDeliveryZeroAlloc pins the simnet data-plane contract with no
+// observer attached (Network.Obs nil, the default): steady-state message
+// delivery is allocation-free. Instrumentation sites must stay behind nil
+// guards so the disabled path never constructs field slices.
+func TestDeliveryZeroAlloc(t *testing.T) {
+	k := pingPongKernel(t)
+	defer k.Shutdown()
+	if avg := testing.AllocsPerRun(5000, func() { k.Step() }); avg != 0 {
+		t.Errorf("simnet delivery allocates %.4f objects/op in steady state, want 0", avg)
+	}
+}

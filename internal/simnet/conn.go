@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 
+	"nxcluster/internal/obs"
 	"nxcluster/internal/sim"
 	"nxcluster/internal/transport"
 )
@@ -125,6 +126,10 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 	var dialed *conn
 	var dialErr error
 	n := nd.net
+	var span obs.SpanID
+	if o := n.Obs; o != nil {
+		span = o.Begin(n.K.Now(), "net", "dial", nd.name, obs.Str("addr", addr))
+	}
 	n.send(path, ctlSize, func() {
 		if nd.crashed {
 			// The dialer's host died while the SYN was in flight; nobody is
@@ -173,6 +178,13 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 		})
 	})
 	done.Wait(p)
+	if o := n.Obs; o != nil {
+		if dialErr != nil {
+			o.End(n.K.Now(), span, "net", "dial", nd.name, obs.Str("err", dialErr.Error()))
+		} else {
+			o.End(n.K.Now(), span, "net", "dial", nd.name, obs.Str("addr", addr))
+		}
+	}
 	if dialErr != nil {
 		return nil, fmt.Errorf("simnet: dial %s: %w", addr, dialErr)
 	}

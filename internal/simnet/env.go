@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nxcluster/internal/obs"
 	"nxcluster/internal/sim"
 	"nxcluster/internal/transport"
 )
@@ -74,6 +75,15 @@ func (e *Env) Listen(port int) (transport.Listener, error) { return e.node.liste
 // Proc exposes the underlying kernel process for code that needs raw sim
 // primitives alongside the transport API (e.g. the MPI progress engine).
 func (e *Env) Proc() *sim.Proc { return e.p }
+
+// Observer exposes the network's observability sink (nil when tracing is
+// disabled). Protocol layers reach it portably with obs.From(env), which
+// returns nil for environments — like real TCP — that carry none.
+func (e *Env) Observer() *obs.Observer { return e.node.net.Obs }
+
+// Rand draws from the kernel's seeded deterministic random stream; see
+// transport.RandOf for the portable extraction used by retry jitter.
+func (e *Env) Rand() uint64 { return e.node.net.K.Rand() }
 
 // Node exposes the underlying host.
 func (e *Env) Node() *Node { return e.node }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"nxcluster/internal/firewall"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/sim"
 	"nxcluster/internal/transport"
 )
@@ -51,8 +52,14 @@ type LinkConfig struct {
 
 // Network is a virtual network bound to a simulation kernel.
 type Network struct {
-	K     *sim.Kernel
-	MTU   int
+	K   *sim.Kernel
+	MTU int
+	// Obs, when non-nil, receives virtual-time trace events and metrics for
+	// every link hop, connection handshake, and stall. It must be set before
+	// traffic flows and belongs to this network's kernel alone. Nil (the
+	// default) keeps the data plane allocation-free: every emission site
+	// guards on the nil check before building an event.
+	Obs   *obs.Observer
 	nodes map[string]*Node
 	// routes caches computed paths keyed by "src dst".
 	routes    map[string][]*linkDir
@@ -190,8 +197,8 @@ func (n *Network) Connect(a, b string, cfg LinkConfig) {
 	if na == nil || nb == nil {
 		panic(fmt.Sprintf("simnet: Connect(%q, %q): unknown node", a, b))
 	}
-	ab := &linkDir{net: n, from: na, to: nb, cfg: cfg}
-	ba := &linkDir{net: n, from: nb, to: na, cfg: cfg}
+	ab := &linkDir{net: n, from: na, to: nb, cfg: cfg, label: a + ">" + b}
+	ba := &linkDir{net: n, from: nb, to: na, cfg: cfg, label: b + ">" + a}
 	ab.rev, ba.rev = ba, ab
 	na.links = append(na.links, ab)
 	nb.links = append(nb.links, ba)
@@ -305,16 +312,22 @@ const (
 // positions and with exactly the same event schedule, so virtual-time results
 // are unchanged while the two channel handoffs per segment disappear.
 type linkDir struct {
-	net  *Network
-	from *Node
-	to   *Node
-	rev  *linkDir
-	cfg  LinkConfig
-	down bool
+	net   *Network
+	from  *Node
+	to    *Node
+	rev   *linkDir
+	cfg   LinkConfig
+	label string // "from>to", the trace track and metric prefix
+	down  bool
 	// Traffic counters for utilization reporting.
 	bytes   int64
 	stalled int64
 	busy    time.Duration
+
+	// Cached metric handles, created on first use when net.Obs is set (nil
+	// handles are no-ops, so these stay nil — and free — when disabled).
+	mBytes *obs.Counter
+	mQueue *obs.Gauge
 
 	// Waiting transfers, FIFO; qhead advances instead of shifting.
 	queue []*transfer
@@ -413,6 +426,18 @@ func (ld *linkDir) enqueue(tr *transfer) {
 		ld.net.K.Post(ld)
 	}
 	ld.queue = append(ld.queue, tr)
+	if o := ld.net.Obs; o != nil {
+		ld.initMetrics(o)
+		ld.mQueue.Set(int64(len(ld.queue) - ld.qhead))
+	}
+}
+
+// initMetrics lazily binds the link's cached metric handles to o.
+func (ld *linkDir) initMetrics(o *obs.Observer) {
+	if ld.mBytes == nil {
+		ld.mBytes = o.Metrics().Counter("link." + ld.label + ".bytes")
+		ld.mQueue = o.Metrics().Gauge("link." + ld.label + ".queue")
+	}
 }
 
 func (ld *linkDir) popQueue() *transfer {
@@ -462,10 +487,16 @@ func (ld *linkDir) RunTask(k *sim.Kernel) {
 			return
 		}
 		ld.cur = tr
+		if o := ld.net.Obs; o != nil {
+			ld.mQueue.Set(int64(len(ld.queue) - ld.qhead))
+		}
 		if ld.down {
 			// Stalled bytes are counted once per transfer, at pickup.
 			ld.stalled += int64(tr.size)
 			ld.state = linkStalling
+			if o := ld.net.Obs; o != nil {
+				o.Emit(k.Now(), "net", "stall", ld.label, obs.Int("bytes", int64(tr.size)))
+			}
 			k.AfterTask(10*time.Millisecond, ld)
 			return
 		}
@@ -490,6 +521,7 @@ func (ld *linkDir) beginSerialize(k *sim.Kernel, tr *transfer) bool {
 		}
 		return false
 	}
+	ld.ser = 0
 	ld.completeHead(k)
 	return true
 }
@@ -500,6 +532,16 @@ func (ld *linkDir) completeHead(k *sim.Kernel) {
 	tr := ld.cur
 	ld.cur = nil
 	ld.bytes += int64(tr.size)
+	if o := ld.net.Obs; o != nil {
+		// One instant per (segment, hop), stamped at serialization end ==
+		// propagation start: ser_ns looks back, lat_ns looks forward.
+		ld.initMetrics(o)
+		ld.mBytes.Add(int64(tr.size))
+		o.Emit(k.Now(), "net", "hop", ld.label,
+			obs.Int("bytes", int64(tr.size)),
+			obs.Int("ser_ns", int64(ld.ser)),
+			obs.Int("lat_ns", int64(ld.cfg.Latency)))
+	}
 	k.AfterEvent(ld.cfg.Latency, tr)
 }
 
@@ -512,6 +554,10 @@ func (tr *transfer) advance() {
 		return
 	}
 	n := tr.net
+	if o := n.Obs; o != nil && len(tr.path) > 0 {
+		last := tr.path[len(tr.path)-1]
+		o.Emit(n.K.Now(), "net", "deliver", last.label, obs.Int("bytes", int64(tr.size)))
+	}
 	if tr.deliver != nil {
 		// Control packet: run the handshake/teardown callback.
 		fn := tr.deliver

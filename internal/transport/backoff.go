@@ -6,23 +6,30 @@ import (
 )
 
 // Backoff computes capped exponential retry delays with deterministic
-// jitter. The jitter is a pure function of (Key, attempt number), so two
-// runs of the same simulation produce bit-identical retry timelines, while
-// distinct clients (distinct Keys) still decorrelate — the property real
-// systems buy with randomness, bought here with a hash.
+// jitter. The jitter draw comes from Rand when set — under simulation that
+// must be the kernel's seeded stream (see RandOf), never any global source,
+// so chaos runs are bit-reproducible — and otherwise falls back to a pure
+// hash of (Key, attempt number), which keeps distinct clients (distinct
+// Keys) decorrelated even outside a simulation: the property real systems
+// buy with randomness, bought here with a hash.
 //
 // The zero value is usable: Base defaults to 100ms, Max to 5s.
 type Backoff struct {
 	Base time.Duration // first delay
 	Max  time.Duration // cap applied before jitter
-	Key  string        // jitter seed, e.g. "inner-register@rwcp-inner"
+	Key  string        // fallback jitter seed, e.g. "inner-register@rwcp-inner"
+	// Rand, when non-nil, supplies the jitter draws. Simulated code must wire
+	// this to the kernel's seeded stream via RandOf(env); leaving it nil is
+	// only acceptable where no kernel exists (real-TCP deployments, tests of
+	// the hash fallback itself).
+	Rand func() uint64
 
 	attempt int
 }
 
 // Next returns the delay to sleep before the next retry and advances the
 // attempt counter. Delays double from Base up to Max, then up to 25% of the
-// capped delay is added back as deterministic jitter.
+// capped delay is added back as jitter.
 func (b *Backoff) Next() time.Duration {
 	base := b.Base
 	if base <= 0 {
@@ -39,15 +46,21 @@ func (b *Backoff) Next() time.Duration {
 	if d > max {
 		d = max
 	}
-	h := fnv.New64a()
-	h.Write([]byte(b.Key))
-	var n [8]byte
-	v := uint64(b.attempt)
-	for i := range n {
-		n[i] = byte(v >> (8 * i))
+	var v uint64
+	if b.Rand != nil {
+		v = b.Rand()
+	} else {
+		h := fnv.New64a()
+		h.Write([]byte(b.Key))
+		var n [8]byte
+		a := uint64(b.attempt)
+		for i := range n {
+			n[i] = byte(a >> (8 * i))
+		}
+		h.Write(n[:])
+		v = h.Sum64()
 	}
-	h.Write(n[:])
-	jitter := time.Duration(h.Sum64() % uint64(d/4+1))
+	jitter := time.Duration(v % uint64(d/4+1))
 	b.attempt++
 	return d + jitter
 }

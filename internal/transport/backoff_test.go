@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffDoublesAndCaps checks the exponential schedule under the hash
+// fallback: delays start at Base, double, cap at Max, and jitter stays
+// within 25% of the capped delay.
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond, Key: "t"}
+	expectedBase := []time.Duration{100, 200, 400, 800, 800, 800}
+	for i, want := range expectedBase {
+		want *= time.Millisecond
+		got := b.Next()
+		if got < want || got > want+want/4 {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", i, got, want, want+want/4)
+		}
+	}
+}
+
+// TestBackoffHashFallbackDeterministic pins the Rand-less path: the jitter
+// is a pure function of (Key, attempt), so equal keys replay identical
+// schedules and distinct keys decorrelate.
+func TestBackoffHashFallbackDeterministic(t *testing.T) {
+	a := Backoff{Key: "x@host"}
+	b := Backoff{Key: "x@host"}
+	same := 0
+	for i := 0; i < 8; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("attempt %d: equal keys diverged", i)
+		}
+	}
+	a.Reset()
+	c := Backoff{Key: "y@host"}
+	for i := 0; i < 8; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Error("distinct keys produced identical 8-delay schedules")
+	}
+}
+
+// TestBackoffUsesInjectedRand checks the injected stream owns the jitter:
+// wiring a deterministic Rand reproduces the schedule draw for draw, and
+// the draws actually consume the stream.
+func TestBackoffUsesInjectedRand(t *testing.T) {
+	mk := func() func() uint64 {
+		// splitmix64, same construction the kernel uses.
+		s := uint64(42)
+		return func() uint64 {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+	}
+	a := Backoff{Rand: mk()}
+	b := Backoff{Rand: mk()}
+	for i := 0; i < 8; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("attempt %d: identical injected streams diverged", i)
+		}
+	}
+	calls := 0
+	c := Backoff{Rand: func() uint64 { calls++; return 0 }}
+	c.Next()
+	c.Next()
+	if calls != 2 {
+		t.Errorf("Rand called %d times over 2 delays, want 2", calls)
+	}
+}
+
+// TestRandOf checks the env capability probe: environments exposing a
+// seeded stream (the simulator) yield a non-nil draw function and
+// plain environments (real TCP) yield nil, leaving the hash fallback.
+func TestRandOf(t *testing.T) {
+	if RandOf(NewTCPEnv("localhost")) != nil {
+		t.Error("RandOf(TCP env) != nil; TCP envs have no kernel stream")
+	}
+	r := RandOf(randEnv{Env: NewTCPEnv("localhost")})
+	if r == nil {
+		t.Fatal("RandOf missed the Rand capability")
+	}
+	if r() != 7 {
+		t.Error("RandOf did not pass through the env's stream")
+	}
+}
+
+// randEnv decorates an Env with the simulator's Rand capability.
+type randEnv struct {
+	Env
+}
+
+func (randEnv) Rand() uint64 { return 7 }

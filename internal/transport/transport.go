@@ -126,6 +126,23 @@ type Listener interface {
 	Addr() string
 }
 
+// RandOf extracts the deterministic random stream carried by env — the
+// simulation kernel's seeded generator, exposed by simnet environments via a
+// `Rand() uint64` method. It returns nil when env carries none (real-TCP
+// deployments), in which case consumers like Backoff fall back to their
+// hash-based jitter. Wire it at retry-loop setup:
+//
+//	bo := cfg.Backoff
+//	if bo.Rand == nil {
+//		bo.Rand = transport.RandOf(env)
+//	}
+func RandOf(env Env) func() uint64 {
+	if r, ok := env.(interface{ Rand() uint64 }); ok {
+		return r.Rand
+	}
+	return nil
+}
+
 // SplitAddr parses "host:port".
 func SplitAddr(addr string) (host string, port int, err error) {
 	i := strings.LastIndexByte(addr, ':')
