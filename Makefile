@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check chaos race bench bench-json experiments examples cover fuzz clean
+.PHONY: all build test check chaos race bench bench-json bench-diff experiments examples cover fuzz clean
 
 all: build check
 
@@ -38,6 +38,15 @@ bench:
 bench-json:
 	$(GO) test -run NONE -bench 'KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
 	@cat BENCH_kernel.json
+
+# bench-diff re-runs the microbenchmarks and gates on regressions against
+# the committed BENCH_kernel.json baseline: > BENCH_THRESHOLD relative ns/op
+# growth, or any allocs/op growth, exits non-zero (see cmd/benchdiff).
+BENCH_THRESHOLD ?= 0.10
+
+bench-diff:
+	$(GO) test -run NONE -bench 'KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_new.json
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_kernel.json BENCH_new.json
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,0 +1,157 @@
+// Command benchdiff compares two benchmark JSON files produced by
+// cmd/benchjson (e.g. a committed BENCH_kernel.json baseline against a fresh
+// run) and prints per-benchmark ns/op and allocs/op deltas:
+//
+//	make bench-json BENCH_OUT=BENCH_new.json
+//	go run ./cmd/benchdiff BENCH_kernel.json BENCH_new.json
+//
+// The exit status makes it a regression gate: 0 when every shared benchmark
+// stays within the threshold, 1 on regression, 2 on usage or parse errors.
+// -threshold sets the allowed relative ns/op growth (default 0.10 = +10%);
+// any allocs/op increase is always a regression, because the 0-alloc hot
+// paths are an explicit contract.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Record mirrors cmd/benchjson's output shape.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Row is one benchmark's comparison.
+type Row struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	NsDelta   float64 // relative: (new-old)/old
+	OldAllocs int64
+	NewAllocs int64
+	// Regressed marks rows past the threshold (or any alloc growth).
+	Regressed bool
+	// OnlyOld/OnlyNew mark benchmarks present in just one file.
+	OnlyOld bool
+	OnlyNew bool
+}
+
+// Diff compares old and new records: shared benchmarks get a delta row,
+// one-sided benchmarks are flagged, and rows sort by name. threshold is the
+// allowed relative ns/op growth before a row counts as regressed.
+func Diff(oldRecs, newRecs []Record, threshold float64) []Row {
+	old := make(map[string]Record, len(oldRecs))
+	for _, r := range oldRecs {
+		old[r.Name] = r
+	}
+	cur := make(map[string]Record, len(newRecs))
+	for _, r := range newRecs {
+		cur[r.Name] = r
+	}
+	var rows []Row
+	for name, o := range old {
+		n, ok := cur[name]
+		if !ok {
+			rows = append(rows, Row{Name: name, OldNs: o.NsPerOp, OldAllocs: o.AllocsPerOp, OnlyOld: true})
+			continue
+		}
+		row := Row{
+			Name: name,
+			OldNs: o.NsPerOp, NewNs: n.NsPerOp,
+			OldAllocs: o.AllocsPerOp, NewAllocs: n.AllocsPerOp,
+		}
+		if o.NsPerOp > 0 {
+			row.NsDelta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		row.Regressed = row.NsDelta > threshold || n.AllocsPerOp > o.AllocsPerOp
+		rows = append(rows, row)
+	}
+	for name, n := range cur {
+		if _, ok := old[name]; !ok {
+			rows = append(rows, Row{Name: name, NewNs: n.NsPerOp, NewAllocs: n.AllocsPerOp, OnlyNew: true})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}
+
+// Format renders the comparison table and reports whether any row regressed.
+func Format(rows []Row, threshold float64) (string, bool) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-40s %12s %12s %8s %10s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	regressed := false
+	for _, r := range rows {
+		switch {
+		case r.OnlyOld:
+			fmt.Fprintf(&b, "%-40s %12.1f %12s %8s %10d %10s  (removed)\n",
+				r.Name, r.OldNs, "-", "-", r.OldAllocs, "-")
+		case r.OnlyNew:
+			fmt.Fprintf(&b, "%-40s %12s %12.1f %8s %10s %10d  (new)\n",
+				r.Name, "-", r.NewNs, "-", "-", r.NewAllocs)
+		default:
+			mark := ""
+			if r.Regressed {
+				mark = "  REGRESSION"
+				regressed = true
+			} else if r.NsDelta < -threshold {
+				mark = "  improved"
+			}
+			fmt.Fprintf(&b, "%-40s %12.1f %12.1f %+7.1f%% %10d %10d%s\n",
+				r.Name, r.OldNs, r.NewNs, r.NsDelta*100, r.OldAllocs, r.NewAllocs, mark)
+		}
+	}
+	return b.String(), regressed
+}
+
+func load(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "allowed relative ns/op growth before a benchmark counts as regressed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.10] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 || *threshold < 0 || math.IsNaN(*threshold) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldRecs, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newRecs, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	out, regressed := Format(Diff(oldRecs, newRecs, *threshold), *threshold)
+	fmt.Print(out)
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression past %.0f%% threshold\n", *threshold*100)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(name string, ns float64, allocs int64) Record {
+	return Record{Name: name, Iterations: 100, NsPerOp: ns, AllocsPerOp: allocs}
+}
+
+func TestDiff(t *testing.T) {
+	oldRecs := []Record{
+		rec("BenchmarkKernelStep", 100, 0),
+		rec("BenchmarkPingPong", 1000, 5),
+		rec("BenchmarkRemoved", 50, 1),
+	}
+	newRecs := []Record{
+		rec("BenchmarkKernelStep", 105, 0), // +5%: within threshold
+		rec("BenchmarkPingPong", 1200, 5),  // +20%: regression
+		rec("BenchmarkAdded", 10, 0),
+	}
+	rows := Diff(oldRecs, newRecs, 0.10)
+	want := []struct {
+		name      string
+		regressed bool
+		onlyOld   bool
+		onlyNew   bool
+	}{
+		{"BenchmarkAdded", false, false, true},
+		{"BenchmarkKernelStep", false, false, false},
+		{"BenchmarkPingPong", true, false, false},
+		{"BenchmarkRemoved", false, true, false},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d: %+v", len(rows), len(want), rows)
+	}
+	for i, w := range want {
+		r := rows[i]
+		if r.Name != w.name || r.Regressed != w.regressed || r.OnlyOld != w.onlyOld || r.OnlyNew != w.onlyNew {
+			t.Errorf("row %d = %+v, want %+v", i, r, w)
+		}
+	}
+}
+
+func TestDiffAllocGrowthAlwaysRegresses(t *testing.T) {
+	// Even a tiny speedup cannot excuse a new allocation on a 0-alloc path.
+	rows := Diff(
+		[]Record{rec("BenchmarkKernelStep", 100, 0)},
+		[]Record{rec("BenchmarkKernelStep", 90, 1)},
+		0.10)
+	if len(rows) != 1 || !rows[0].Regressed {
+		t.Fatalf("alloc growth not flagged: %+v", rows)
+	}
+}
+
+func TestDiffZeroOldNs(t *testing.T) {
+	// A zero old ns/op (malformed or placeholder record) must not divide by
+	// zero or spuriously regress.
+	rows := Diff(
+		[]Record{rec("BenchmarkX", 0, 0)},
+		[]Record{rec("BenchmarkX", 50, 0)},
+		0.10)
+	if rows[0].NsDelta != 0 || rows[0].Regressed {
+		t.Fatalf("zero-baseline row mishandled: %+v", rows[0])
+	}
+}
+
+func TestFormat(t *testing.T) {
+	rows := Diff(
+		[]Record{rec("BenchmarkA", 100, 0), rec("BenchmarkB", 100, 2), rec("BenchmarkGone", 10, 0)},
+		[]Record{rec("BenchmarkA", 150, 0), rec("BenchmarkB", 50, 2), rec("BenchmarkNew", 20, 1)},
+		0.10)
+	out, regressed := Format(rows, 0.10)
+	if !regressed {
+		t.Fatal("regression not reported")
+	}
+	for _, want := range []string{
+		"REGRESSION", // BenchmarkA +50%
+		"improved",   // BenchmarkB -50%
+		"(removed)",  // BenchmarkGone
+		"(new)",      // BenchmarkNew
+		"+50.0%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatCleanRun(t *testing.T) {
+	out, regressed := Format(Diff(
+		[]Record{rec("BenchmarkA", 100, 0)},
+		[]Record{rec("BenchmarkA", 101, 0)},
+		0.10), 0.10)
+	if regressed {
+		t.Fatalf("clean run flagged as regression:\n%s", out)
+	}
+	if !strings.Contains(out, "+1.0%") {
+		t.Errorf("delta missing from output:\n%s", out)
+	}
+}

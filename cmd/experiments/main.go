@@ -8,12 +8,22 @@
 // Valid -run values: table2, table3, table4, table5, table6, figure1,
 // figure2, figure3, figure4, figure5, sweep (bandwidth vs message size),
 // decomp (per-hop latency decomposition of the Table 2 points), ktrace
-// (wide-area knapsack run with tracing and a metrics snapshot), all.
+// (wide-area knapsack run with tracing and a metrics snapshot), monitor
+// (wide-area knapsack run with the live monitoring plane), all.
 //
 // Tracing (decomp and ktrace only; runs stay deterministic in virtual time):
 //
 //	experiments -run decomp -trace decomp.jsonl
 //	experiments -run ktrace -trace-chrome knap.json   # chrome://tracing, Perfetto
+//
+// Monitoring (per-interval time-series, ASCII dashboard, GIS host table):
+//
+//	experiments -run monitor
+//	experiments -run monitor -monitor-html report.html -monitor-jsonl ts.jsonl
+//
+// Profiling the simulator itself (any -run value):
+//
+//	experiments -run table4 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -22,6 +32,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nxcluster/internal/bench"
@@ -37,7 +49,44 @@ func main() {
 	workers := flag.Int("workers", 0, "host threads for independent simulations (0 = GOMAXPROCS, 1 = sequential); virtual-time results are identical either way")
 	traceOut := flag.String("trace", "", "write the run's event trace as JSONL (decomp, ktrace)")
 	traceChrome := flag.String("trace-chrome", "", "write the run's event trace in Chrome trace_event format (ktrace)")
+	monitorInterval := flag.Duration("monitor-interval", time.Second, "virtual-time sampling window for -run monitor")
+	monitorHTML := flag.String("monitor-html", "", "write the monitor run's HTML/SVG report to this file")
+	monitorJSONL := flag.String("monitor-jsonl", "", "write the monitor run's time-series as JSONL to this file")
+	monitorAll := flag.Bool("monitor-all", false, "show every series on the dashboard, not just the wide-area headline set")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("experiments: cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("experiments: cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("experiments: cpuprofile: %v", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatalf("experiments: memprofile: %v", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("experiments: memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("experiments: memprofile: %v", err)
+			}
+		}()
+	}
 
 	kcfg := bench.KnapsackConfig{Items: *items, Capacity: *capacity, Workers: *workers}
 
@@ -152,6 +201,43 @@ func main() {
 		writeTrace(*traceOut, o.WriteJSONL)
 		writeTrace(*traceChrome, o.WriteChromeTrace)
 	}
+	if *run == "monitor" {
+		start := time.Now()
+		rep, err := bench.RunMonitor(bench.MonitorConfig{
+			KnapsackConfig: kcfg,
+			Interval:       *monitorInterval,
+		}, nil)
+		if err != nil {
+			log.Fatalf("experiments: monitor: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[monitored run: %d windows, %d series, host time %v]\n",
+			rep.Store.Windows(), rep.Store.Len(), time.Since(start).Round(time.Millisecond))
+		filter := bench.DefaultMonitorFilter
+		if *monitorAll {
+			filter = nil
+		}
+		fmt.Println(bench.FormatMonitor(rep, filter))
+		writeOut := func(path string, write func(w io.Writer) error) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatalf("experiments: monitor: %v", err)
+			}
+			if err := write(f); err != nil {
+				log.Fatalf("experiments: monitor: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("experiments: monitor: %v", err)
+			}
+		}
+		writeOut(*monitorJSONL, rep.Store.WriteJSONL)
+		writeOut(*monitorHTML, func(w io.Writer) error {
+			title := fmt.Sprintf("Wide-area monitored run: %d items, capacity %d", *items, *capacity)
+			return rep.Store.WriteHTML(w, title, bench.MonitorHTMLOptions(*monitorAll))
+		})
+	}
 	if want("table4") {
 		fmt.Println(bench.FormatTable4(needKnap()))
 	}
@@ -164,7 +250,7 @@ func main() {
 
 	switch *run {
 	case "all", "sweep", "table2", "table3", "table4", "table5", "table6",
-		"figure1", "figure2", "figure3", "figure4", "figure5", "decomp", "ktrace":
+		"figure1", "figure2", "figure3", "figure4", "figure5", "decomp", "ktrace", "monitor":
 	default:
 		log.Fatalf("experiments: unknown -run %q", *run)
 	}

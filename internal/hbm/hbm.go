@@ -118,6 +118,9 @@ func (m *Monitor) note(r *record, h Health, now time.Duration) {
 		o.Emit(now, "hbm", "transition", r.name,
 			obs.Str("from", r.seen.String()), obs.Str("to", h.String()))
 		o.Metrics().Counter("hbm.transitions").Add(1)
+		// Per-process health level for the monitoring plane's state series
+		// (Up=0, Late=1, Down=2 — the Health enum order).
+		o.Metrics().Gauge("hbm.state." + r.name).Set(int64(h))
 	}
 	r.seen = h
 }

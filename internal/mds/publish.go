@@ -1,0 +1,78 @@
+package mds
+
+import (
+	"sort"
+	"strconv"
+	"time"
+)
+
+// StatusRow is one monitored object's current state, destined for the
+// directory as a GIS-style entry. Name becomes the DN's leading component
+// ("hn=<name>, <base>"); Attrs are copied verbatim, with a lastUpdate stamp
+// added by the publisher.
+type StatusRow struct {
+	Name  string
+	Attrs map[string][]string
+}
+
+// Publisher periodically mirrors live status rows into a Directory, the way
+// the paper's GRAM reporters refreshed GIS. It writes the directory
+// directly — no wire protocol — so a monitoring tick adds zero virtual-time
+// traffic and cannot perturb the simulated workload.
+//
+// Rows not refreshed within TTL are pruned on the next Publish, so hosts
+// that crash (and stop being reported) age out of the directory exactly as
+// stale GIS registrations did.
+type Publisher struct {
+	// Dir receives the entries.
+	Dir *Directory
+	// Base is the DN suffix, e.g. "ou=monitor, o=grid".
+	Base string
+	// TTL ages out entries this publisher wrote but stopped refreshing;
+	// 0 disables pruning.
+	TTL time.Duration
+
+	last map[string]time.Duration // normalized DN -> last refresh
+}
+
+// NewPublisher creates a publisher writing under base into dir.
+func NewPublisher(dir *Directory, base string, ttl time.Duration) *Publisher {
+	return &Publisher{Dir: dir, Base: base, TTL: ttl, last: make(map[string]time.Duration)}
+}
+
+// Publish upserts rows at virtual time now (stamping each with a lastUpdate
+// attribute, in virtual nanoseconds), then prunes previously-published
+// entries whose last refresh is older than TTL. Returns the number of
+// entries pruned.
+func (p *Publisher) Publish(now time.Duration, rows []StatusRow) int {
+	stamp := strconv.FormatInt(int64(now), 10)
+	for _, r := range rows {
+		attrs := make(map[string][]string, len(r.Attrs)+1)
+		for k, vs := range r.Attrs {
+			attrs[k] = vs
+		}
+		attrs["lastupdate"] = []string{stamp}
+		dn := "hn=" + r.Name + ", " + p.Base
+		if err := p.Dir.Add(dn, attrs); err != nil {
+			continue // malformed name; skip rather than poison the tick
+		}
+		norm, _ := normalizeDN(dn)
+		p.last[norm] = now
+	}
+	if p.TTL <= 0 {
+		return 0
+	}
+	// Deterministic prune order: sorted DNs, so traces and tests are stable.
+	var stale []string
+	for dn, at := range p.last {
+		if now-at > p.TTL {
+			stale = append(stale, dn)
+		}
+	}
+	sort.Strings(stale)
+	for _, dn := range stale {
+		_ = p.Dir.Delete(dn)
+		delete(p.last, dn)
+	}
+	return len(stale)
+}

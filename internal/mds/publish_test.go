@@ -1,0 +1,153 @@
+package mds
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublisherRefreshAndExpiry(t *testing.T) {
+	row := func(name, status string) StatusRow {
+		return StatusRow{Name: name, Attrs: map[string][]string{"status": {status}}}
+	}
+	cases := []struct {
+		name string
+		ttl  time.Duration
+		// steps publish rows at successive times; wantAlive is the set of
+		// host names expected to survive the final step.
+		steps []struct {
+			at   time.Duration
+			rows []StatusRow
+		}
+		wantAlive  []string
+		wantPruned int // pruned on the final step
+	}{
+		{
+			name: "refresh keeps entries alive",
+			ttl:  3 * time.Second,
+			steps: []struct {
+				at   time.Duration
+				rows []StatusRow
+			}{
+				{1 * time.Second, []StatusRow{row("a", "up"), row("b", "up")}},
+				{2 * time.Second, []StatusRow{row("a", "up"), row("b", "up")}},
+				{6 * time.Second, []StatusRow{row("a", "up"), row("b", "down")}},
+			},
+			wantAlive: []string{"a", "b"},
+		},
+		{
+			name: "stale entry pruned past TTL",
+			ttl:  3 * time.Second,
+			steps: []struct {
+				at   time.Duration
+				rows []StatusRow
+			}{
+				{1 * time.Second, []StatusRow{row("a", "up"), row("b", "up")}},
+				{2 * time.Second, []StatusRow{row("a", "up")}},
+				{6 * time.Second, []StatusRow{row("a", "up")}},
+			},
+			wantAlive:  []string{"a"},
+			wantPruned: 1,
+		},
+		{
+			name: "zero TTL never prunes",
+			ttl:  0,
+			steps: []struct {
+				at   time.Duration
+				rows []StatusRow
+			}{
+				{1 * time.Second, []StatusRow{row("a", "up"), row("b", "up")}},
+				{100 * time.Second, []StatusRow{row("a", "up")}},
+			},
+			wantAlive: []string{"a", "b"},
+		},
+		{
+			name: "exactly at TTL boundary survives",
+			ttl:  5 * time.Second,
+			steps: []struct {
+				at   time.Duration
+				rows []StatusRow
+			}{
+				{1 * time.Second, []StatusRow{row("a", "up"), row("b", "up")}},
+				{6 * time.Second, []StatusRow{row("a", "up")}},
+			},
+			wantAlive: []string{"a", "b"}, // b's age is exactly TTL, not past it
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := NewDirectory()
+			p := NewPublisher(dir, "ou=monitor, o=grid", tc.ttl)
+			var pruned int
+			for _, st := range tc.steps {
+				pruned = p.Publish(st.at, st.rows)
+			}
+			if pruned != tc.wantPruned {
+				t.Fatalf("final prune count = %d, want %d", pruned, tc.wantPruned)
+			}
+			got, err := dir.Search("ou=monitor, o=grid", Eq("status", "*"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.wantAlive) {
+				t.Fatalf("alive = %d entries, want %d: %+v", len(got), len(tc.wantAlive), got)
+			}
+			for i, name := range tc.wantAlive {
+				wantDN, _ := normalizeDN("hn=" + name + ", ou=monitor, o=grid")
+				if got[i].DN != wantDN {
+					t.Fatalf("entry %d DN = %q, want %q", i, got[i].DN, wantDN)
+				}
+			}
+		})
+	}
+}
+
+func TestPublisherStampsAndNormalizes(t *testing.T) {
+	dir := NewDirectory()
+	p := NewPublisher(dir, "ou=monitor, o=grid", time.Minute)
+	// Mixed-case host names normalize into the DN key but not the value;
+	// repeated publishes upsert the same entry.
+	rows := []StatusRow{{Name: "ETL-O2K", Attrs: map[string][]string{
+		"status": {"up"}, "load": {"3"},
+	}}}
+	p.Publish(7*time.Second, rows)
+	p.Publish(9*time.Second, rows)
+	if n := dir.Len(); n != 1 {
+		t.Fatalf("directory has %d entries, want 1 (upsert)", n)
+	}
+	e, err := dir.Get("HN=ETL-O2K, OU=monitor, O=grid") // key case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.First("lastupdate"); got != "9000000000" {
+		t.Fatalf("lastupdate = %q, want 9000000000", got)
+	}
+	if got := e.First("load"); got != "3" {
+		t.Fatalf("load = %q, want 3", got)
+	}
+	// A malformed name (a comma creates an empty DN component) is skipped,
+	// not fatal.
+	p.Publish(10*time.Second, []StatusRow{{Name: "bad,", Attrs: nil}})
+	if n := dir.Len(); n != 1 {
+		t.Fatalf("directory has %d entries after bad row, want 1", n)
+	}
+}
+
+func TestPublisherPruneDoesNotTouchForeignEntries(t *testing.T) {
+	dir := NewDirectory()
+	// An entry published by someone else (the RMF allocator) under the same
+	// base must survive the monitor's pruning.
+	if err := dir.Add("hn=foreign, ou=monitor, o=grid", map[string][]string{
+		"objectclass": {"resource"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPublisher(dir, "ou=monitor, o=grid", time.Second)
+	p.Publish(1*time.Second, []StatusRow{{Name: "mine", Attrs: map[string][]string{"status": {"up"}}}})
+	p.Publish(10*time.Second, nil) // "mine" goes stale and is pruned
+	if _, err := dir.Get("hn=mine, ou=monitor, o=grid"); err == nil {
+		t.Fatal("stale own entry survived")
+	}
+	if _, err := dir.Get("hn=foreign, ou=monitor, o=grid"); err != nil {
+		t.Fatalf("foreign entry pruned: %v", err)
+	}
+}

@@ -42,6 +42,11 @@ func (s *Hasher) Sum64() uint64 {
 	return s.h
 }
 
+// AppendJSONString appends s as a JSON string literal (quoted, with the
+// minimal escaping the deterministic exporters rely on). Shared with the
+// time-series layer so every JSONL stream escapes identically.
+func AppendJSONString(b []byte, s string) []byte { return appendJSONString(b, s) }
+
 func appendJSONString(b []byte, s string) []byte {
 	b = append(b, '"')
 	for i := 0; i < len(s); i++ {

@@ -184,6 +184,57 @@ func (m *Metrics) Histogram(name string) *Histogram {
 	return h
 }
 
+// Instrument kind tags for Snapshot rows.
+const (
+	KindCounter   = byte('c')
+	KindGauge     = byte('g')
+	KindHistogram = byte('h')
+)
+
+// SnapshotRow is one instrument's current reading: a counter's cumulative
+// value, a gauge's level, or a histogram's sample count.
+type SnapshotRow struct {
+	Kind  byte
+	Name  string
+	Value int64
+}
+
+// Snapshot appends every instrument's current reading to buf (counters, then
+// gauges, then histograms, each group sorted by name) and returns the result.
+// Passing the previous call's buf[:0] makes periodic sampling — the
+// time-series layer calls this once per window — allocation-light. The order
+// is deterministic, so samplers driven from kernel context stay reproducible.
+func (m *Metrics) Snapshot(buf []SnapshotRow) []SnapshotRow {
+	if m == nil {
+		return buf
+	}
+	names := make([]string, 0, len(m.counters))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		buf = append(buf, SnapshotRow{Kind: KindCounter, Name: n, Value: m.counters[n].v})
+	}
+	names = names[:0]
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		buf = append(buf, SnapshotRow{Kind: KindGauge, Name: n, Value: m.gauges[n].v})
+	}
+	names = names[:0]
+	for n := range m.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		buf = append(buf, SnapshotRow{Kind: KindHistogram, Name: n, Value: m.histograms[n].count})
+	}
+	return buf
+}
+
 // Format renders a snapshot table of every instrument, sorted by name so the
 // output is deterministic. Counters print their value; gauges print level
 // and high-water mark; histograms print count, mean, min and max. Duration

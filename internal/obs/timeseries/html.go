@@ -1,0 +1,98 @@
+package timeseries
+
+import (
+	"bufio"
+	"fmt"
+	"html"
+	"io"
+	"strings"
+	"time"
+)
+
+// WriteHTML renders the store as a self-contained HTML report: one SVG
+// small-multiple per series (sorted by name), step-line for gauges and bars
+// for rates, with a shared virtual-time axis. No external assets or scripts,
+// so the file opens anywhere and the bytes are deterministic.
+func (st *Store) WriteHTML(w io.Writer, title string, opt DashboardOptions) error {
+	bw := bufio.NewWriter(w)
+	const (
+		plotW, plotH = 640, 64
+		padL, padR   = 6, 6
+	)
+	names := st.Names()
+	fmt.Fprintf(bw, `<!doctype html>
+<meta charset="utf-8">
+<title>%s</title>
+<style>
+body{font:13px/1.4 system-ui,sans-serif;margin:24px auto;max-width:760px;color:#222}
+h1{font-size:18px}
+.meta{color:#666;margin-bottom:18px}
+.series{margin:10px 0}
+.name{font-family:ui-monospace,monospace;font-size:12px}
+.stat{color:#666;float:right;font-size:11px}
+svg{display:block;background:#fafafa;border:1px solid #ddd}
+.rate{fill:#3572b0}
+.gauge{fill:none;stroke:#b03535;stroke-width:1.2}
+</style>
+<h1>%s</h1>
+<div class="meta">%d windows &times; %s virtual time &middot; %d series</div>
+`, html.EscapeString(title), html.EscapeString(title),
+		st.windows, html.EscapeString(st.Interval.String()), len(names))
+	horizon := time.Duration(st.windows) * st.Interval
+	fmt.Fprintf(bw, "<div class=\"meta\">virtual horizon %s</div>\n", html.EscapeString(horizon.String()))
+	for _, n := range names {
+		s := st.series[n]
+		if opt.Filter != nil && !opt.Filter(n) {
+			continue
+		}
+		vals := s.Values(st.windows)
+		peak := s.Max()
+		scale := peak
+		if scale <= 0 {
+			scale = 1
+		}
+		var stat string
+		if s.Kind == KindRate {
+			stat = fmt.Sprintf("peak %d/win &middot; total %d", peak, s.Total())
+		} else {
+			stat = fmt.Sprintf("peak %d &middot; last %d", peak, s.Last())
+		}
+		fmt.Fprintf(bw, "<div class=\"series\"><span class=\"name\">%s</span><span class=\"stat\">%s</span>\n",
+			html.EscapeString(n), stat)
+		fmt.Fprintf(bw, "<svg width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">", plotW, plotH, plotW, plotH)
+		innerW := float64(plotW - padL - padR)
+		nw := len(vals)
+		if nw == 0 {
+			nw = 1
+		}
+		cell := innerW / float64(nw)
+		if s.Kind == KindRate {
+			// One bar per window; sub-pixel bars still render as hairlines.
+			for i, v := range vals {
+				if v <= 0 {
+					continue
+				}
+				h := float64(plotH-4) * float64(v) / float64(scale)
+				fmt.Fprintf(bw, `<rect class="rate" x="%.1f" y="%.1f" width="%.1f" height="%.1f"/>`,
+					float64(padL)+float64(i)*cell, float64(plotH)-h, maxf(cell-0.5, 0.5), h)
+			}
+		} else {
+			var pts strings.Builder
+			for i, v := range vals {
+				h := float64(plotH-4) * float64(v) / float64(scale)
+				x := float64(padL) + (float64(i)+0.5)*cell
+				fmt.Fprintf(&pts, "%.1f,%.1f ", x, float64(plotH)-2-h)
+			}
+			fmt.Fprintf(bw, `<polyline class="gauge" points="%s"/>`, strings.TrimSpace(pts.String()))
+		}
+		fmt.Fprint(bw, "</svg></div>\n")
+	}
+	return bw.Flush()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,149 @@
+package timeseries
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"nxcluster/internal/obs"
+)
+
+// ramp is the sparkline intensity scale: ' ' marks windows before the series
+// existed, '.' a zero sample, then eight brightness levels. ASCII-only so the
+// dashboard survives any terminal and diffs cleanly in goldens.
+const ramp = ":-=+*#%@"
+
+// sparkline renders values into width cells by max-pooling: each cell shows
+// the brightest sample in its span, so short bursts stay visible when a long
+// run is squeezed into a narrow dashboard. scale is the global or per-series
+// max that maps to the top ramp level.
+func sparkline(values []int64, start, width int, scale int64) string {
+	n := len(values)
+	if width <= 0 || n == 0 {
+		return ""
+	}
+	if width > n {
+		width = n
+	}
+	var b strings.Builder
+	b.Grow(width)
+	for c := 0; c < width; c++ {
+		lo, hi := c*n/width, (c+1)*n/width
+		if hi == lo {
+			hi = lo + 1
+		}
+		if hi <= start {
+			b.WriteByte(' ')
+			continue
+		}
+		var m int64
+		for i := lo; i < hi; i++ {
+			if values[i] > m {
+				m = values[i]
+			}
+		}
+		if m <= 0 {
+			b.WriteByte('.')
+			continue
+		}
+		idx := int(int64(len(ramp)-1) * m / scale)
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteByte(ramp[idx])
+	}
+	return b.String()
+}
+
+// DashboardOptions controls FormatDashboard.
+type DashboardOptions struct {
+	// Width is the sparkline width in cells (default 60).
+	Width int
+	// Filter keeps only series whose name it accepts; nil keeps all.
+	Filter func(name string) bool
+}
+
+// FormatDashboard renders the store as an ASCII dashboard: one sparkline row
+// per series (sorted by name), annotated with the peak and final/total
+// values. Deterministic for a deterministic run, so golden-testable.
+func (st *Store) FormatDashboard(opt DashboardOptions) string {
+	width := opt.Width
+	if width <= 0 {
+		width = 60
+	}
+	names := st.Names()
+	kept := names[:0]
+	nameW := 4
+	for _, n := range names {
+		if opt.Filter != nil && !opt.Filter(n) {
+			continue
+		}
+		kept = append(kept, n)
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "monitor: %d windows x %v, %d series\n", st.windows, st.Interval, len(kept))
+	fmt.Fprintf(&b, "scale: ' ' absent, '.' zero, low %q high (per-series max)\n\n", ramp)
+	for _, n := range kept {
+		s := st.series[n]
+		vals := s.Values(st.windows)
+		peak := s.Max()
+		scale := peak
+		if scale <= 0 {
+			scale = 1
+		}
+		var note string
+		if s.Kind == KindRate {
+			note = fmt.Sprintf("peak %d/win total %d", peak, s.Total())
+		} else {
+			note = fmt.Sprintf("peak %d last %d", peak, s.Last())
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s| %s\n", nameW, n, width, sparkline(vals, s.Start, width, scale), note)
+	}
+	return b.String()
+}
+
+// WriteJSONL writes one JSON object per series, sorted by name:
+//
+//	{"name":...,"kind":"rate","interval_ns":...,"start":N,"samples":[...]}
+//
+// Hand-rolled like obs's exporters so the bytes are exactly reproducible.
+func (st *Store) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, n := range st.Names() {
+		s := st.series[n]
+		buf = append(buf[:0], `{"name":`...)
+		buf = obs.AppendJSONString(buf, s.Name)
+		buf = append(buf, `,"kind":"`...)
+		buf = append(buf, s.Kind.String()...)
+		buf = append(buf, `","interval_ns":`...)
+		buf = strconv.AppendInt(buf, int64(st.Interval), 10)
+		buf = append(buf, `,"start":`...)
+		buf = strconv.AppendInt(buf, int64(s.Start), 10)
+		buf = append(buf, `,"samples":[`...)
+		for i, v := range s.samples {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, v, 10)
+		}
+		buf = append(buf, "]}\n"...)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Hash returns the FNV-64a hash of the JSONL serialization — the invariance
+// tests pin this across GOMAXPROCS and worker counts.
+func (st *Store) Hash() uint64 {
+	var h obs.Hasher
+	_ = st.WriteJSONL(&h)
+	return h.Sum64()
+}

@@ -72,6 +72,11 @@ func pump(env transport.Env, name string, src, dst transport.Conn, cfg RelayConf
 	if o != nil {
 		mOcc = o.Metrics().Gauge("relay." + env.Hostname() + ".occupancy")
 		mBytes = o.Metrics().Counter("relay." + env.Hostname() + ".bytes")
+		// Active-pump gauge: the monitoring plane's view of concurrent
+		// relayed streams on this host (2 pumps per spliced connection).
+		mStreams := o.Metrics().Gauge("relay." + env.Hostname() + ".streams")
+		mStreams.Add(1)
+		defer mStreams.Add(-1)
 	}
 	var failure error
 	for {

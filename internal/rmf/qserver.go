@@ -199,8 +199,17 @@ func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus
 	q.mu.Unlock()
 	q.tracef("qserver %s: job %s accepted (%s %v)", q.Resource, id, executable, args)
 
+	// Lifecycle metrics for the monitoring plane: submissions and outcomes
+	// as counters, concurrently-active jobs as a gauge. Handles are nil (and
+	// every update a no-op) when tracing is off.
+	var mActive *obs.Gauge
+	var mDone, mFailed *obs.Counter
 	if o := obs.From(env); o != nil {
 		o.Emit(env.Now(), "rmf", "spawn", q.Resource, obs.Str("job", id), obs.Str("exe", executable))
+		o.Metrics().Counter("rmf." + q.Resource + ".jobs_submitted").Add(1)
+		mActive = o.Metrics().Gauge("rmf." + q.Resource + ".jobs_active")
+		mDone = o.Metrics().Counter("rmf." + q.Resource + ".jobs_done")
+		mFailed = o.Metrics().Counter("rmf." + q.Resource + ".jobs_failed")
 	}
 	env.Spawn("job:"+id, func(e transport.Env) {
 		ctx := &JobContext{JobID: id, Resource: q.Resource, Args: args, Env: envMap}
@@ -209,6 +218,7 @@ func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus
 			data, err := gass.Fetch(e, stdinURL)
 			if err != nil {
 				q.finish(rec, fmt.Errorf("stage in: %w", err))
+				mFailed.Add(1)
 				return
 			}
 			ctx.Stdin = data
@@ -216,6 +226,7 @@ func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus
 		q.mu.Lock()
 		rec.state = StateActive
 		q.mu.Unlock()
+		mActive.Add(1)
 		q.tracef("qserver %s: job %s active", q.Resource, id)
 		runErr := prog(e, ctx)
 		if stdoutURL != "" {
@@ -224,6 +235,12 @@ func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus
 			}
 		}
 		q.finish(rec, runErr)
+		mActive.Add(-1)
+		if runErr != nil {
+			mFailed.Add(1)
+		} else {
+			mDone.Add(1)
+		}
 	})
 	resp.PutBool(true)
 	resp.PutString(id)

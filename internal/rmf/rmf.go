@@ -33,6 +33,7 @@ import (
 	"nxcluster/internal/hbm"
 	"nxcluster/internal/mds"
 	"nxcluster/internal/nexus"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/transport"
 )
 
@@ -351,8 +352,28 @@ func (a *Allocator) Close(env transport.Env) {
 	}
 }
 
+// noteLoads refreshes the per-resource load gauges the monitoring plane
+// samples, after an allocate or release touched names. No-op when tracing
+// is off.
+func (a *Allocator) noteLoads(o *obs.Observer, names []string) {
+	if o == nil {
+		return
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if l := a.Load(n); l >= 0 {
+			o.Metrics().Gauge("rmf.load." + n).Set(int64(l))
+		}
+	}
+}
+
 func (a *Allocator) handle(env transport.Env, c transport.Conn) {
 	defer c.Close(env)
+	o := obs.From(env)
 	st := transport.Stream{Env: env, Conn: c}
 	req, err := nexus.ReadFrame(st, 0)
 	if err != nil {
@@ -384,6 +405,9 @@ func (a *Allocator) handle(env transport.Env, c transport.Conn) {
 			putErr(resp, fmt.Errorf("rmf: malformed alloc"))
 			break
 		}
+		if o != nil {
+			o.Metrics().Counter("rmf.alloc.requests").Add(1)
+		}
 		names, addrs, err := a.allocate(int(count), cluster)
 		if err != nil {
 			putErr(resp, err)
@@ -391,6 +415,7 @@ func (a *Allocator) handle(env transport.Env, c transport.Conn) {
 		}
 		a.tracef("allocator: selected %v for %d-process request", names, count)
 		a.publishLoads(env, names)
+		a.noteLoads(o, names)
 		resp.PutBool(true)
 		resp.PutInt32(int32(len(names)))
 		for i := range names {
@@ -413,6 +438,7 @@ func (a *Allocator) handle(env transport.Env, c transport.Conn) {
 		if err == nil {
 			a.release(names)
 			a.publishLoads(env, names)
+			a.noteLoads(o, names)
 			resp.PutBool(true)
 		}
 	default:

@@ -328,6 +328,7 @@ type linkDir struct {
 	// handles are no-ops, so these stay nil — and free — when disabled).
 	mBytes *obs.Counter
 	mQueue *obs.Gauge
+	mBusy  *obs.Counter
 
 	// Waiting transfers, FIFO; qhead advances instead of shifting.
 	queue []*transfer
@@ -437,6 +438,7 @@ func (ld *linkDir) initMetrics(o *obs.Observer) {
 	if ld.mBytes == nil {
 		ld.mBytes = o.Metrics().Counter("link." + ld.label + ".bytes")
 		ld.mQueue = o.Metrics().Gauge("link." + ld.label + ".queue")
+		ld.mBusy = o.Metrics().Counter("link." + ld.label + ".busy_ns")
 	}
 }
 
@@ -537,6 +539,7 @@ func (ld *linkDir) completeHead(k *sim.Kernel) {
 		// propagation start: ser_ns looks back, lat_ns looks forward.
 		ld.initMetrics(o)
 		ld.mBytes.Add(int64(tr.size))
+		ld.mBusy.Add(int64(ld.ser))
 		o.Emit(k.Now(), "net", "hop", ld.label,
 			obs.Int("bytes", int64(tr.size)),
 			obs.Int("ser_ns", int64(ld.ser)),

@@ -1,0 +1,77 @@
+package simnet
+
+import (
+	"sort"
+	"time"
+)
+
+// HostStatus is a point-in-time view of one host, the raw material for the
+// GIS-style rows the monitoring plane publishes into MDS.
+type HostStatus struct {
+	Name  string
+	Site  string
+	Up    bool // false while crashed
+	Procs int  // live tracked processes
+	Conns int  // open connection endpoints
+	CPUs  int
+}
+
+// HostStatuses reports every host (not routers), sorted by name. Safe to
+// call from kernel context; it only reads state.
+func (n *Network) HostStatuses() []HostStatus {
+	out := make([]HostStatus, 0, len(n.nodes))
+	for _, nd := range n.nodes {
+		if !nd.isHost {
+			continue
+		}
+		out = append(out, HostStatus{
+			Name:  nd.name,
+			Site:  nd.site,
+			Up:    !nd.crashed,
+			Procs: len(nd.procs),
+			Conns: len(nd.conns),
+			CPUs:  nd.cpuCount,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LinkStatus is a point-in-time view of one link direction.
+type LinkStatus struct {
+	Label     string // "from>to"
+	Up        bool   // false while the direction is out of service
+	Bytes     int64  // cumulative bytes serialized
+	Stalled   int64  // cumulative bytes that hit an outage at pickup
+	Busy      time.Duration
+	Queue     int // transfers waiting (excluding the one in service)
+	Bandwidth int64
+}
+
+// LinkStatuses reports every link direction that has ever carried or queued
+// traffic, sorted by label. Idle never-used directions are skipped so wide
+// topologies don't flood the directory with all-zero rows.
+func (n *Network) LinkStatuses() []LinkStatus {
+	var out []LinkStatus
+	for _, nd := range n.nodes {
+		for _, ld := range nd.links {
+			if ld.from != nd {
+				continue // each direction is owned by its source node
+			}
+			if ld.bytes == 0 && ld.stalled == 0 && len(ld.queue) == ld.qhead && ld.cur == nil {
+				continue
+			}
+			out = append(out, LinkStatus{
+				Label:     ld.label,
+				Up:        !ld.down,
+				Bytes:     ld.bytes,
+				Stalled:   ld.stalled,
+				Busy:      ld.busy,
+				Queue:     len(ld.queue) - ld.qhead,
+				Bandwidth: ld.cfg.Bandwidth,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
