@@ -36,7 +36,7 @@ bench:
 # bench-json runs the kernel/data-plane microbenchmarks and emits machine-
 # readable results for tracking regressions across commits.
 bench-json:
-	$(GO) test -run NONE -bench 'KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
+	$(GO) test -run NONE -bench 'KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong|TransferSingle|TransferParallel8' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
 	@cat BENCH_kernel.json
 
 # bench-diff re-runs the microbenchmarks and gates on regressions against
@@ -45,7 +45,7 @@ bench-json:
 BENCH_THRESHOLD ?= 0.10
 
 bench-diff:
-	$(GO) test -run NONE -bench 'KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_new.json
+	$(GO) test -run NONE -bench 'KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong|TransferSingle|TransferParallel8' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_new.json
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_kernel.json BENCH_new.json
 
 experiments:
@@ -70,13 +70,15 @@ cover:
 	{ echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
 
 # fuzz gives each wire-facing parser a short, deterministic-budget fuzz run:
-# the RSL parser and the proxy control-channel decoder. Crashers land in
-# testdata/fuzz/ and fail the build until fixed.
+# the RSL parser, the proxy control-channel decoder, and the gridftp MODE E
+# block reader. Crashers land in testdata/fuzz/ and fail the build until
+# fixed.
 FUZZTIME ?= 10s
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/rsl/
 	$(GO) test -fuzz FuzzReadMsg -fuzztime $(FUZZTIME) ./internal/proxy/
+	$(GO) test -fuzz FuzzReadBlock -fuzztime $(FUZZTIME) ./internal/gridftp/
 
 clean:
 	$(GO) clean ./...

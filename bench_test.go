@@ -11,6 +11,7 @@
 //	BenchmarkTable6Traversed   — traversed-node statistics
 //	BenchmarkFigure*           — topology/flow experiments
 //	BenchmarkAblation*         — design-choice sweeps from DESIGN.md
+//	BenchmarkTransfer*         — congestion-modeled gridftp bulk transfers
 package repro
 
 import (
@@ -297,6 +298,38 @@ func BenchmarkMPIPingPong(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// transferPointBench runs one congestion-modeled gridftp sweep point per
+// iteration (1 MiB at 2% segment loss through the firewall proxy) and
+// reports the resulting goodput alongside the host-side cost of simulating
+// it.
+func transferPointBench(b *testing.B, streams int) {
+	b.Helper()
+	b.ReportAllocs()
+	b.SetBytes(1 << 20)
+	cfg := bench.TransferConfig{
+		FileSize:  1 << 20,
+		Streams:   []int{streams},
+		LossRates: []float64{0.02},
+	}
+	var pts []bench.TransferPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = bench.RunTransfer(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].Goodput/(1<<10), "KBps-goodput")
+}
+
+// BenchmarkTransferSingle is the lossy bulk transfer on one data channel —
+// a single Reno flow paying the full congestion-recovery cost.
+func BenchmarkTransferSingle(b *testing.B) { transferPointBench(b, 1) }
+
+// BenchmarkTransferParallel8 is the same transfer over eight parallel data
+// channels, GridFTP's loss-tolerance lever.
+func BenchmarkTransferParallel8(b *testing.B) { transferPointBench(b, 8) }
 
 // BenchmarkProxyRelayTCP measures the real-TCP relay's throughput on
 // loopback (the engineering artifact itself, not the simulation).

@@ -9,7 +9,9 @@
 // figure2, figure3, figure4, figure5, sweep (bandwidth vs message size),
 // decomp (per-hop latency decomposition of the Table 2 points), ktrace
 // (wide-area knapsack run with tracing and a metrics snapshot), monitor
-// (wide-area knapsack run with the live monitoring plane), all.
+// (wide-area knapsack run with the live monitoring plane), gridftp
+// (parallel-stream bulk transfers through the proxy over a congestion-
+// modeled WAN), all.
 //
 // Tracing (decomp and ktrace only; runs stay deterministic in virtual time):
 //
@@ -174,6 +176,16 @@ func main() {
 			}
 		}
 	}
+	if *run == "gridftp" {
+		start := time.Now()
+		pts, err := bench.RunTransfer(bench.TransferConfig{Workers: *workers})
+		if err != nil {
+			log.Fatalf("experiments: gridftp: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[gridftp sweep: %d points, host time %v]\n",
+			len(pts), time.Since(start).Round(time.Millisecond))
+		fmt.Println(bench.FormatTransfer(pts))
+	}
 	if *run == "ktrace" {
 		o := obs.New()
 		res, err := bench.RunKnapsackTraced(bench.KnapsackConfig{Items: *items, Capacity: *capacity}, o)
@@ -250,7 +262,7 @@ func main() {
 
 	switch *run {
 	case "all", "sweep", "table2", "table3", "table4", "table5", "table6",
-		"figure1", "figure2", "figure3", "figure4", "figure5", "decomp", "ktrace", "monitor":
+		"figure1", "figure2", "figure3", "figure4", "figure5", "decomp", "ktrace", "monitor", "gridftp":
 	default:
 		log.Fatalf("experiments: unknown -run %q", *run)
 	}

@@ -110,6 +110,21 @@ type Options struct {
 	// Seed, when nonzero, seeds the kernel's deterministic RNG (backoff
 	// jitter and any other randomized decisions draw from it).
 	Seed uint64
+	// WANLatency overrides the calibrated IMnet link latency (0 =
+	// calibrated). Raising it models a longer wide-area path for bulk
+	// data-plane studies.
+	WANLatency time.Duration
+	// WANBandwidth overrides the calibrated IMnet bandwidth in bytes/second
+	// (0 = calibrated).
+	WANBandwidth int64
+	// WANLossRate sets a packet-loss probability on the IMnet link. It has
+	// no effect unless FlowModel is also set (the base simnet data plane is
+	// lossless).
+	WANLossRate float64
+	// FlowModel, when non-nil, enables simnet's TCP-Reno congestion model
+	// for every connection in the testbed. Leave nil to keep the calibrated
+	// paper runs bit-identical.
+	FlowModel *simnet.FlowConfig
 }
 
 // Testbed is the simulated Figure 5 environment with proxy daemons running.
@@ -170,7 +185,14 @@ func NewTestbed(opts Options) *Testbed {
 	// IMnet to ETL; the paper's ETL hosts are directly reachable.
 	n.AddRouter("etl-gw", "etl")
 	n.AddRouter("etl-lan", "etl")
-	n.Connect(RWCPOuter, "etl-gw", simnet.LinkConfig{Latency: WANLatency, Bandwidth: WANBandwidth})
+	wan := simnet.LinkConfig{Latency: WANLatency, Bandwidth: WANBandwidth, LossRate: opts.WANLossRate}
+	if opts.WANLatency > 0 {
+		wan.Latency = opts.WANLatency
+	}
+	if opts.WANBandwidth > 0 {
+		wan.Bandwidth = opts.WANBandwidth
+	}
+	n.Connect(RWCPOuter, "etl-gw", wan)
 	n.Connect("etl-gw", "etl-lan", bb)
 	n.AddHost(ETLSun, simnet.HostConfig{Site: "etl", Speed: SpeedETLSun, CPUs: 6})
 	n.AddHost(ETLO2K, simnet.HostConfig{Site: "etl", Speed: SpeedETLO2K, CPUs: 16})
@@ -186,6 +208,9 @@ func NewTestbed(opts Options) *Testbed {
 		fw.AllowIncomingRange(1, 65535, "temporary: direct-communication baseline")
 	}
 	n.SetFirewall("rwcp", fw)
+	if opts.FlowModel != nil {
+		n.EnableFlowModel(*opts.FlowModel)
+	}
 
 	relay := proxy.RelayConfig{BufBytes: opts.RelayBufBytes, PerBuffer: opts.RelayPerBuffer}
 	tb := &Testbed{

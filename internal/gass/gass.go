@@ -27,7 +27,12 @@ const Scheme = "x-gass://"
 // ErrNotFound is returned for absent paths.
 var ErrNotFound = errors.New("gass: file not found")
 
-// MaxFileSize bounds a single transfer.
+// ErrTooLarge is returned when a file exceeds MaxFileSize — on the server
+// store path as well as at transfer time, so an oversize file can never
+// enter a store through any route.
+var ErrTooLarge = errors.New("gass: file too large")
+
+// MaxFileSize bounds a single file and a single transfer.
 const MaxFileSize = 64 << 20
 
 // Store is an in-memory file system.
@@ -46,11 +51,16 @@ func cleanPath(p string) string {
 	return p
 }
 
-// Put writes a file.
-func (s *Store) Put(path string, data []byte) {
+// Put writes a file. Files beyond MaxFileSize are rejected with
+// ErrTooLarge.
+func (s *Store) Put(path string, data []byte) error {
+	if len(data) > MaxFileSize {
+		return fmt.Errorf("%w: %s (%d bytes)", ErrTooLarge, cleanPath(path), len(data))
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.files[cleanPath(path)] = append([]byte(nil), data...)
+	return nil
 }
 
 // Get reads a file.
@@ -191,14 +201,17 @@ func (s *Server) handle(env transport.Env, c transport.Conn) {
 		}
 		n := binary.BigEndian.Uint32(sz[:])
 		if n > MaxFileSize {
-			writeErr(st, fmt.Errorf("gass: file too large (%d)", n))
+			writeErr(st, fmt.Errorf("%w (%d bytes)", ErrTooLarge, n))
 			return
 		}
 		data := make([]byte, n)
 		if _, err := io.ReadFull(st, data); err != nil {
 			return
 		}
-		s.Store.Put(path, data)
+		if err := s.Store.Put(path, data); err != nil {
+			writeErr(st, err)
+			return
+		}
 		_, _ = st.Write([]byte{0})
 	default:
 		writeErr(st, fmt.Errorf("gass: unknown op %d", op))
@@ -217,21 +230,75 @@ func writeErr(st transport.Stream, err error) {
 	_, _ = st.Write(buf)
 }
 
-// Client fetches and publishes GASS files.
-type Client struct {
-	mu    sync.Mutex
-	cache map[string][]byte
+// DefaultCacheBytes is the client cache's default byte cap.
+const DefaultCacheBytes = 16 << 20
+
+// cacheEntry is one cached file on the client's LRU list (most recently
+// used at the front).
+type cacheEntry struct {
+	url        string
+	data       []byte
+	prev, next *cacheEntry
 }
 
-// NewClient creates a client with an empty cache.
-func NewClient() *Client { return &Client{cache: make(map[string][]byte)} }
+// Client fetches and publishes GASS files through a byte-capped LRU cache,
+// mirroring the GASS file cache. Repeated staging of the same inputs hits
+// the cache; the cap keeps a long-lived client (e.g. a Q server staging
+// many jobs) from growing without bound.
+type Client struct {
+	mu       sync.Mutex
+	capBytes int
+	size     int
+	entries  map[string]*cacheEntry
+	head     *cacheEntry // most recently used
+	tail     *cacheEntry // least recently used, evicted first
+}
+
+// NewClient creates a client with the default cache cap.
+func NewClient() *Client { return NewClientCap(DefaultCacheBytes) }
+
+// NewClientCap creates a client whose cache holds at most capBytes of file
+// data; capBytes <= 0 disables caching entirely.
+func NewClientCap(capBytes int) *Client {
+	return &Client{capBytes: capBytes, entries: make(map[string]*cacheEntry)}
+}
+
+// unlink removes e from the LRU list.
+func (c *Client) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront makes e the most recently used entry.
+func (c *Client) pushFront(e *cacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
 
 // Get fetches url, serving repeated fetches from the cache.
 func (c *Client) Get(env transport.Env, url string) ([]byte, error) {
 	c.mu.Lock()
-	if data, ok := c.cache[url]; ok {
+	if e, ok := c.entries[url]; ok {
+		c.unlink(e)
+		c.pushFront(e)
+		data := append([]byte(nil), e.data...)
 		c.mu.Unlock()
-		return append([]byte(nil), data...), nil
+		return data, nil
 	}
 	c.mu.Unlock()
 	data, err := Fetch(env, url)
@@ -239,15 +306,43 @@ func (c *Client) Get(env transport.Env, url string) ([]byte, error) {
 		return nil, err
 	}
 	c.mu.Lock()
-	c.cache[url] = data
+	c.insert(url, data)
 	c.mu.Unlock()
 	return append([]byte(nil), data...), nil
+}
+
+// insert caches data under url (mu held): files over the cap are not
+// cached at all; otherwise least-recently-used entries are evicted until
+// the new entry fits.
+func (c *Client) insert(url string, data []byte) {
+	if len(data) > c.capBytes {
+		return
+	}
+	if e, ok := c.entries[url]; ok {
+		c.size -= len(e.data)
+		c.unlink(e)
+		delete(c.entries, url)
+	}
+	for c.size+len(data) > c.capBytes && c.tail != nil {
+		lru := c.tail
+		c.size -= len(lru.data)
+		c.unlink(lru)
+		delete(c.entries, lru.url)
+	}
+	e := &cacheEntry{url: url, data: data}
+	c.entries[url] = e
+	c.pushFront(e)
+	c.size += len(data)
 }
 
 // Invalidate drops a cached URL.
 func (c *Client) Invalidate(url string) {
 	c.mu.Lock()
-	delete(c.cache, url)
+	if e, ok := c.entries[url]; ok {
+		c.size -= len(e.data)
+		c.unlink(e)
+		delete(c.entries, url)
+	}
 	c.mu.Unlock()
 }
 
@@ -255,7 +350,14 @@ func (c *Client) Invalidate(url string) {
 func (c *Client) CacheSize() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.cache)
+	return len(c.entries)
+}
+
+// CacheBytes reports the cached data volume.
+func (c *Client) CacheBytes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
 }
 
 // Fetch retrieves a URL without caching.
@@ -282,6 +384,11 @@ func Publish(env transport.Env, url string, data []byte) error {
 	if err != nil {
 		return err
 	}
+	// Reject oversize payloads before dialing: the server would refuse the
+	// size header anyway, and shipping the body first just wastes the link.
+	if len(data) > MaxFileSize {
+		return fmt.Errorf("%w: put %s (%d bytes)", ErrTooLarge, url, len(data))
+	}
 	conn, err := env.Dial(hostport)
 	if err != nil {
 		return fmt.Errorf("gass: dial %s: %w", hostport, err)
@@ -305,6 +412,9 @@ func Publish(env transport.Env, url string, data []byte) error {
 	}
 	if status[0] != 0 {
 		msg, _ := readErrMsg(st)
+		if strings.Contains(msg, "too large") {
+			return fmt.Errorf("%w: put %s: %s", ErrTooLarge, url, msg)
+		}
 		return fmt.Errorf("gass: put %s: %s", url, msg)
 	}
 	return nil
@@ -328,6 +438,9 @@ func readResp(st transport.Stream) ([]byte, error) {
 		msg, _ := readErrMsg(st)
 		if strings.Contains(msg, "not found") {
 			return nil, fmt.Errorf("%w: %s", ErrNotFound, msg)
+		}
+		if strings.Contains(msg, "too large") {
+			return nil, fmt.Errorf("%w: %s", ErrTooLarge, msg)
 		}
 		return nil, errors.New("gass: " + msg)
 	}

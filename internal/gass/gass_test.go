@@ -106,6 +106,75 @@ func TestClientCache(t *testing.T) {
 	}
 }
 
+func TestClientCacheLRUEviction(t *testing.T) {
+	env, srv, addr := startServer(t)
+	srv.Store.Put("/a", bytes.Repeat([]byte("a"), 100))
+	srv.Store.Put("/b", bytes.Repeat([]byte("b"), 100))
+	srv.Store.Put("/c", bytes.Repeat([]byte("c"), 100))
+	cl := NewClientCap(250)
+	for _, p := range []string{"/a", "/b"} {
+		if _, err := cl.Get(env, URL(addr, p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl.CacheBytes() != 200 || cl.CacheSize() != 2 {
+		t.Fatalf("after a,b: %d bytes, %d entries", cl.CacheBytes(), cl.CacheSize())
+	}
+	// Touch /a so /b becomes least recently used, then fetch /c: only /b
+	// should be evicted.
+	if _, err := cl.Get(env, URL(addr, "/a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get(env, URL(addr, "/c")); err != nil {
+		t.Fatal(err)
+	}
+	if cl.CacheBytes() != 200 || cl.CacheSize() != 2 {
+		t.Fatalf("after evict: %d bytes, %d entries", cl.CacheBytes(), cl.CacheSize())
+	}
+	srv.Store.Put("/a", []byte("changed"))
+	srv.Store.Put("/b", []byte("changed"))
+	if got, _ := cl.Get(env, URL(addr, "/a")); len(got) != 100 {
+		t.Fatalf("/a was evicted (got %d bytes)", len(got))
+	}
+	if got, _ := cl.Get(env, URL(addr, "/b")); len(got) != 7 {
+		t.Fatalf("/b was not evicted (got %d bytes)", len(got))
+	}
+}
+
+func TestClientCacheOversizeNotCached(t *testing.T) {
+	env, srv, addr := startServer(t)
+	srv.Store.Put("/big", bytes.Repeat([]byte("x"), 300))
+	cl := NewClientCap(250)
+	if got, err := cl.Get(env, URL(addr, "/big")); err != nil || len(got) != 300 {
+		t.Fatalf("Get = %d bytes, %v", len(got), err)
+	}
+	if cl.CacheSize() != 0 || cl.CacheBytes() != 0 {
+		t.Fatalf("oversize entry cached: %d entries, %d bytes",
+			cl.CacheSize(), cl.CacheBytes())
+	}
+}
+
+func TestStoreMaxFileSize(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("/huge", make([]byte, MaxFileSize+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize Put = %v, want ErrTooLarge", err)
+	}
+	if _, err := s.Get("/huge"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("oversize Put stored data")
+	}
+	if err := s.Put("/ok", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublishTooLargeOverTCP(t *testing.T) {
+	env, _, addr := startServer(t)
+	err := Publish(env, URL(addr, "/huge"), make([]byte, MaxFileSize+1))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Publish = %v, want ErrTooLarge", err)
+	}
+}
+
 func TestEmptyFile(t *testing.T) {
 	env, _, addr := startServer(t)
 	url := URL(addr, "/empty")

@@ -1,0 +1,307 @@
+package gridftp
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nxcluster/internal/gass"
+	"nxcluster/internal/proxy"
+	"nxcluster/internal/transport"
+)
+
+func TestLedgerAddMergesRanges(t *testing.T) {
+	var l Ledger
+	l.Add(100, 50)
+	l.Add(0, 50)
+	l.Add(300, 10)
+	if got := l.Ranges(); !reflect.DeepEqual(got, []Range{{0, 50}, {100, 50}, {300, 10}}) {
+		t.Fatalf("disjoint ranges = %v", got)
+	}
+	l.Add(50, 50) // bridges the first gap exactly
+	if got := l.Ranges(); !reflect.DeepEqual(got, []Range{{0, 150}, {300, 10}}) {
+		t.Fatalf("after bridge = %v", got)
+	}
+	l.Add(140, 200) // overlaps both remaining ranges
+	if got := l.Ranges(); !reflect.DeepEqual(got, []Range{{0, 340}}) {
+		t.Fatalf("after overlap = %v", got)
+	}
+	if l.Bytes() != 340 {
+		t.Fatalf("Bytes = %d", l.Bytes())
+	}
+	if !l.Complete(340) || l.Complete(341) {
+		t.Fatal("Complete")
+	}
+	// Duplicate and degenerate adds are no-ops.
+	l.Add(0, 340)
+	l.Add(10, 0)
+	l.Add(-5, 10)
+	if got := l.Ranges(); !reflect.DeepEqual(got, []Range{{0, 340}}) {
+		t.Fatalf("after no-ops = %v", got)
+	}
+}
+
+func TestLedgerMissing(t *testing.T) {
+	var l Ledger
+	if got := l.Missing(100); !reflect.DeepEqual(got, []Range{{0, 100}}) {
+		t.Fatalf("empty ledger Missing = %v", got)
+	}
+	l.Add(10, 20)
+	l.Add(50, 25)
+	want := []Range{{0, 10}, {30, 20}, {75, 25}}
+	if got := l.Missing(100); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Missing = %v, want %v", got, want)
+	}
+	l.Add(0, 100)
+	if got := l.Missing(100); got != nil {
+		t.Fatalf("complete Missing = %v", got)
+	}
+}
+
+func TestLedgerEncodeDecodeRoundTrip(t *testing.T) {
+	var l Ledger
+	l.Add(0, 64<<10)
+	l.Add(200<<10, 64<<10)
+	dec, err := DecodeLedger(l.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec.Ranges(), l.Ranges()) {
+		t.Fatalf("round trip = %v, want %v", dec.Ranges(), l.Ranges())
+	}
+	for _, bad := range [][]byte{nil, {1, 2, 3}, {0, 0, 0, 1}, {0, 0, 0, 1, 0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1}} {
+		if _, err := DecodeLedger(bad); err == nil {
+			t.Errorf("DecodeLedger(%v) succeeded", bad)
+		}
+	}
+}
+
+func TestChopAndComplement(t *testing.T) {
+	blocks := chopRanges([]Range{{0, 250}}, 100)
+	if !reflect.DeepEqual(blocks, []Range{{0, 100}, {100, 100}, {200, 50}}) {
+		t.Fatalf("chopRanges = %v", blocks)
+	}
+	comp := complementLedger(250, []Range{{0, 100}, {200, 50}})
+	if got := comp.Ranges(); !reflect.DeepEqual(got, []Range{{100, 100}}) {
+		t.Fatalf("complementLedger = %v", got)
+	}
+}
+
+func TestParseAndBuildURL(t *testing.T) {
+	hp, path, err := ParseURL("x-gridftp://etl-sun:7040/bulk/input.dat")
+	if err != nil || hp != "etl-sun:7040" || path != "/bulk/input.dat" {
+		t.Fatalf("ParseURL = %q, %q, %v", hp, path, err)
+	}
+	if URL("h:1", "a/b") != "x-gridftp://h:1/a/b" {
+		t.Fatal("URL build")
+	}
+	for _, bad := range []string{"", "x-gass://h:1/p", "x-gridftp://hostonly"} {
+		if _, _, err := ParseURL(bad); err == nil {
+			t.Errorf("ParseURL(%q) succeeded", bad)
+		}
+	}
+	if !IsURL("x-gridftp://h:1/p") || IsURL("x-gass://h:1/p") {
+		t.Fatal("IsURL")
+	}
+}
+
+// startServer runs a gridftp server over a real TCP loopback env with direct
+// (non-proxied) dialing and returns its control address.
+func startServer(t *testing.T) (*transport.TCPEnv, *Server, string) {
+	t.Helper()
+	env := transport.NewTCPEnv("localhost")
+	srv := NewServer(gass.NewStore(), proxy.Dialer{})
+	ready := make(chan string, 1)
+	env.Spawn("gridftp", func(e transport.Env) {
+		_ = srv.Serve(e, 0, func(addr string) { ready <- addr })
+	})
+	addr := <-ready
+	t.Cleanup(func() { srv.Close(env) })
+	return env, srv, addr
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>8)
+	}
+	return b
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	env, srv, addr := startServer(t)
+	payload := pattern(300<<10 + 37) // several blocks plus a ragged tail
+	url := URL(addr, "/bulk/data.bin")
+	cl := &Client{Streams: 4, BlockSize: 64 << 10}
+	stats, err := cl.Put(env, url, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Bytes != int64(len(payload)) || stats.Resumes != 0 {
+		t.Fatalf("put stats = %+v", stats)
+	}
+	stored, err := srv.Store.Get("/bulk/data.bin")
+	if err != nil || !bytes.Equal(stored, payload) {
+		t.Fatalf("server store holds %d bytes, %v", len(stored), err)
+	}
+	got, gstats, err := cl.Get(env, url)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %d bytes, %v", len(got), err)
+	}
+	if gstats.Bytes != int64(len(payload)) || gstats.Resumes != 0 {
+		t.Fatalf("get stats = %+v", gstats)
+	}
+	if sz, err := cl.Size(env, url); err != nil || sz != int64(len(payload)) {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+}
+
+func TestEmptyAndSingleByteFiles(t *testing.T) {
+	env, _, addr := startServer(t)
+	cl := &Client{Streams: 3}
+	for _, n := range []int{0, 1} {
+		url := URL(addr, "/tiny/"+string(rune('a'+n)))
+		payload := pattern(n)
+		if _, err := cl.Put(env, url, payload); err != nil {
+			t.Fatalf("put %d bytes: %v", n, err)
+		}
+		got, _, err := cl.Get(env, url)
+		if err != nil || !bytes.Equal(got, payload) {
+			t.Fatalf("get %d bytes = %v, %v", n, got, err)
+		}
+	}
+}
+
+func TestGetMissingFile(t *testing.T) {
+	env, _, addr := startServer(t)
+	cl := &Client{Retries: 1, RetryDelay: 1}
+	if _, _, err := cl.Get(env, URL(addr, "/no/such")); err == nil {
+		t.Fatal("Get of missing file succeeded")
+	}
+}
+
+func TestPutTooLarge(t *testing.T) {
+	env, _, addr := startServer(t)
+	// Claim an oversize length on the control channel without allocating it:
+	// drive putOnce directly with a doctored size via the public Put path
+	// would allocate 64MB, so exercise the server check through opStor.
+	cl := &Client{Retries: 1, RetryDelay: 1}
+	_, err := cl.Put(env, URL(addr, "/huge"), make([]byte, gass.MaxFileSize+1))
+	if err == nil {
+		t.Fatal("oversize Put succeeded")
+	}
+}
+
+// TestGetResumesFromLedger verifies the restart-marker path: an attempt that
+// already holds the first half of the file asks the server for the rest, and
+// the server streams only the missing blocks.
+func TestGetResumesFromLedger(t *testing.T) {
+	env, srv, addr := startServer(t)
+	payload := pattern(256 << 10)
+	srv.Store.Put("/bulk/r.bin", payload)
+	cl := &Client{Streams: 2, BlockSize: 64 << 10}
+
+	sink := newGetSink()
+	sink.setSize(int64(len(payload)))
+	half := int64(len(payload) / 2)
+	if err := sink.land(0, payload[:half]); err != nil {
+		t.Fatal(err)
+	}
+	before := sink.progress.Load()
+	if err := cl.fetch(env, addr, "/bulk/r.bin", 2, &sink.ledger, sink); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.ledger.Complete(int64(len(payload))) || !bytes.Equal(sink.buf, payload) {
+		t.Fatal("resume did not complete the file")
+	}
+	// Only the missing half moved on the wire.
+	if moved := sink.progress.Load() - before; moved != half {
+		t.Fatalf("resume moved %d bytes, want %d", moved, half)
+	}
+}
+
+// TestPutResumesFromServerPartial verifies upload restart markers: a second
+// attempt with the same upload ID learns the server's partial ledger and
+// sends only the missing blocks.
+func TestPutResumesFromServerPartial(t *testing.T) {
+	env, srv, addr := startServer(t)
+	payload := pattern(256 << 10)
+	const uploadID = "test-upload-1"
+
+	// Seed a server-side partial as an interrupted first attempt would have:
+	// the first half present, the rest missing.
+	half := int64(len(payload) / 2)
+	part := &storPartial{path: "/bulk/u.bin", size: int64(len(payload)),
+		buf: make([]byte, len(payload))}
+	copy(part.buf, payload[:half])
+	part.ledger.Add(0, half)
+	srv.mu.Lock()
+	srv.parts[uploadID] = part
+	srv.mu.Unlock()
+
+	cl := &Client{Streams: 2, BlockSize: 64 << 10}
+	complete, err := cl.putOnce(env, addr, "/bulk/u.bin", payload, uploadID)
+	if err != nil || !complete {
+		t.Fatalf("resume putOnce = %v, %v", complete, err)
+	}
+	stored, err := srv.Store.Get("/bulk/u.bin")
+	if err != nil || !bytes.Equal(stored, payload) {
+		t.Fatalf("server store holds %d bytes, %v", len(stored), err)
+	}
+	// The committed upload retires the partial.
+	srv.mu.Lock()
+	_, live := srv.parts[uploadID]
+	srv.mu.Unlock()
+	if live {
+		t.Fatal("partial survived a committed upload")
+	}
+}
+
+func TestGetStriped(t *testing.T) {
+	env1, srv1, addr1 := startServer(t)
+	_, srv2, addr2 := startServer(t)
+	payload := pattern(400<<10 + 11)
+	srv1.Store.Put("/rep/f.bin", payload)
+	srv2.Store.Put("/rep/f.bin", payload)
+	cl := &Client{Streams: 4, BlockSize: 64 << 10}
+	got, stats, err := cl.GetStriped(env1,
+		[]string{URL(addr1, "/rep/f.bin"), URL(addr2, "/rep/f.bin")})
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("GetStriped = %d bytes, %v", len(got), err)
+	}
+	if stats.Bytes != int64(len(payload)) || stats.Resumes != 0 {
+		t.Fatalf("striped stats = %+v", stats)
+	}
+}
+
+func TestThirdPartyTransfer(t *testing.T) {
+	env1, srv1, addr1 := startServer(t)
+	_, srv2, addr2 := startServer(t)
+	payload := pattern(128 << 10)
+	srv1.Store.Put("/src/f.bin", payload)
+	cl := &Client{Streams: 2}
+	n, err := cl.ThirdParty(env1, URL(addr1, "/src/f.bin"), URL(addr2, "/dst/f.bin"))
+	if err != nil || n != int64(len(payload)) {
+		t.Fatalf("ThirdParty = %d, %v", n, err)
+	}
+	stored, err := srv2.Store.Get("/dst/f.bin")
+	if err != nil || !bytes.Equal(stored, payload) {
+		t.Fatalf("dest store holds %d bytes, %v", len(stored), err)
+	}
+}
+
+func TestFetchPublishHelpers(t *testing.T) {
+	env, _, addr := startServer(t)
+	url := URL(addr, "/h/x")
+	payload := pattern(70 << 10)
+	if err := Publish(env, url, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fetch(env, url)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch = %d bytes, %v", len(got), err)
+	}
+	if _, err := Fetch(env, "x-gass://h:1/p"); err == nil {
+		t.Fatal("Fetch accepted a gass URL")
+	}
+}

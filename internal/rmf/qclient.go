@@ -97,9 +97,10 @@ type ProcessSpec struct {
 	Args []string
 	// Env carries environment variables.
 	Env map[string]string
-	// StdinURL optionally stages an input file (x-gass URL).
+	// StdinURL optionally stages an input file (x-gass URL, or x-gridftp
+	// for bulk transfers over the parallel-stream data plane).
 	StdinURL string
-	// StdoutURL optionally receives the output (x-gass URL).
+	// StdoutURL optionally receives the output (x-gass or x-gridftp URL).
 	StdoutURL string
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"nxcluster/internal/gass"
+	"nxcluster/internal/gridftp"
 	"nxcluster/internal/nexus"
 	"nxcluster/internal/obs"
 	"nxcluster/internal/transport"
@@ -213,9 +214,11 @@ func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus
 	}
 	env.Spawn("job:"+id, func(e transport.Env) {
 		ctx := &JobContext{JobID: id, Resource: q.Resource, Args: args, Env: envMap}
-		// Stage input via GASS, as the paper's Q system does.
+		// Stage input via the URL's scheme: GASS for small control files, as
+		// the paper's Q system does, or the gridftp bulk data plane
+		// (parallel streams, restart markers) for x-gridftp URLs.
 		if stdinURL != "" {
-			data, err := gass.Fetch(e, stdinURL)
+			data, err := stageIn(e, stdinURL)
 			if err != nil {
 				q.finish(rec, fmt.Errorf("stage in: %w", err))
 				mFailed.Add(1)
@@ -230,7 +233,7 @@ func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus
 		q.tracef("qserver %s: job %s active", q.Resource, id)
 		runErr := prog(e, ctx)
 		if stdoutURL != "" {
-			if err := gass.Publish(e, stdoutURL, ctx.Stdout.Bytes()); err != nil && runErr == nil {
+			if err := stageOut(e, stdoutURL, ctx.Stdout.Bytes()); err != nil && runErr == nil {
 				runErr = fmt.Errorf("stage out: %w", err)
 			}
 		}
@@ -244,6 +247,23 @@ func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus
 	})
 	resp.PutBool(true)
 	resp.PutString(id)
+}
+
+// stageIn fetches a staging URL by scheme: x-gridftp URLs ride the bulk data
+// plane, everything else the GASS file service.
+func stageIn(env transport.Env, url string) ([]byte, error) {
+	if gridftp.IsURL(url) {
+		return gridftp.Fetch(env, url)
+	}
+	return gass.Fetch(env, url)
+}
+
+// stageOut publishes job output to a staging URL by scheme.
+func stageOut(env transport.Env, url string, data []byte) error {
+	if gridftp.IsURL(url) {
+		return gridftp.Publish(env, url, data)
+	}
+	return gass.Publish(env, url, data)
 }
 
 func (q *QServer) finish(rec *jobRecord, err error) {

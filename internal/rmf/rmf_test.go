@@ -9,7 +9,9 @@ import (
 
 	"nxcluster/internal/firewall"
 	"nxcluster/internal/gass"
+	"nxcluster/internal/gridftp"
 	"nxcluster/internal/mds"
+	"nxcluster/internal/proxy"
 	"nxcluster/internal/sim"
 	"nxcluster/internal/simnet"
 	"nxcluster/internal/transport"
@@ -166,6 +168,55 @@ func TestSubmitJobEndToEndTCP(t *testing.T) {
 			!strings.Contains(s, "PROXY=outer:7000") {
 			t.Fatalf("stdout %d = %q", i, s)
 		}
+	}
+}
+
+// TestSubmitJobGridFTPStaging stages a bulk input in and the output out over
+// the gridftp data plane instead of GASS, selected purely by URL scheme.
+func TestSubmitJobGridFTPStaging(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("bulk", func(env transport.Env, ctx *JobContext) error {
+		fmt.Fprintf(&ctx.Stdout, "got %d bytes", len(ctx.Stdin))
+		ctx.Stdout.Write(ctx.Stdin[:16])
+		return nil
+	})
+	env, allocAddr, _ := startRMFTCP(t, reg)
+
+	store := gass.NewStore()
+	gsrv := gridftp.NewServer(store, proxy.Dialer{})
+	gready := make(chan string, 1)
+	env.Spawn("gridftp", func(e transport.Env) {
+		_ = gsrv.Serve(e, 0, func(a string) { gready <- a })
+	})
+	gaddr := <-gready
+	defer gsrv.Close(env)
+	input := make([]byte, 200<<10)
+	for i := range input {
+		input[i] = byte(i * 3)
+	}
+	store.Put("/bulk/in", input)
+
+	h, err := SubmitJob(env, allocAddr, JobRequest{
+		Count: 1,
+		Spec: ProcessSpec{
+			Executable: "bulk",
+			StdinURL:   gridftp.URL(gaddr, "/bulk/in"),
+			StdoutURL:  gridftp.URL(gaddr, "/bulk/out"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(env, 10*time.Millisecond, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	out, err := store.Get("/bulk/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("got %d bytes", len(input))
+	if !strings.HasPrefix(string(out), want) {
+		t.Fatalf("stdout = %q", out)
 	}
 }
 

@@ -95,6 +95,14 @@ type conn struct {
 	remoteClosed bool // peer FIN received
 	aborted      bool // local Abort called or host crashed
 	remoteReset  bool // peer RST received: the stream broke mid-flight
+
+	// TCP-Reno flow model state (nil/zero unless the network's flow model
+	// was enabled when this connection was dialed; see flow.go).
+	flow     *flowState
+	sendSeq  int64    // next byte sequence this endpoint will send
+	recvNext int64    // next in-order byte sequence expected
+	ooo      []oooSeg // out-of-order segments awaiting retransmitted holes
+	finSeq   int64    // peer FIN sequence; -1 until received
 }
 
 func (c *conn) pushInbox(seg []byte) {
@@ -157,12 +165,18 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 		cDial := &conn{
 			node: nd, local: localAddr, remote: remoteAddr, path: path,
 			readCond: sim.NewCond(n.K), credit: DefaultWindow, creditCond: sim.NewCond(n.K),
+			finSeq: -1,
 		}
 		cAcc := &conn{
 			node: dst, local: remoteAddr, remote: localAddr, path: reversePath(path),
 			readCond: sim.NewCond(n.K), credit: DefaultWindow, creditCond: sim.NewCond(n.K),
+			finSeq: -1,
 		}
 		cDial.peer, cAcc.peer = cAcc, cDial
+		if n.flowOn && len(path) > 0 {
+			cDial.flow = n.newFlowState(cDial.path, localAddr+">"+remoteAddr)
+			cAcc.flow = n.newFlowState(cAcc.path, remoteAddr+">"+localAddr)
+		}
 		if err := l.pending.TrySend(cAcc); err != nil {
 			n.send(reversePath(path), ctlSize, func() {
 				dialErr = transport.ErrRefused
@@ -244,7 +258,7 @@ func (c *conn) Write(env transport.Env, b []byte) (int, error) {
 		if chunk > mtu {
 			chunk = mtu
 		}
-		for c.credit < chunk {
+		for c.credit < chunk || (c.flow != nil && c.flow.inflight+chunk > c.flow.cwnd) {
 			if c.aborted || c.remoteReset {
 				return total, transport.ErrReset
 			}
@@ -274,12 +288,24 @@ func (c *conn) Close(env transport.Env) error {
 	c.readCond.Broadcast()
 	c.creditCond.Broadcast()
 	peer := c.peer
+	fin := c.sendSeq // flow mode: EOF takes effect only after all bytes land
 	c.node.net.send(c.path, ctlSize, func() {
-		peer.remoteClosed = true
-		peer.readCond.Broadcast()
-		peer.creditCond.Broadcast()
+		peer.deliverFin(fin)
 	})
 	return nil
+}
+
+// deliverFin is the receiving side of a FIN control packet. On flow-modeled
+// connections the FIN can overtake retransmitted data, so EOF is deferred
+// until the byte stream is complete up to the FIN sequence.
+func (c *conn) deliverFin(fin int64) {
+	if c.flow != nil && c.recvNext < fin {
+		c.finSeq = fin
+		return
+	}
+	c.remoteClosed = true
+	c.readCond.Broadcast()
+	c.creditCond.Broadcast()
 }
 
 // Abort implements transport.Aborter: the connection is torn down abruptly
@@ -309,6 +335,11 @@ func (c *conn) reset() {
 	}
 	c.inbox = c.inbox[:0]
 	c.inboxHead = 0
+	for i := range c.ooo {
+		c.node.net.putSeg(c.ooo[i].buf)
+		c.ooo[i].buf = nil
+	}
+	c.ooo = nil
 	c.node.untrackConn(c)
 	c.readCond.Broadcast()
 	c.creditCond.Broadcast()

@@ -1,0 +1,305 @@
+package simnet
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+// TestRenoStateMachine drives one flowState through ACK and loss events at
+// exact virtual instants and pins the resulting window trajectory: slow
+// start doubling, the crossover into congestion avoidance, the halving on
+// loss, and the one-cut-per-RTT rule.
+func TestRenoStateMachine(t *testing.T) {
+	const mss = 4096
+	type ev struct {
+		at           time.Duration // virtual instant of the event
+		loss         bool          // loss detection (else an ACK of mss bytes)
+		inflight     int           // bytes in flight at the event (pinned)
+		wantCwnd     int
+		wantSsthresh int
+		wantCut      bool // loss events only: a multiplicative decrease happened
+	}
+	tests := []struct {
+		name     string
+		cwnd     int // initial window
+		ssthresh int
+		events   []ev
+	}{
+		{
+			name: "slow start grows one MSS per ACK", cwnd: 2 * mss, ssthresh: 16 * mss,
+			events: []ev{
+				{at: 10 * time.Millisecond, wantCwnd: 3 * mss, wantSsthresh: 16 * mss},
+				{at: 10 * time.Millisecond, wantCwnd: 4 * mss, wantSsthresh: 16 * mss},
+				{at: 20 * time.Millisecond, wantCwnd: 5 * mss, wantSsthresh: 16 * mss},
+			},
+		},
+		{
+			name: "congestion avoidance grows ~MSS^2/cwnd per ACK", cwnd: 16 * mss, ssthresh: 16 * mss,
+			events: []ev{
+				{at: 10 * time.Millisecond, wantCwnd: 16*mss + mss/16, wantSsthresh: 16 * mss},
+				{at: 20 * time.Millisecond, wantCwnd: 16*mss + mss/16 + (mss*mss)/(16*mss+mss/16), wantSsthresh: 16 * mss},
+			},
+		},
+		{
+			name: "loss halves inflight and enters CA", cwnd: 32 * mss, ssthresh: 64 * mss,
+			events: []ev{
+				{at: 50 * time.Millisecond, loss: true, inflight: 20 * mss, wantCwnd: 10 * mss, wantSsthresh: 10 * mss, wantCut: true},
+				// Next ACK grows additively: cwnd == ssthresh means CA.
+				{at: 60 * time.Millisecond, wantCwnd: 10*mss + mss/10, wantSsthresh: 10 * mss},
+			},
+		},
+		{
+			name: "at most one cut per RTT", cwnd: 32 * mss, ssthresh: 64 * mss,
+			events: []ev{
+				{at: 50 * time.Millisecond, loss: true, inflight: 32 * mss, wantCwnd: 16 * mss, wantSsthresh: 16 * mss, wantCut: true},
+				// 5ms later — inside the same 10ms RTT — a second loss is part
+				// of the same congestion event: no second halving.
+				{at: 55 * time.Millisecond, loss: true, inflight: 30 * mss, wantCwnd: 16 * mss, wantSsthresh: 16 * mss},
+				// One full RTT past the first cut, a new loss cuts again.
+				{at: 60 * time.Millisecond, loss: true, inflight: 16 * mss, wantCwnd: 8 * mss, wantSsthresh: 8 * mss, wantCut: true},
+			},
+		},
+		{
+			name: "window floor is two segments", cwnd: 3 * mss, ssthresh: 16 * mss,
+			events: []ev{
+				{at: 50 * time.Millisecond, loss: true, inflight: mss, wantCwnd: 2 * mss, wantSsthresh: 2 * mss, wantCut: true},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := &flowState{mss: mss, cwnd: tt.cwnd, ssthresh: tt.ssthresh,
+				rtt: 10 * time.Millisecond, lastCut: -1 << 40}
+			for i, e := range tt.events {
+				if e.loss {
+					f.inflight = e.inflight
+					if cut := f.onLoss(e.at); cut != e.wantCut {
+						t.Fatalf("event %d at %v: cut = %v, want %v", i, e.at, cut, e.wantCut)
+					}
+				} else {
+					f.inflight += mss
+					f.onAck(mss)
+				}
+				if f.cwnd != e.wantCwnd || f.ssthresh != e.wantSsthresh {
+					t.Fatalf("event %d at %v: cwnd/ssthresh = %d/%d, want %d/%d",
+						i, e.at, f.cwnd, f.ssthresh, e.wantCwnd, e.wantSsthresh)
+				}
+			}
+		})
+	}
+}
+
+// pattern fills n bytes with a position-dependent pattern so any reassembly
+// error (holes, duplicates, reordering) is caught by a byte compare.
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>8)
+	}
+	return b
+}
+
+// runFlowTransfer pushes size bytes a->b over the given link with the flow
+// model enabled and returns the received bytes, the elapsed virtual time,
+// and the network's flow counters.
+func runFlowTransfer(t *testing.T, cfg LinkConfig, flow FlowConfig, size int) ([]byte, time.Duration, FlowStats) {
+	t.Helper()
+	k, n := twoHosts(cfg)
+	n.EnableFlowModel(flow)
+	data := pattern(size)
+	var got []byte
+	var start, done time.Duration
+	n.Node("b").SpawnDaemonOn("server", func(env transport.Env) {
+		l, err := env.Listen(7000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c, err := l.Accept(env)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		b, err := io.ReadAll(transport.Stream{Env: env, Conn: c})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = b
+		done = env.Now() // last byte (and FIN) landed
+	})
+	n.Node("a").SpawnOn("client", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		c, err := env.Dial("b:7000")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start = env.Now()
+		// Write returns once the window absorbs the tail, so transfer time
+		// is measured at the receiver (start of write to last delivery).
+		if _, err := c.Write(env, data); err != nil {
+			t.Error(err)
+			return
+		}
+		_ = c.Close(env)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("received %d bytes, sent %d; content mismatch", len(got), len(data))
+	}
+	return got, done - start, n.FlowStats()
+}
+
+func TestFlowLossyTransferDeliversIntact(t *testing.T) {
+	cfg := LinkConfig{Latency: 5 * time.Millisecond, Bandwidth: 1 << 20, LossRate: 0.02}
+	_, elapsed, st := runFlowTransfer(t, cfg, FlowConfig{Seed: 7}, 512<<10)
+	if st.Drops == 0 || st.Retransmits == 0 || st.Cuts == 0 {
+		t.Fatalf("expected loss activity, got %+v", st)
+	}
+	if st.Retransmits < st.Drops {
+		t.Fatalf("every drop must be retransmitted: %+v", st)
+	}
+	// A congestion-limited flow must run strictly below the loss-free time
+	// (512 KiB at 1 MiB/s = 0.5 s serialization alone).
+	lossFree := time.Duration(float64(512<<10) / float64(1<<20) * float64(time.Second))
+	if elapsed <= lossFree {
+		t.Fatalf("elapsed %v not above loss-free bound %v", elapsed, lossFree)
+	}
+}
+
+func TestFlowNoLossMatchesPlainThroughputClosely(t *testing.T) {
+	cfg := LinkConfig{Latency: time.Millisecond, Bandwidth: 1 << 20}
+	_, elapsed, st := runFlowTransfer(t, cfg, FlowConfig{}, 256<<10)
+	if st.Drops != 0 || st.Retransmits != 0 {
+		t.Fatalf("no loss configured, got %+v", st)
+	}
+	// Slow start adds a few RTTs over the raw serialization time but the
+	// transfer must still be bandwidth-dominated.
+	ser := time.Duration(float64(256<<10) / float64(1<<20) * float64(time.Second))
+	if elapsed < ser || elapsed > ser+100*time.Millisecond {
+		t.Fatalf("elapsed %v, want within [%v, %v]", elapsed, ser, ser+100*time.Millisecond)
+	}
+}
+
+func TestFlowQueueOverflowDrops(t *testing.T) {
+	// Two senders share one narrow link with a tiny queue: overflow must
+	// drop and the streams must still deliver intact.
+	k := sim.New()
+	n := New(k)
+	n.AddHost("a", HostConfig{})
+	n.AddHost("b", HostConfig{})
+	n.Connect("a", "b", LinkConfig{Latency: 2 * time.Millisecond, Bandwidth: 256 << 10, QueueLimit: 4})
+	n.EnableFlowModel(FlowConfig{Seed: 3})
+	data := pattern(128 << 10)
+	results := make([][]byte, 2)
+	n.Node("b").SpawnDaemonOn("server", func(env transport.Env) {
+		l, err := env.Listen(7000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 2; i++ {
+			c, err := l.Accept(env)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			idx := i
+			env.Spawn("sink", func(e transport.Env) {
+				b, err := io.ReadAll(transport.Stream{Env: e, Conn: c})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				results[idx] = b
+			})
+		}
+	})
+	for s := 0; s < 2; s++ {
+		n.Node("a").SpawnOn("client", func(env transport.Env) {
+			env.Sleep(time.Millisecond)
+			c, err := env.Dial("b:7000")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.Write(env, data); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = c.Close(env)
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range results {
+		if !bytes.Equal(got, data) {
+			t.Fatalf("stream %d: %d bytes received, want %d intact", i, len(got), len(data))
+		}
+	}
+	if st := n.FlowStats(); st.Drops == 0 {
+		t.Fatalf("queue limit 4 never overflowed: %+v", st)
+	}
+}
+
+// TestFlowDeterminism runs the same lossy transfer twice and requires
+// identical virtual-time results and counters.
+func TestFlowDeterminism(t *testing.T) {
+	cfg := LinkConfig{Latency: 5 * time.Millisecond, Bandwidth: 1 << 20, LossRate: 0.05}
+	_, e1, s1 := runFlowTransfer(t, cfg, FlowConfig{Seed: 11}, 256<<10)
+	_, e2, s2 := runFlowTransfer(t, cfg, FlowConfig{Seed: 11}, 256<<10)
+	if e1 != e2 || s1 != s2 {
+		t.Fatalf("double run diverged: %v/%+v vs %v/%+v", e1, s1, e2, s2)
+	}
+	_, e3, s3 := runFlowTransfer(t, cfg, FlowConfig{Seed: 12}, 256<<10)
+	if e3 == e1 && s3 == s1 {
+		t.Fatalf("different seed produced identical run: %v %+v", e3, s3)
+	}
+}
+
+// TestFlowOffIsInert checks the flow model's central contract: a network
+// that never calls EnableFlowModel behaves exactly as before — LossRate and
+// QueueLimit on links are ignored and no flow state is attached.
+func TestFlowOffIsInert(t *testing.T) {
+	cfg := LinkConfig{Latency: time.Millisecond, Bandwidth: 1 << 20, LossRate: 0.5, QueueLimit: 1}
+	k, n := twoHosts(cfg)
+	data := pattern(64 << 10)
+	var got []byte
+	n.Node("b").SpawnDaemonOn("server", func(env transport.Env) {
+		l, _ := env.Listen(7000)
+		c, err := l.Accept(env)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got, _ = io.ReadAll(transport.Stream{Env: env, Conn: c})
+	})
+	n.Node("a").SpawnOn("client", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		c, err := env.Dial("b:7000")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, _ = c.Write(env, data)
+		_ = c.Close(env)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("content mismatch with flow model off")
+	}
+	if st := n.FlowStats(); st != (FlowStats{}) {
+		t.Fatalf("flow counters moved while disabled: %+v", st)
+	}
+}

@@ -48,6 +48,15 @@ type LinkConfig struct {
 	Latency time.Duration
 	// Bandwidth is bytes per second in each direction; 0 means unlimited.
 	Bandwidth int64
+	// LossRate is the per-segment drop probability (each direction) applied
+	// to data segments of flow-modeled connections crossing this link. The
+	// draw is seeded and deterministic. No effect unless EnableFlowModel has
+	// been called.
+	LossRate float64
+	// QueueLimit, when > 0, tail-drops a flow-modeled data segment that
+	// arrives while QueueLimit transfers are already waiting on the link.
+	// No effect unless EnableFlowModel has been called.
+	QueueLimit int
 }
 
 // Network is a virtual network bound to a simulation kernel.
@@ -71,6 +80,16 @@ type Network struct {
 	// single-kernel objects, so the pools need no locking.
 	freeTr  []*transfer
 	freeSeg [][]byte
+
+	// TCP-Reno flow model (see flow.go); off by default, and when off the
+	// data plane behaves bit-identically to a network built before the model
+	// existed.
+	flowOn      bool
+	flowCfg     FlowConfig
+	lossSeed    uint64
+	flowDrops   int64
+	flowRetrans int64
+	flowCuts    int64
 }
 
 // Pool bounds: past these, records are left to the garbage collector.
@@ -351,6 +370,7 @@ type transfer struct {
 	seg     []byte
 	src     *conn // writer credited when the segment lands
 	dst     *conn // peer whose inbox receives seg
+	seq     int64 // byte sequence (flow-modeled connections only)
 	deliver func()
 }
 
@@ -407,6 +427,11 @@ func (n *Network) sendData(src *conn, seg []byte) {
 	tr := n.newTransfer()
 	tr.size, tr.path = len(seg), src.path
 	tr.seg, tr.src, tr.dst = seg, src, src.peer
+	if f := src.flow; f != nil {
+		tr.seq = src.sendSeq
+		src.sendSeq += int64(len(seg))
+		f.inflight += len(seg)
+	}
 	n.launch(tr)
 }
 
@@ -422,6 +447,10 @@ func (n *Network) launch(tr *transfer) {
 }
 
 func (ld *linkDir) enqueue(tr *transfer) {
+	if tr.src != nil && tr.src.flow != nil && ld.shouldDrop() {
+		ld.dropSegment(tr)
+		return
+	}
 	if ld.state == linkIdle {
 		ld.state = linkPosted
 		ld.net.K.Post(ld)
@@ -570,7 +599,22 @@ func (tr *transfer) advance() {
 	}
 	// Data segment: land in the peer's inbox and return window credit.
 	seg, src, dst := tr.seg, tr.src, tr.dst
+	seq := tr.seq
 	n.putTransfer(tr)
+	if f := src.flow; f != nil {
+		// Flow-modeled stream: the arrival is the ACK (window growth happens
+		// here), and the receiver reassembles by sequence because
+		// retransmitted segments arrive out of order.
+		f.onAck(len(seg))
+		src.credit += len(seg)
+		src.creditCond.Broadcast()
+		if dst.closed {
+			n.putSeg(seg)
+			return
+		}
+		dst.deliverSeq(seq, seg)
+		return
+	}
 	if !dst.closed {
 		dst.pushInbox(seg)
 		dst.readCond.Broadcast()

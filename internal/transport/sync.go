@@ -55,7 +55,10 @@ func (q Queue[T]) Get(env Env) (T, bool) {
 		var zero T
 		return zero, false
 	}
-	return v.(T), true
+	// Comma-ok assertion: a nil interface (e.g. a nil error Put through the
+	// untyped queue) yields T's zero value instead of panicking.
+	tv, _ := v.(T)
+	return tv, true
 }
 
 // TryGet pops the head if available.
@@ -65,7 +68,8 @@ func (q Queue[T]) TryGet(env Env) (T, bool) {
 		var zero T
 		return zero, false
 	}
-	return v.(T), true
+	tv, _ := v.(T)
+	return tv, true
 }
 
 // GetTimeout is Get bounded by d.
@@ -75,7 +79,8 @@ func (q Queue[T]) GetTimeout(env Env, d time.Duration) (v T, ok, timedOut bool) 
 		var zero T
 		return zero, ok, timedOut
 	}
-	return av.(T), true, false
+	tv, _ := av.(T)
+	return tv, true, false
 }
 
 // Close marks the queue finished.
