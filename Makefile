@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check chaos race bench bench-json bench-diff experiments examples cover fuzz clean
+.PHONY: all build test check chaos race race-parallel bench bench-json bench-diff experiments examples cover fuzz clean
 
 all: build check
 
@@ -14,13 +14,21 @@ test:
 
 # check is the default verification gate: vet, the end-to-end chaos
 # scenarios, the full test suite under the race detector (the parallel
-# sweep makes race coverage load-bearing), a short fuzz smoke over the
-# wire-facing parsers, and the coverage floor.
+# sweep makes race coverage load-bearing), a focused race pass over the
+# parallel-DES kernel paths, a short fuzz smoke over the wire-facing
+# parsers, and the coverage floor.
 check: chaos
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) race-parallel
 	$(MAKE) fuzz
 	$(MAKE) cover
+
+# race-parallel exercises the conservative parallel-DES machinery — group
+# kernels, the partitioned network coupling, and the wide-grid oracle
+# tests — under the race detector with fresh (uncached) runs.
+race-parallel:
+	$(GO) test -race -count=1 -run 'TestGroup|TestPartitioned|TestCouple|TestGridKnapsack|TestParallel' ./internal/sim/ ./internal/simnet/ ./internal/bench/
 
 # chaos runs the fault-injection recovery scenarios (see EXPERIMENTS.md,
 # "Chaos runs") on their own, under the race detector.
@@ -34,18 +42,24 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-json runs the kernel/data-plane microbenchmarks and emits machine-
-# readable results for tracking regressions across commits.
+# readable results for tracking regressions across commits. BENCHTIME
+# stretches each benchmark enough that the ~100ms/op parallel-DES runs get
+# a stable sample.
+BENCHTIME ?= 2s
+BENCH_PAT = KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong|TransferSingle|TransferParallel8|ParallelTable4
+
 bench-json:
-	$(GO) test -run NONE -bench 'KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong|TransferSingle|TransferParallel8' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
+	$(GO) test -run NONE -bench '$(BENCH_PAT)' -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson > BENCH_kernel.json
 	@cat BENCH_kernel.json
 
 # bench-diff re-runs the microbenchmarks and gates on regressions against
 # the committed BENCH_kernel.json baseline: > BENCH_THRESHOLD relative ns/op
-# growth, or any allocs/op growth, exits non-zero (see cmd/benchdiff).
+# or allocs/op growth (any growth at all on 0-alloc baselines) exits
+# non-zero, and parallel speedups are summarized (see cmd/benchdiff).
 BENCH_THRESHOLD ?= 0.10
 
 bench-diff:
-	$(GO) test -run NONE -bench 'KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong|TransferSingle|TransferParallel8' -benchmem . | $(GO) run ./cmd/benchjson > BENCH_new.json
+	$(GO) test -run NONE -bench '$(BENCH_PAT)' -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson > BENCH_new.json
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_THRESHOLD) BENCH_kernel.json BENCH_new.json
 
 experiments:

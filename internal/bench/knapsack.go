@@ -196,7 +196,7 @@ func bestOf(in *knapsack.Instance, cap int) int64 {
 // runOn executes one knapsack run on a fresh testbed.
 func runOn(cfg KnapsackConfig, in *knapsack.Instance, place func(*cluster.Testbed) []mpi.Placement, proxied bool) (*knapsack.Result, error) {
 	tb := cluster.NewTestbed(cfg.Options)
-	defer tb.K.Shutdown()
+	defer tb.Shutdown()
 	w := mpi.NewWorld(place(tb))
 	var res *knapsack.Result
 	w.Launch(func(c *mpi.Comm) error {
@@ -209,7 +209,7 @@ func runOn(cfg KnapsackConfig, in *knapsack.Instance, place func(*cluster.Testbe
 		}
 		return nil
 	})
-	if err := tb.K.Run(); err != nil {
+	if err := tb.Run(); err != nil {
 		return nil, err
 	}
 	if err := w.Err(); err != nil {
@@ -230,6 +230,9 @@ func clusterOf(host string) string {
 		return "ETL-O2K"
 	case host == cluster.ETLSun:
 		return "ETL-Sun"
+	case strings.HasPrefix(host, "grid"):
+		// grid3-o2k -> GRID3
+		return strings.ToUpper(strings.SplitN(host, "-", 2)[0])
 	default:
 		return "RWCP-Sun"
 	}
@@ -353,7 +356,7 @@ func RunWideHierarchical(cfg KnapsackConfig) (*knapsack.Result, error) {
 	cfg = cfg.withDefaults()
 	in := knapsack.Normalized(cfg.Items, cfg.Capacity)
 	tb := cluster.NewTestbed(cfg.Options)
-	defer tb.K.Shutdown()
+	defer tb.Shutdown()
 	w := mpi.NewWorld(tb.Placements(cluster.SystemWide, true))
 	var res *knapsack.Result
 	w.Launch(func(c *mpi.Comm) error {
@@ -366,7 +369,7 @@ func RunWideHierarchical(cfg KnapsackConfig) (*knapsack.Result, error) {
 		}
 		return nil
 	})
-	if err := tb.K.Run(); err != nil {
+	if err := tb.Run(); err != nil {
 		return nil, err
 	}
 	if err := w.Err(); err != nil {

@@ -1,14 +1,17 @@
 package bench
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
 // RunParallel executes n independent jobs across up to workers goroutines
-// (workers <= 0 selects GOMAXPROCS) and returns the first error in job
-// order, or nil.
+// (workers <= 0 selects GOMAXPROCS). Every job runs to completion even when
+// earlier jobs fail; the per-job errors are aggregated in job-index order
+// with errors.Join, so a failed sweep reports every broken run rather than
+// an arbitrary first one.
 //
 // This is the experiment sweep harness: each job builds its own testbed on
 // its own simulation kernel, so runs that execute concurrently on host
@@ -17,9 +20,8 @@ import (
 // result ordering deterministic regardless of completion order.
 //
 // With workers == 1 (or a single job) the jobs run inline on the calling
-// goroutine, stopping at the first error — the exact sequential semantics
-// the harness had before parallelization, which the determinism tests
-// compare against.
+// goroutine in index order — the sequential semantics the determinism tests
+// compare against — with the same error aggregation.
 func RunParallel(n, workers int, job func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,15 +29,13 @@ func RunParallel(n, workers int, job func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	errs := make([]error, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
-				return err
-			}
+			errs[i] = job(i)
 		}
-		return nil
+		return errors.Join(errs...)
 	}
-	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -52,10 +52,5 @@ func RunParallel(n, workers int, job func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"time"
+
+	"nxcluster/internal/cluster"
+	"nxcluster/internal/knapsack"
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/simnet"
+)
+
+// GridConfig parameterizes one wide-grid knapsack run: the Table 4 wide-area
+// system extended with Options.ExtraSites extra grid sites, runnable on the
+// monolithic oracle kernel or partitioned across site sub-kernels. It is the
+// workload the conservative parallel-DES mode is validated and benchmarked
+// on.
+type GridConfig struct {
+	// Items and Capacity size the knapsack instance (defaults 50 and 3).
+	Items    int
+	Capacity int
+	// Params are the self-scheduler knobs (zero value = tuned defaults).
+	Params knapsack.Params
+	// Options are the testbed options. ParallelSites is overridden per run
+	// by RunGridKnapsack's sites argument.
+	Options cluster.Options
+	// UseProxy routes RWCP-site ranks through the Nexus Proxy relays.
+	UseProxy bool
+	// Plan, when non-nil, is applied to the testbed before the run (to
+	// every partition mirror in parallel mode).
+	Plan *simnet.FaultPlan
+	// Trace attaches a kernel trace hook per kernel and reports the event
+	// interleaving as one FNV-64a hash per kernel.
+	Trace bool
+}
+
+func (c GridConfig) withDefaults() GridConfig {
+	if c.Items <= 0 {
+		c.Items = 50
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 3
+	}
+	if c.Params.Interval == 0 && c.Params.StealUnit == 0 {
+		c.Params = knapsack.DefaultParams()
+	}
+	return c
+}
+
+// GridResult is one wide-grid run's outcome: the virtual-time results the
+// determinism tests compare, plus the host wall-clock the speedup sweep
+// measures.
+type GridResult struct {
+	// Elapsed is the solve's virtual execution time.
+	Elapsed time.Duration
+	// Best and Traversed are the knapsack optimum and total node count.
+	Best      int64
+	Traversed int64
+	// TraceHashes holds one event-trace hash per kernel (partition order;
+	// one entry on the monolithic kernel), when GridConfig.Trace is set.
+	TraceHashes []uint64
+	// Wall is the host time spent inside the kernel run.
+	Wall time.Duration
+	// Result carries the run's full statistics.
+	Result *knapsack.Result
+}
+
+// RunGridKnapsack executes one wide-grid knapsack solve. sites selects the
+// execution mode: 0 runs the monolithic sequential kernel (the oracle), >= 1
+// partitions the testbed by site and runs the sub-kernels on that many
+// worker threads with lookahead synchronization.
+func RunGridKnapsack(cfg GridConfig, sites int) (*GridResult, error) {
+	cfg = cfg.withDefaults()
+	opts := cfg.Options
+	opts.ParallelSites = sites
+	tb := cluster.NewTestbed(opts)
+	defer tb.Shutdown()
+
+	var hashers []hash.Hash64
+	if cfg.Trace {
+		for _, k := range tb.Kernels() {
+			h := fnv.New64a()
+			hashers = append(hashers, h)
+			k.Trace = func(at time.Duration, format string, args ...interface{}) {
+				fmt.Fprintf(h, "%d ", at)
+				fmt.Fprintf(h, format, args...)
+				h.Write([]byte{'\n'})
+			}
+		}
+	}
+	if cfg.Plan != nil {
+		if err := tb.ApplyPlan(cfg.Plan); err != nil {
+			return nil, err
+		}
+	}
+
+	in := knapsack.Normalized(cfg.Items, cfg.Capacity)
+	w := mpi.NewWorld(tb.GridPlacements(cfg.UseProxy))
+	var res *knapsack.Result
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := knapsack.Run(c, in, cfg.Params)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = r
+		}
+		return nil
+	})
+	start := time.Now()
+	if err := tb.Run(); err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("bench: grid run: no result from master")
+	}
+	gr := &GridResult{
+		Elapsed:   res.Elapsed,
+		Best:      res.Best,
+		Traversed: res.TotalTraversed,
+		Wall:      wall,
+		Result:    res,
+	}
+	for _, h := range hashers {
+		gr.TraceHashes = append(gr.TraceHashes, h.Sum64())
+	}
+	return gr, nil
+}
+
+// SpeedupRow is one speedup-sweep entry.
+type SpeedupRow struct {
+	// Label names the run ("sequential" or "site-workers-N").
+	Label string
+	// Sites is the site-worker count (0 = monolithic oracle).
+	Sites int
+	// Wall is the host time spent inside the kernel run.
+	Wall time.Duration
+	// Speedup is the sequential wall time divided by this run's.
+	Speedup float64
+}
+
+// SpeedupReport is the parallel-DES speedup sweep: the same wide-grid
+// workload run on the monolithic kernel and at each requested site-worker
+// count, with wall-clock speedups relative to the sequential run.
+type SpeedupReport struct {
+	Config GridConfig
+	// Elapsed is the (worker-count-invariant) virtual execution time.
+	Elapsed time.Duration
+	Rows    []SpeedupRow
+}
+
+// RunParallelSpeedup runs the speedup sweep. Every partitioned run's virtual
+// results are checked against the sequential oracle when the flow model is
+// off (the congestion model's cross-site feedback is barrier-quantized, so
+// flow-model runs are worker-count-invariant but not oracle-identical).
+func RunParallelSpeedup(cfg GridConfig, siteWorkers []int) (*SpeedupReport, error) {
+	cfg = cfg.withDefaults()
+	seq, err := RunGridKnapsack(cfg, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bench: sequential grid run: %w", err)
+	}
+	rep := &SpeedupReport{
+		Config:  cfg,
+		Elapsed: seq.Elapsed,
+		Rows:    []SpeedupRow{{Label: "sequential", Wall: seq.Wall, Speedup: 1}},
+	}
+	for _, sw := range siteWorkers {
+		r, err := RunGridKnapsack(cfg, sw)
+		if err != nil {
+			return nil, fmt.Errorf("bench: grid run with %d site-workers: %w", sw, err)
+		}
+		if cfg.Options.FlowModel == nil &&
+			(r.Elapsed != seq.Elapsed || r.Best != seq.Best || r.Traversed != seq.Traversed) {
+			return nil, fmt.Errorf("bench: %d site-workers diverged from oracle: elapsed %v best %d traversed %d, want %v/%d/%d",
+				sw, r.Elapsed, r.Best, r.Traversed, seq.Elapsed, seq.Best, seq.Traversed)
+		}
+		rep.Rows = append(rep.Rows, SpeedupRow{
+			Label:   fmt.Sprintf("site-workers-%d", sw),
+			Sites:   sw,
+			Wall:    r.Wall,
+			Speedup: float64(seq.Wall) / float64(r.Wall),
+		})
+	}
+	return rep, nil
+}
+
+// FormatSpeedup renders the sweep as a table.
+func FormatSpeedup(r *SpeedupReport) string {
+	s := fmt.Sprintf("Parallel-DES speedup: wide-grid knapsack (%d items, capacity %d, %d extra sites, virtual exec %s)\n",
+		r.Config.Items, r.Config.Capacity, r.Config.Options.ExtraSites, fmtSeconds(r.Elapsed))
+	s += fmt.Sprintf("%-18s %14s %9s\n", "run", "wall clock", "speedup")
+	for _, row := range r.Rows {
+		s += fmt.Sprintf("%-18s %14s %9.2f\n", row.Label, row.Wall.Round(time.Millisecond), row.Speedup)
+	}
+	return s
+}

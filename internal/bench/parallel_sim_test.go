@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+
+	"nxcluster/internal/cluster"
+	"nxcluster/internal/knapsack"
+	"nxcluster/internal/mpi"
+	"nxcluster/internal/obs"
+	"nxcluster/internal/obs/timeseries"
+	"nxcluster/internal/simnet"
+)
+
+// gridFaults is the validation fault plan: a WAN outage on the ETL leg plus
+// a crash window on ETL-Sun (which hosts no ranks, so the workload survives
+// while the host-fault machinery runs on a non-owning partition boundary).
+func gridFaults() *simnet.FaultPlan {
+	return (&simnet.FaultPlan{}).
+		LinkOutage(cluster.RWCPOuter, "etl-gw", 50*time.Millisecond, 120*time.Millisecond).
+		CrashWindow(cluster.ETLSun, 30*time.Millisecond, 200*time.Millisecond)
+}
+
+// TestGridKnapsackParallelMatchesOracle is the tentpole contract: the
+// partitioned parallel kernels produce bit-identical virtual-time results to
+// the monolithic sequential oracle, at every worker count, with the proxied
+// wide-area data path crossing the partition boundary.
+func TestGridKnapsackParallelMatchesOracle(t *testing.T) {
+	cfg := GridConfig{Capacity: 2, Options: cluster.Options{ExtraSites: 1}, UseProxy: true}
+	want, err := RunGridKnapsack(cfg, 0)
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+	if want.Best != bestOf(knapsack.Normalized(50, 2), 2) {
+		t.Fatalf("oracle best = %d, want %d", want.Best, bestOf(knapsack.Normalized(50, 2), 2))
+	}
+	for _, sites := range []int{1, 2, 4} {
+		got, err := RunGridKnapsack(cfg, sites)
+		if err != nil {
+			t.Fatalf("%d site-workers: %v", sites, err)
+		}
+		if got.Elapsed != want.Elapsed || got.Best != want.Best || got.Traversed != want.Traversed {
+			t.Errorf("%d site-workers: elapsed %v best %d traversed %d, oracle %v/%d/%d",
+				sites, got.Elapsed, got.Best, got.Traversed, want.Elapsed, want.Best, want.Traversed)
+		}
+	}
+}
+
+// TestGridKnapsackFaultsMatchOracle extends the oracle contract to a faulted
+// run: with the WAN flapping and a host crash-restarting, the partitioned
+// run still reproduces the oracle's virtual time exactly.
+func TestGridKnapsackFaultsMatchOracle(t *testing.T) {
+	cfg := GridConfig{Capacity: 2, Options: cluster.Options{ExtraSites: 1, OpenFirewall: true}, Plan: gridFaults()}
+	want, err := RunGridKnapsack(cfg, 0)
+	if err != nil {
+		t.Fatalf("oracle run: %v", err)
+	}
+	for _, sites := range []int{1, 2} {
+		got, err := RunGridKnapsack(cfg, sites)
+		if err != nil {
+			t.Fatalf("%d site-workers: %v", sites, err)
+		}
+		if got.Elapsed != want.Elapsed || got.Best != want.Best || got.Traversed != want.Traversed {
+			t.Errorf("%d site-workers: elapsed %v best %d traversed %d, oracle %v/%d/%d",
+				sites, got.Elapsed, got.Best, got.Traversed, want.Elapsed, want.Best, want.Traversed)
+		}
+	}
+}
+
+// TestParallelInvarianceMatrix sweeps {fault} x {flow} x {trace} and asserts
+// the partitioned run's virtual results — elapsed time, knapsack optimum,
+// traversed nodes, and per-partition event-trace hashes — are identical at
+// 1, 2 and 4 site-workers. Flow-model cells are worker-count-invariant but
+// not oracle-identical (cross-site congestion feedback is quantized to the
+// lookahead window), which is exactly what this matrix pins down.
+func TestParallelInvarianceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24-run validation matrix")
+	}
+	for _, fault := range []bool{false, true} {
+		for _, flow := range []bool{false, true} {
+			for _, trace := range []bool{false, true} {
+				name := fmt.Sprintf("fault=%t/flow=%t/trace=%t", fault, flow, trace)
+				t.Run(name, func(t *testing.T) {
+					cfg := GridConfig{
+						Capacity: 2,
+						Options:  cluster.Options{ExtraSites: 2, OpenFirewall: true, Seed: 11},
+						Trace:    trace,
+					}
+					if flow {
+						cfg.Options.FlowModel = &simnet.FlowConfig{Seed: 7}
+						cfg.Options.WANLossRate = 0.01
+					}
+					if fault {
+						cfg.Plan = gridFaults()
+					}
+					var base *GridResult
+					for _, sites := range []int{1, 2, 4} {
+						r, err := RunGridKnapsack(cfg, sites)
+						if err != nil {
+							t.Fatalf("%d site-workers: %v", sites, err)
+						}
+						if r.Best != bestOf(knapsack.Normalized(50, 2), 2) {
+							t.Errorf("%d site-workers: best = %d, want optimum %d",
+								sites, r.Best, bestOf(knapsack.Normalized(50, 2), 2))
+						}
+						if base == nil {
+							base = r
+							continue
+						}
+						if r.Elapsed != base.Elapsed || r.Best != base.Best || r.Traversed != base.Traversed {
+							t.Errorf("%d site-workers: elapsed %v best %d traversed %d, 1-worker %v/%d/%d",
+								sites, r.Elapsed, r.Best, r.Traversed, base.Elapsed, base.Best, base.Traversed)
+						}
+						if len(r.TraceHashes) != len(base.TraceHashes) {
+							t.Fatalf("%d site-workers: %d trace hashes, want %d",
+								sites, len(r.TraceHashes), len(base.TraceHashes))
+						}
+						for i := range r.TraceHashes {
+							if r.TraceHashes[i] != base.TraceHashes[i] {
+								t.Errorf("%d site-workers: partition %d trace %#x, 1-worker %#x",
+									sites, i, r.TraceHashes[i], base.TraceHashes[i])
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestKnapsackSweepParallelMatchesOracle runs the complete Table 4 sweep —
+// all five systems plus the baseline — in parallel-DES mode and asserts the
+// formatted Tables 4/5/6 hash identically to the monolithic sweep: the
+// golden outputs of the repository's headline experiment do not depend on
+// the execution mode.
+func TestKnapsackSweepParallelMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Table 4 sweeps")
+	}
+	sweep := func(parallelSites int) uint64 {
+		t.Helper()
+		rep, err := RunKnapsack(KnapsackConfig{Capacity: 2, Options: cluster.Options{ParallelSites: parallelSites}})
+		if err != nil {
+			t.Fatalf("sweep (ParallelSites=%d): %v", parallelSites, err)
+		}
+		h := fnv.New64a()
+		fmt.Fprint(h, FormatTable4(rep))
+		fmt.Fprint(h, FormatTable5(rep))
+		fmt.Fprint(h, FormatTable6(rep))
+		return h.Sum64()
+	}
+	mono, par := sweep(0), sweep(2)
+	if mono != par {
+		t.Errorf("table hashes diverged: monolithic %#x, parallel %#x", mono, par)
+	}
+}
+
+// monitoredGridSeriesHash runs the wide-grid workload with a per-partition
+// monitoring plane (one observer and sampler per site kernel) and hashes
+// every partition's sampled series.
+func monitoredGridSeriesHash(t *testing.T, sites int) uint64 {
+	t.Helper()
+	tb := cluster.NewTestbed(cluster.Options{ExtraSites: 1, OpenFirewall: true, ParallelSites: sites})
+	defer tb.Shutdown()
+	samplers := make([]*timeseries.Sampler, len(tb.Nets))
+	for i, n := range tb.Nets {
+		o := obs.New()
+		n.Obs = o
+		samplers[i] = timeseries.NewSampler(tb.Group.Kernel(i), 50*time.Millisecond, o.Metrics())
+		samplers[i].Start()
+	}
+	in := knapsack.Normalized(50, 2)
+	w := mpi.NewWorld(tb.GridPlacements(false))
+	w.Launch(func(c *mpi.Comm) error {
+		_, err := knapsack.Run(c, in, knapsack.DefaultParams())
+		return err
+	})
+	if err := tb.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("world: %v", err)
+	}
+	h := fnv.New64a()
+	for i, s := range samplers {
+		st := s.Store()
+		for _, name := range st.Names() {
+			fmt.Fprintf(h, "p%d %s", i, name)
+			for _, v := range st.Series(name).Values(st.Windows()) {
+				fmt.Fprintf(h, " %d", v)
+			}
+			h.Write([]byte{'\n'})
+		}
+	}
+	return h.Sum64()
+}
+
+// TestParallelMonitorSeriesInvariant asserts the PR 4 monitoring plane stays
+// deterministic under parallel execution: per-partition samplers record
+// identical series regardless of the site-worker count.
+func TestParallelMonitorSeriesInvariant(t *testing.T) {
+	base := monitoredGridSeriesHash(t, 1)
+	for _, sites := range []int{2, 4} {
+		if got := monitoredGridSeriesHash(t, sites); got != base {
+			t.Errorf("%d site-workers: series hash %#x, 1-worker %#x", sites, got, base)
+		}
+	}
+}

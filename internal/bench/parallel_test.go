@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRunParallelAggregatesAllErrors(t *testing.T) {
+	errA := errors.New("job 2 failed")
+	errB := errors.New("job 5 failed")
+	var ran [8]bool
+	job := func(i int) error {
+		ran[i] = true
+		switch i {
+		case 2:
+			return errA
+		case 5:
+			return errB
+		}
+		return nil
+	}
+	for _, workers := range []int{1, 4} {
+		ran = [8]bool{}
+		err := RunParallel(len(ran), workers, job)
+		if err == nil {
+			t.Fatalf("workers=%d: nil error, want both job errors", workers)
+		}
+		if !errors.Is(err, errA) || !errors.Is(err, errB) {
+			t.Errorf("workers=%d: error %v missing a job error", workers, err)
+		}
+		for i, r := range ran {
+			if !r {
+				t.Errorf("workers=%d: job %d skipped after earlier failure", workers, i)
+			}
+		}
+	}
+}
+
+func TestRunParallelErrorOrder(t *testing.T) {
+	// Errors surface in job-index order, not completion order.
+	err := RunParallel(4, 4, func(i int) error {
+		return fmt.Errorf("job %d", i)
+	})
+	want := "job 0\njob 1\njob 2\njob 3"
+	if err == nil || err.Error() != want {
+		t.Errorf("error = %q, want %q", err, want)
+	}
+}
+
+func TestRunParallelNilOnSuccess(t *testing.T) {
+	if err := RunParallel(6, 3, func(int) error { return nil }); err != nil {
+		t.Errorf("err = %v, want nil", err)
+	}
+}

@@ -54,6 +54,16 @@ func CompasNode(i int) string { return fmt.Sprintf("compas%02d", i) }
 // CompasNodes is the COMPaS node count.
 const CompasNodes = 8
 
+// GridSite returns the i-th extra grid site's name (i in [0,ExtraSites)).
+func GridSite(i int) string { return fmt.Sprintf("grid%d", i+1) }
+
+// GridHost returns the i-th extra grid site's compute host: an Origin-class
+// SMP like ETL-O2K, reachable over its own IMnet-class WAN link.
+func GridHost(i int) string { return GridSite(i) + "-o2k" }
+
+// GridRanks is the per-grid-site rank count GridPlacements assigns.
+const GridRanks = 8
+
 // NXPort is the single firewall port opened for the outer->inner relay
 // channel.
 const NXPort = 7010
@@ -106,9 +116,15 @@ type Options struct {
 	// network: every layer running on this kernel emits spans, events and
 	// metrics into it, stamped with virtual time. Nil (the default) keeps
 	// every hot path allocation-free and all results bit-identical.
+	//
+	// Obs binds to a single kernel, so it requires the monolithic testbed
+	// (ParallelSites = 0); partitioned runs attach per-partition observers
+	// to Nets[i].Obs instead.
 	Obs *obs.Observer
 	// Seed, when nonzero, seeds the kernel's deterministic RNG (backoff
-	// jitter and any other randomized decisions draw from it).
+	// jitter and any other randomized decisions draw from it). Partitioned
+	// testbeds seed every site kernel identically so results do not depend
+	// on the partition count.
 	Seed uint64
 	// WANLatency overrides the calibrated IMnet link latency (0 =
 	// calibrated). Raising it models a longer wide-area path for bulk
@@ -125,12 +141,34 @@ type Options struct {
 	// for every connection in the testbed. Leave nil to keep the calibrated
 	// paper runs bit-identical.
 	FlowModel *simnet.FlowConfig
+	// ParallelSites, when >= 1, builds the testbed in conservative
+	// parallel-DES mode: the topology is partitioned by site (RWCP behind
+	// the firewall plus the outer server, ETL, and each extra grid site),
+	// every partition runs on its own sub-kernel, and ParallelSites worker
+	// threads execute the site kernels concurrently with lookahead
+	// synchronization at the minimum inter-site link latency. 0 (the
+	// default) keeps the single sequential kernel — the oracle every
+	// parallel run is validated against.
+	ParallelSites int
+	// ExtraSites adds that many "grid" sites — each an ETL-O2K-class host
+	// behind its own WAN link off the outer server — widening the testbed
+	// beyond Figure 5. Works in both monolithic and parallel modes, so
+	// speedup comparisons run the identical topology.
+	ExtraSites int
 }
 
 // Testbed is the simulated Figure 5 environment with proxy daemons running.
+//
+// In monolithic mode (Options.ParallelSites == 0), K and Net hold the single
+// kernel and network. In parallel mode, Group and Nets hold the per-site
+// sub-kernels and their topology mirrors, and K/Net are nil — drive the
+// testbed through Run, Shutdown, Node, ApplyPlan and Kernels, which work in
+// both modes.
 type Testbed struct {
 	K        *sim.Kernel
 	Net      *simnet.Network
+	Group    *sim.Group
+	Nets     []*simnet.Network
 	Firewall *firewall.Firewall
 	Outer    *proxy.OuterServer
 	Inner    *proxy.InnerServer
@@ -140,24 +178,15 @@ type Testbed struct {
 	// crashes); maintained once EnableRecovery is on.
 	OuterBoots int
 	opts       Options
+	assign     map[string]int
+	workers    int
 }
 
-// NewTestbed builds the Figure 5 environment on a fresh kernel and starts
-// the Nexus Proxy daemons.
-func NewTestbed(opts Options) *Testbed {
-	if opts.RelayPerBuffer == 0 {
-		opts.RelayPerBuffer = RelayPerBuffer
-	}
-	if opts.RelayBufBytes == 0 {
-		opts.RelayBufBytes = RelayBufBytes
-	}
-	k := sim.New()
-	if opts.Seed != 0 {
-		k.Seed(opts.Seed)
-	}
-	n := simnet.New(k)
-	n.Obs = opts.Obs
-
+// buildTopology adds the Figure 5 nodes, links, firewall and flow model to
+// n: the RWCP site, the outer server, the IMnet, the ETL site and any extra
+// grid sites. It performs no spawns, so parallel testbeds can build one
+// identical mirror per partition. It returns the RWCP firewall.
+func buildTopology(n *simnet.Network, opts Options) *firewall.Firewall {
 	// RWCP site (firewalled): RWCP-Sun, the COMPaS cluster, the inner
 	// server, and the gateway.
 	n.AddRouter("rwcp-lan", "rwcp")
@@ -199,6 +228,18 @@ func NewTestbed(opts Options) *Testbed {
 	n.Connect(ETLSun, "etl-lan", lan)
 	n.Connect(ETLO2K, "etl-lan", lan)
 
+	// Extra grid sites: each an O2K-class SMP on its own WAN spur off the
+	// outer server, publicly reachable like ETL.
+	for i := 0; i < opts.ExtraSites; i++ {
+		site := GridSite(i)
+		n.AddRouter(site+"-gw", site)
+		n.AddRouter(site+"-lan", site)
+		n.Connect(RWCPOuter, site+"-gw", wan)
+		n.Connect(site+"-gw", site+"-lan", bb)
+		n.AddHost(GridHost(i), simnet.HostConfig{Site: site, Speed: SpeedETLO2K, CPUs: 16})
+		n.Connect(GridHost(i), site+"-lan", lan)
+	}
+
 	// The RWCP firewall: the paper's typical configuration plus the single
 	// nxport hole. ETL's public hosts are modeled without a firewall (the
 	// paper: "ETL-Sun and ETL-O2K can be accessed directly from RWCP").
@@ -211,10 +252,91 @@ func NewTestbed(opts Options) *Testbed {
 	if opts.FlowModel != nil {
 		n.EnableFlowModel(*opts.FlowModel)
 	}
+	return fw
+}
 
+// partitionAssign maps every node of the topology to its site partition:
+// the RWCP site (with the siteless outer server) is partition 0, ETL is 1,
+// and each extra grid site gets its own partition after that.
+func partitionAssign(opts Options) map[string]int {
+	a := map[string]int{
+		"rwcp-lan": 0, "compas-sw": 0, "rwcp-gw": 0,
+		RWCPSun: 0, RWCPInner: 0, RWCPOuter: 0,
+		"etl-gw": 1, "etl-lan": 1, ETLSun: 1, ETLO2K: 1,
+	}
+	for i := 0; i < CompasNodes; i++ {
+		a[CompasNode(i)] = 0
+	}
+	for i := 0; i < opts.ExtraSites; i++ {
+		a[GridSite(i)+"-gw"] = 2 + i
+		a[GridSite(i)+"-lan"] = 2 + i
+		a[GridHost(i)] = 2 + i
+	}
+	return a
+}
+
+// NewTestbed builds the Figure 5 environment and starts the Nexus Proxy
+// daemons: on a fresh single kernel by default, or partitioned across
+// per-site sub-kernels when opts.ParallelSites >= 1.
+func NewTestbed(opts Options) *Testbed {
+	if opts.RelayPerBuffer == 0 {
+		opts.RelayPerBuffer = RelayPerBuffer
+	}
+	if opts.RelayBufBytes == 0 {
+		opts.RelayBufBytes = RelayBufBytes
+	}
+	if opts.ParallelSites > 0 {
+		return newParallelTestbed(opts)
+	}
+	k := sim.New()
+	if opts.Seed != 0 {
+		k.Seed(opts.Seed)
+	}
+	n := simnet.New(k)
+	n.Obs = opts.Obs
+	fw := buildTopology(n, opts)
+	tb := newTestbedOn(opts, fw)
+	tb.K, tb.Net = k, n
+	tb.spawnDaemons()
+	return tb
+}
+
+// newParallelTestbed builds one topology mirror per site partition on a
+// kernel group and couples them with lookahead synchronization.
+func newParallelTestbed(opts Options) *Testbed {
+	if opts.Obs != nil {
+		panic("cluster: Options.Obs requires the monolithic testbed; attach per-partition observers to Nets[i].Obs instead")
+	}
+	assign := partitionAssign(opts)
+	parts := 2 + opts.ExtraSites
+	g := sim.NewGroup(parts)
+	nets := make([]*simnet.Network, parts)
+	var fw *firewall.Firewall
+	for i := range nets {
+		k := g.Kernel(i)
+		if opts.Seed != 0 {
+			k.Seed(opts.Seed)
+		}
+		nets[i] = simnet.New(k)
+		f := buildTopology(nets[i], opts)
+		if i == 0 {
+			fw = f
+		}
+	}
+	if _, err := simnet.Couple(g, nets, assign); err != nil {
+		panic(fmt.Sprintf("cluster: couple site partitions: %v", err))
+	}
+	tb := newTestbedOn(opts, fw)
+	tb.Group, tb.Nets, tb.assign, tb.workers = g, nets, assign, opts.ParallelSites
+	tb.spawnDaemons()
+	return tb
+}
+
+// newTestbedOn builds the kernel-independent testbed state.
+func newTestbedOn(opts Options, fw *firewall.Firewall) *Testbed {
 	relay := proxy.RelayConfig{BufBytes: opts.RelayBufBytes, PerBuffer: opts.RelayPerBuffer}
 	tb := &Testbed{
-		K: k, Net: n, Firewall: fw, opts: opts,
+		Firewall: fw, opts: opts,
 		Inner: proxy.NewInnerServer(relay),
 		Outer: proxy.NewOuterServer(transport.JoinAddr(RWCPInner, NXPort), relay),
 		ProxyCfg: proxy.Config{
@@ -225,13 +347,83 @@ func NewTestbed(opts Options) *Testbed {
 	}
 	tb.Inner.Secret = opts.Secret
 	tb.Outer.Secret = opts.Secret
-	n.Node(RWCPInner).SpawnDaemonOn("nxproxy-inner", func(env transport.Env) {
+	return tb
+}
+
+// spawnDaemons boots the relay daemons on their owning hosts (both inside
+// the RWCP partition in parallel mode).
+func (tb *Testbed) spawnDaemons() {
+	tb.Node(RWCPInner).SpawnDaemonOn("nxproxy-inner", func(env transport.Env) {
 		_ = tb.Inner.Serve(env, NXPort, nil)
 	})
-	n.Node(RWCPOuter).SpawnDaemonOn("nxproxy-outer", func(env transport.Env) {
+	tb.Node(RWCPOuter).SpawnDaemonOn("nxproxy-outer", func(env transport.Env) {
 		_ = tb.Outer.Serve(env, OuterPort, nil)
 	})
-	return tb
+}
+
+// Parallel reports whether the testbed runs in partitioned parallel mode.
+func (tb *Testbed) Parallel() bool { return tb.Group != nil }
+
+// Run drives the simulation to completion: the single kernel's event loop in
+// monolithic mode, or the site kernels on ParallelSites worker threads with
+// lookahead synchronization in parallel mode.
+func (tb *Testbed) Run() error {
+	if tb.Group != nil {
+		return tb.Group.Run(tb.workers)
+	}
+	return tb.K.Run()
+}
+
+// Shutdown releases the testbed's kernel(s); call it once the run is done
+// (typically deferred right after NewTestbed).
+func (tb *Testbed) Shutdown() {
+	if tb.Group != nil {
+		tb.Group.Shutdown()
+		return
+	}
+	tb.K.Shutdown()
+}
+
+// Node returns a named node on the network that owns it — the single network
+// in monolithic mode, the owning partition's mirror in parallel mode.
+func (tb *Testbed) Node(name string) *simnet.Node {
+	if tb.Group != nil {
+		p, ok := tb.assign[name]
+		if !ok {
+			panic(fmt.Sprintf("cluster: unknown host %q", name))
+		}
+		return tb.Nets[p].Node(name)
+	}
+	return tb.Net.Node(name)
+}
+
+// ApplyPlan schedules a fault plan on the testbed. In parallel mode the plan
+// is applied to every partition mirror: link faults execute everywhere (each
+// mirror keeps its own copy of the wire state), host faults only on the
+// owning partition.
+func (tb *Testbed) ApplyPlan(p *simnet.FaultPlan) error {
+	if tb.Group != nil {
+		for _, n := range tb.Nets {
+			if err := n.ApplyPlan(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return tb.Net.ApplyPlan(p)
+}
+
+// Kernels returns the testbed's kernels: one in monolithic mode, one per
+// site partition in parallel mode (indexed like Nets).
+func (tb *Testbed) Kernels() []*sim.Kernel {
+	if tb.Group != nil {
+		ks := make([]*sim.Kernel, len(tb.Nets))
+		for i := range ks {
+			ks[i] = tb.Group.Kernel(i)
+		}
+		return ks
+	}
+	return []*sim.Kernel{tb.K}
 }
 
 // EnableRecovery arms the testbed's fault-tolerance plumbing: the inner
@@ -243,8 +435,12 @@ func NewTestbed(opts Options) *Testbed {
 // control address.
 //
 // With recovery on, the registration keepalive ticks forever — drive the
-// kernel with RunUntil, not Run.
+// kernel with RunUntil, not Run. Recovery requires the monolithic testbed
+// (RunUntil has no parallel-mode equivalent).
 func (tb *Testbed) EnableRecovery(ka proxy.KeepaliveConfig) {
+	if tb.Group != nil {
+		panic("cluster: EnableRecovery requires the monolithic testbed (ParallelSites = 0)")
+	}
 	if ka.OuterAddr == "" {
 		ka.OuterAddr = tb.ProxyCfg.OuterServer
 	}
@@ -273,8 +469,9 @@ func (tb *Testbed) EnableRecovery(ka proxy.KeepaliveConfig) {
 	})
 }
 
-// Host returns a named node.
-func (tb *Testbed) Host(name string) *simnet.Node { return tb.Net.Node(name) }
+// Host returns a named node (an alias for Node, kept for callers predating
+// the parallel mode).
+func (tb *Testbed) Host(name string) *simnet.Node { return tb.Node(name) }
 
 // Dialer returns a proxy-aware dialer configured for RWCP-site processes.
 func (tb *Testbed) Dialer() proxy.Dialer { return proxy.Dialer{Cfg: tb.ProxyCfg} }
@@ -355,7 +552,7 @@ func (tb *Testbed) Placements(s System, useProxy bool) []mpi.Placement {
 		for i := 0; i < n; i++ {
 			pls = append(pls, mpi.Placement{
 				Name:  host,
-				Spawn: tb.Net.Node(host).SpawnOn,
+				Spawn: tb.Node(host).SpawnOn,
 				Proxy: pc,
 			})
 		}
@@ -382,9 +579,24 @@ func (tb *Testbed) Placements(s System, useProxy bool) []mpi.Placement {
 	return pls
 }
 
+// GridPlacements extends the wide-area system across every extra grid site:
+// the Table 3 wide-area placements plus GridRanks ranks on each grid host
+// (publicly reachable like ETL, so never proxied). This is the workload the
+// parallel-DES speedup sweep partitions across site kernels.
+func (tb *Testbed) GridPlacements(useProxy bool) []mpi.Placement {
+	pls := tb.Placements(SystemWide, useProxy)
+	for i := 0; i < tb.opts.ExtraSites; i++ {
+		host := GridHost(i)
+		for r := 0; r < GridRanks; r++ {
+			pls = append(pls, mpi.Placement{Name: host, Spawn: tb.Node(host).SpawnOn})
+		}
+	}
+	return pls
+}
+
 // SequentialPlacement returns the paper's baseline: one process on RWCP-Sun.
 func (tb *Testbed) SequentialPlacement() []mpi.Placement {
-	return []mpi.Placement{{Name: RWCPSun, Spawn: tb.Net.Node(RWCPSun).SpawnOn}}
+	return []mpi.Placement{{Name: RWCPSun, Spawn: tb.Node(RWCPSun).SpawnOn}}
 }
 
 // Topology renders the Figure 1/Figure 5 environment as ASCII.

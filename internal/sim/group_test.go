@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// pingPongGroup wires two partitions that volley a counter back and forth
+// with one lookahead window of latency per hop, and returns the final
+// virtual times and counter value.
+func pingPongGroup(t *testing.T, workers, rounds int) (time.Duration, time.Duration, int) {
+	t.Helper()
+	const window = 3 * time.Millisecond
+	g := NewGroup(2)
+	g.SetWindow(window)
+
+	count := 0
+	var hook [2]func(payload any)
+	for i := 0; i < 2; i++ {
+		i := i
+		p := g.Part(i)
+		hook[i] = func(payload any) {
+			n := payload.(int)
+			count = n
+			if n >= rounds {
+				return
+			}
+			p.Send(1-i, p.K.Now()+window, n+1)
+		}
+		p.OnMessage = hook[i]
+	}
+	g.Part(0).K.Spawn("kick", func(p *Proc) {
+		g.Part(0).Send(1, window, 1)
+	})
+	if err := g.Run(workers); err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	return g.Kernel(0).Now(), g.Kernel(1).Now(), count
+}
+
+func TestGroupPingPongDeterministicAcrossWorkers(t *testing.T) {
+	t0, t1, count := pingPongGroup(t, 1, 10)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		u0, u1, c := pingPongGroup(t, workers, 10)
+		if u0 != t0 || u1 != t1 || c != count {
+			t.Fatalf("workers=%d diverged: (%v,%v,%d) != (%v,%v,%d)",
+				workers, u0, u1, c, t0, t1, count)
+		}
+	}
+}
+
+func TestGroupBoardLockstepRoster(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		g := NewGroup(2)
+		g.SetWindow(5 * time.Millisecond)
+		var done [2]time.Duration
+		var got [2]string
+		for i := 0; i < 2; i++ {
+			i := i
+			p := g.Part(i)
+			name := string(rune('a' + i))
+			p.K.Spawn("rank", func(pr *Proc) {
+				b := p.Board("roster")
+				b.SetExpected(2)
+				b.Put(name, name+"-addr")
+				for !b.Complete() {
+					pr.Sleep(time.Millisecond)
+				}
+				peer := string(rune('a' + (1 - i)))
+				got[i], _ = b.Get(peer)
+				done[i] = p.K.Now()
+			})
+		}
+		if err := g.Run(workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Both ranks put at t=0; lockstep exchanges at the first barrier, so
+		// the 1ms poll wakes to a complete roster — far below the 5ms window.
+		for i := 0; i < 2; i++ {
+			if want := string(rune('a'+(1-i))) + "-addr"; got[i] != want {
+				t.Fatalf("workers=%d rank %d read %q, want %q", workers, i, got[i], want)
+			}
+			if done[i] != time.Millisecond {
+				t.Fatalf("workers=%d rank %d finished at %v, want 1ms", workers, i, done[i])
+			}
+		}
+	}
+}
+
+func TestGroupDeadlockReported(t *testing.T) {
+	g := NewGroup(2)
+	g.SetWindow(time.Millisecond)
+	stuckK := g.Kernel(0)
+	g.Part(0).K.Spawn("stuck", func(p *Proc) {
+		NewEvent(stuckK).Wait(p)
+	})
+	err := g.Run(2)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	g.Shutdown()
+}
+
+func TestGroupSinglePartitionRuns(t *testing.T) {
+	g := NewGroup(1)
+	ran := false
+	g.Kernel(0).Spawn("p", func(p *Proc) {
+		p.Sleep(time.Second)
+		ran = true
+	})
+	if err := g.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	if !ran || g.Kernel(0).Now() != time.Second {
+		t.Fatalf("ran=%v now=%v", ran, g.Kernel(0).Now())
+	}
+}
+
+func TestGroupWindowRequired(t *testing.T) {
+	g := NewGroup(2)
+	if err := g.Run(1); err == nil {
+		t.Fatal("Run without SetWindow should fail")
+	}
+}

@@ -103,6 +103,11 @@ type conn struct {
 	recvNext int64    // next in-order byte sequence expected
 	ooo      []oooSeg // out-of-order segments awaiting retransmitted holes
 	finSeq   int64    // peer FIN sequence; -1 until received
+
+	// x is non-nil when the peer endpoint lives in another partition of a
+	// parallel group: peer is nil and all peer effects travel as typed wire
+	// messages (see partition.go).
+	x *xdesc
 }
 
 func (c *conn) pushInbox(seg []byte) {
@@ -130,7 +135,6 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 		return nil, fmt.Errorf("simnet: dial %s: %w", addr, transport.ErrNoRoute)
 	}
 
-	done := sim.NewEvent(nd.net.K)
 	var dialed *conn
 	var dialErr error
 	n := nd.net
@@ -138,6 +142,11 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 	if o := n.Obs; o != nil {
 		span = o.Begin(n.K.Now(), "net", "dial", nd.name, obs.Str("addr", addr))
 	}
+	if pt := n.part; pt != nil && pt.owner[dst.name] != pt.idx {
+		dialed, dialErr = pt.dialX(p, nd, port, path)
+		return nd.finishDial(span, addr, dialed, dialErr)
+	}
+	done := sim.NewEvent(nd.net.K)
 	n.send(path, ctlSize, func() {
 		if nd.crashed {
 			// The dialer's host died while the SYN was in flight; nobody is
@@ -192,6 +201,12 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 		})
 	})
 	done.Wait(p)
+	return nd.finishDial(span, addr, dialed, dialErr)
+}
+
+// finishDial closes the dial trace span and wraps the handshake outcome.
+func (nd *Node) finishDial(span obs.SpanID, addr string, dialed *conn, dialErr error) (transport.Conn, error) {
+	n := nd.net
 	if o := n.Obs; o != nil {
 		if dialErr != nil {
 			o.End(n.K.Now(), span, "net", "dial", nd.name, obs.Str("err", dialErr.Error()))
@@ -287,8 +302,13 @@ func (c *conn) Close(env transport.Env) error {
 	c.node.untrackConn(c)
 	c.readCond.Broadcast()
 	c.creditCond.Broadcast()
-	peer := c.peer
 	fin := c.sendSeq // flow mode: EOF takes effect only after all bytes land
+	if c.x != nil {
+		pt := c.node.net.part
+		pt.sendX(c.path, &xwire{op: opFIN, srcPart: pt.idx, dstID: c.x.peerID, finSeq: fin})
+		return nil
+	}
+	peer := c.peer
 	c.node.net.send(c.path, ctlSize, func() {
 		peer.deliverFin(fin)
 	})
@@ -318,6 +338,11 @@ func (c *conn) Abort(env transport.Env) error {
 		return nil
 	}
 	c.reset()
+	if c.x != nil {
+		pt := c.node.net.part
+		pt.sendX(c.path, &xwire{op: opRST, srcPart: pt.idx, dstID: c.x.peerID})
+		return nil
+	}
 	peer := c.peer
 	c.node.net.send(c.path, ctlSize, func() {
 		peer.deliverReset()
@@ -340,6 +365,10 @@ func (c *conn) reset() {
 		c.ooo[i].buf = nil
 	}
 	c.ooo = nil
+	if c.x != nil {
+		// Late cross-partition messages for a dead endpoint drop harmlessly.
+		delete(c.node.net.part.xconns, c.x.id)
+	}
 	c.node.untrackConn(c)
 	c.readCond.Broadcast()
 	c.creditCond.Broadcast()

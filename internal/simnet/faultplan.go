@@ -144,10 +144,16 @@ func (n *Network) execute(f Fault) {
 	case FaultLinkUp:
 		n.SetLinkUp(f.A, f.B)
 	case FaultCrash:
+		if !n.Owns(f.A) {
+			return // the owning partition executes host faults
+		}
 		if err := n.CrashHost(f.A); err != nil {
 			panic(err) // validated at ApplyPlan; unreachable
 		}
 	case FaultRestart:
+		if !n.Owns(f.A) {
+			return
+		}
 		if err := n.RestartHost(f.A); err != nil {
 			panic(err)
 		}

@@ -1,0 +1,496 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"nxcluster/internal/obs"
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+// Conservative-parallel partitioning of a network.
+//
+// Couple splits one logical topology across the sub-kernels of a sim.Group:
+// every partition holds a full mirror of the topology (nodes, links,
+// firewalls — cheap, static data) but *owns* only the nodes assigned to it.
+// Processes, listeners and connection endpoints live on owning partitions
+// only; routing and firewall checks run against the local mirror.
+//
+// The data plane needs exactly one new mechanism: when a link pump finishes
+// serializing a transfer whose next node is foreign, the transfer is not
+// propagated locally — it is shipped to the owning partition as a typed wire
+// message (an *xwire) carrying its remaining node chain, timestamped at
+// now + link latency. The group delivers it at that instant after the next
+// barrier; the lookahead window (the minimum boundary-link latency, computed
+// here) guarantees the instant is never in the destination's past. The
+// destination resolves the chain against its own mirror and resumes the
+// transfer, so multi-hop timing — serialization, queueing, stalls — is
+// reproduced hop for hop.
+//
+// Connections whose endpoints live in different partitions cannot share the
+// monolithic *conn pair (closures and pointers must not cross kernels), so
+// the handshake and teardown run over the same typed messages: SYN/SYNACK
+// establish half-conns registered in per-partition tables keyed by id,
+// data segments carry (id, seq, payload), window credit and loss
+// notifications return as barrier messages. With the flow model off this
+// reproduces the monolithic virtual-time behavior exactly for the paper's
+// workloads; with it on, cross-partition ACK timing is quantized to the
+// lookahead window (documented divergence — still deterministic for any
+// worker count).
+
+// Partition binds a Network to one sub-kernel of a sim.Group.
+type Partition struct {
+	net   *Network
+	gk    *sim.GroupKernel
+	idx   int
+	owner map[string]int
+
+	nextX  uint64
+	xconns map[uint64]*conn
+	dials  map[uint64]*xdial
+}
+
+// xdial tracks one in-flight cross-partition connection attempt on the
+// dialing side.
+type xdial struct {
+	nd   *Node
+	path []*linkDir
+	done *sim.Event
+	conn *conn
+	err  error
+}
+
+// xdesc marks a conn as one endpoint of a cross-partition connection.
+type xdesc struct {
+	id       uint64 // key in the local partition's xconns table
+	peerPart int
+	peerID   uint64
+}
+
+// Cross-partition wire operations.
+const (
+	opSYN uint8 = iota + 1
+	opSYNACK
+	opDialErr
+	opData
+	opCredit
+	opLoss
+	opFIN
+	opRST
+)
+
+// Dial-failure kinds carried by opDialErr.
+const (
+	dialErrRefused uint8 = iota + 1
+	dialErrHostDown
+)
+
+// xwire is one typed cross-partition message. Messages with a node chain
+// traverse links in the destination partition (resuming at nodes[0], final
+// node last); chainless messages (credit, loss) apply instantaneous control
+// state directly.
+type xwire struct {
+	op    uint8
+	nodes []string // remaining node chain; empty for instantaneous control ops
+	size  int
+
+	srcPart int
+	srcID   uint64 // sending side's conn/dial id
+	dstID   uint64 // receiving side's conn/dial id
+
+	// opSYN
+	route  []string // full forward node chain, dialer first
+	dialer string
+	port   int
+
+	// opSYNACK / opDialErr
+	localAddr  string
+	remoteAddr string
+	dialErr    uint8
+
+	// opData
+	seq  int64
+	data []byte
+	flow bool
+	rtt  time.Duration // sender's flow RTT, for destination-side retransmit timing
+
+	// opFIN
+	finSeq int64
+
+	// opCredit / opLoss
+	n int
+}
+
+// Couple partitions a set of identically-built mirror networks across the
+// sub-kernels of g: nets[i] must be built on g.Kernel(i) with the same
+// topology as every other mirror, and assign must map every node name to the
+// partition that owns it. It computes the lookahead window — the minimum
+// latency of any link joining differently-owned nodes — sets it on g, and
+// returns it. Boundary links must have positive latency (the lookahead would
+// otherwise be zero) and every partition's owned nodes should form a
+// connected subgraph so transfers cross where they are intercepted.
+func Couple(g *sim.Group, nets []*Network, assign map[string]int) (time.Duration, error) {
+	if len(nets) != g.Parts() {
+		return 0, fmt.Errorf("simnet: Couple: %d networks for %d partitions", len(nets), g.Parts())
+	}
+	ref := nets[0]
+	for name := range ref.nodes {
+		p, ok := assign[name]
+		if !ok {
+			return 0, fmt.Errorf("simnet: Couple: node %q not assigned to a partition", name)
+		}
+		if p < 0 || p >= len(nets) {
+			return 0, fmt.Errorf("simnet: Couple: node %q assigned to invalid partition %d", name, p)
+		}
+	}
+	for i, n := range nets {
+		if n.K != g.Kernel(i) {
+			return 0, fmt.Errorf("simnet: Couple: nets[%d] is not built on partition %d's kernel", i, i)
+		}
+		if n.part != nil {
+			return 0, fmt.Errorf("simnet: Couple: nets[%d] already coupled", i)
+		}
+		if len(n.nodes) != len(ref.nodes) {
+			return 0, fmt.Errorf("simnet: Couple: nets[%d] has %d nodes, mirror has %d", i, len(n.nodes), len(ref.nodes))
+		}
+		for name := range ref.nodes {
+			if n.nodes[name] == nil {
+				return 0, fmt.Errorf("simnet: Couple: nets[%d] is missing node %q", i, name)
+			}
+		}
+	}
+	var window time.Duration
+	for _, nd := range ref.nodes {
+		for _, ld := range nd.links {
+			if assign[ld.from.name] == assign[ld.to.name] {
+				continue
+			}
+			if ld.cfg.Latency <= 0 {
+				return 0, fmt.Errorf("simnet: Couple: boundary link %s has zero latency (no lookahead)", ld.label)
+			}
+			if window == 0 || ld.cfg.Latency < window {
+				window = ld.cfg.Latency
+			}
+		}
+	}
+	if window == 0 {
+		return 0, fmt.Errorf("simnet: Couple: no partition-crossing links; nothing to parallelize")
+	}
+	for i, n := range nets {
+		pt := &Partition{
+			net: n, gk: g.Part(i), idx: i, owner: assign,
+			xconns: make(map[uint64]*conn),
+			dials:  make(map[uint64]*xdial),
+		}
+		n.part = pt
+		pt.gk.OnMessage = pt.onMessage
+		for _, nd := range n.nodes {
+			for _, ld := range nd.links {
+				ld.xship = assign[ld.to.name] != i
+			}
+		}
+	}
+	g.SetWindow(window)
+	return window, nil
+}
+
+// Partitioned reports whether this network is one partition of a group.
+func (n *Network) Partitioned() bool { return n.part != nil }
+
+// Owns reports whether this network's partition owns the named node (always
+// true on a monolithic network).
+func (n *Network) Owns(name string) bool {
+	return n.part == nil || n.part.owner[name] == n.part.idx
+}
+
+// findDir returns the directed link from one node to an adjacent one.
+func (n *Network) findDir(from, to string) *linkDir {
+	nf := n.nodes[from]
+	if nf == nil {
+		return nil
+	}
+	for _, ld := range nf.links {
+		if ld.to.name == to {
+			return ld
+		}
+	}
+	return nil
+}
+
+// ship intercepts a transfer whose next hop is foreign: the remaining node
+// chain travels to the owning partition as a message timestamped at the
+// arrival instant (now + link latency >= next barrier, by lookahead).
+func (pt *Partition) ship(ld *linkDir, tr *transfer) {
+	n := pt.net
+	x := tr.x
+	if x == nil {
+		src := tr.src
+		if src == nil || src.x == nil {
+			panic(fmt.Sprintf("simnet: transfer crossed partition boundary on %s without cross routing (partitions must own connected subgraphs)", ld.label))
+		}
+		x = &xwire{op: opData, seq: tr.seq, data: tr.seg, srcPart: pt.idx, srcID: src.x.id, dstID: src.x.peerID}
+		if f := src.flow; f != nil {
+			x.flow = true
+			x.rtt = f.rtt
+		}
+	}
+	x.size = tr.size
+	nodes := make([]string, 0, len(tr.path)-tr.idx)
+	nodes = append(nodes, ld.to.name)
+	for j := tr.idx + 1; j < len(tr.path); j++ {
+		nodes = append(nodes, tr.path[j].to.name)
+	}
+	x.nodes = nodes
+	pt.gk.Send(pt.owner[ld.to.name], n.K.Now()+ld.cfg.Latency, x)
+	n.putTransfer(tr)
+}
+
+// onMessage handles one cross-partition message in kernel context at its
+// timestamp: resume the transfer along its remaining links, or deliver it
+// when it arrived at its final node (single-name chains and chainless
+// control ops).
+func (pt *Partition) onMessage(payload any) {
+	x := payload.(*xwire)
+	if len(x.nodes) > 1 {
+		pt.resume(x)
+		return
+	}
+	pt.deliverX(x)
+}
+
+// resume re-launches a shipped transfer on this partition's mirror, entering
+// at the first remaining link.
+func (pt *Partition) resume(x *xwire) {
+	n := pt.net
+	path := make([]*linkDir, 0, len(x.nodes)-1)
+	for i := 0; i+1 < len(x.nodes); i++ {
+		ld := n.findDir(x.nodes[i], x.nodes[i+1])
+		if ld == nil {
+			panic(fmt.Sprintf("simnet: partition %d cannot resolve link %s>%s", pt.idx, x.nodes[i], x.nodes[i+1]))
+		}
+		path = append(path, ld)
+	}
+	tr := n.newTransfer()
+	tr.size, tr.path, tr.idx = x.size, path, 0
+	tr.x = x
+	if x.op == opData {
+		tr.seg = x.data
+		tr.seq = x.seq
+	}
+	path[0].enqueue(tr)
+}
+
+// deliverX dispatches a cross-partition message that reached its target.
+func (pt *Partition) deliverX(x *xwire) {
+	n := pt.net
+	switch x.op {
+	case opSYN:
+		pt.acceptSYN(x)
+
+	case opSYNACK:
+		xd := pt.dials[x.dstID]
+		delete(pt.dials, x.dstID)
+		if xd == nil {
+			return
+		}
+		if xd.nd.crashed {
+			// The dialer's host died mid-handshake; reset the accepted end.
+			pt.sendX(xd.path, &xwire{op: opRST, srcPart: pt.idx, dstID: x.srcID})
+			return
+		}
+		cDial := &conn{
+			node: xd.nd, local: x.localAddr, remote: x.remoteAddr, path: xd.path,
+			readCond: sim.NewCond(n.K), credit: DefaultWindow, creditCond: sim.NewCond(n.K),
+			finSeq: -1,
+			x:      &xdesc{id: x.dstID, peerPart: x.srcPart, peerID: x.srcID},
+		}
+		if n.flowOn && len(xd.path) > 0 {
+			cDial.flow = n.newFlowState(cDial.path, x.localAddr+">"+x.remoteAddr)
+		}
+		pt.xconns[x.dstID] = cDial
+		xd.nd.trackConn(cDial)
+		xd.conn = cDial
+		xd.done.Set()
+
+	case opDialErr:
+		xd := pt.dials[x.dstID]
+		delete(pt.dials, x.dstID)
+		if xd == nil || xd.nd.crashed {
+			return // nobody left to answer to; the attempt evaporates
+		}
+		if x.dialErr == dialErrHostDown {
+			xd.err = transport.ErrHostDown
+		} else {
+			xd.err = transport.ErrRefused
+		}
+		xd.done.Set()
+
+	case opData:
+		c := pt.xconns[x.dstID]
+		// Window credit (and the flow-model ACK) returns to the sender as an
+		// instantaneous control message, mirroring the monolithic credit
+		// return at delivery time.
+		pt.gk.Send(x.srcPart, n.K.Now(), &xwire{op: opCredit, srcPart: pt.idx, dstID: x.srcID, n: x.size, flow: x.flow})
+		if c == nil || c.closed {
+			n.putSeg(x.data)
+			return
+		}
+		if x.flow {
+			c.deliverSeq(x.seq, x.data)
+		} else {
+			c.pushInbox(x.data)
+			c.readCond.Broadcast()
+		}
+
+	case opCredit:
+		c := pt.xconns[x.dstID]
+		if c == nil {
+			return
+		}
+		if x.flow && c.flow != nil {
+			c.flow.onAck(x.n)
+		}
+		c.credit += x.n
+		c.creditCond.Broadcast()
+
+	case opLoss:
+		c := pt.xconns[x.dstID]
+		if c == nil || c.flow == nil {
+			return
+		}
+		if c.flow.onLoss(n.K.Now()) {
+			n.flowCuts++
+		}
+		n.flowRetrans++
+
+	case opFIN:
+		if c := pt.xconns[x.dstID]; c != nil {
+			c.deliverFin(x.finSeq)
+		}
+
+	case opRST:
+		if c := pt.xconns[x.dstID]; c != nil {
+			c.deliverReset()
+		}
+
+	default:
+		panic(fmt.Sprintf("simnet: partition %d received unknown wire op %d", pt.idx, x.op))
+	}
+}
+
+// acceptSYN is the accepting side of a cross-partition dial: allocate the
+// local half-conn, queue it on the listener, and answer along the exact
+// reverse of the dialer's forward route (carried in the SYN), so handshake
+// timing matches the monolithic path reversal hop for hop.
+func (pt *Partition) acceptSYN(x *xwire) {
+	n := pt.net
+	dst := n.nodes[x.nodes[len(x.nodes)-1]]
+	back := make([]*linkDir, 0, len(x.route)-1)
+	for i := len(x.route) - 1; i > 0; i-- {
+		ld := n.findDir(x.route[i], x.route[i-1])
+		if ld == nil {
+			panic(fmt.Sprintf("simnet: partition %d cannot reverse route at %s>%s", pt.idx, x.route[i], x.route[i-1]))
+		}
+		back = append(back, ld)
+	}
+	refuse := func(kind uint8) {
+		pt.sendX(back, &xwire{op: opDialErr, srcPart: pt.idx, dstID: x.srcID, dialErr: kind})
+	}
+	if dst.crashed {
+		refuse(dialErrHostDown)
+		return
+	}
+	l := dst.listeners[x.port]
+	if l == nil || l.closed {
+		refuse(dialErrRefused)
+		return
+	}
+	n.nextConn++
+	localAddr := transport.JoinAddr(x.dialer, 50000+n.nextConn)
+	remoteAddr := transport.JoinAddr(dst.name, x.port)
+	pt.nextX++
+	aid := pt.nextX
+	cAcc := &conn{
+		node: dst, local: remoteAddr, remote: localAddr, path: back,
+		readCond: sim.NewCond(n.K), credit: DefaultWindow, creditCond: sim.NewCond(n.K),
+		finSeq: -1,
+		x:      &xdesc{id: aid, peerPart: x.srcPart, peerID: x.srcID},
+	}
+	if n.flowOn && len(back) > 0 {
+		cAcc.flow = n.newFlowState(cAcc.path, remoteAddr+">"+localAddr)
+	}
+	if err := l.pending.TrySend(cAcc); err != nil {
+		refuse(dialErrRefused)
+		return
+	}
+	pt.xconns[aid] = cAcc
+	dst.trackConn(cAcc)
+	pt.sendX(back, &xwire{
+		op: opSYNACK, srcPart: pt.idx, srcID: aid, dstID: x.srcID,
+		localAddr: localAddr, remoteAddr: remoteAddr,
+	})
+}
+
+// dialX performs the dialing side of a cross-partition handshake, blocking p
+// for the same one path round trip the monolithic dial costs.
+func (pt *Partition) dialX(p *sim.Proc, nd *Node, port int, path []*linkDir) (*conn, error) {
+	n := pt.net
+	pt.nextX++
+	did := pt.nextX
+	chain := make([]string, 0, len(path)+1)
+	chain = append(chain, nd.name)
+	for _, ld := range path {
+		chain = append(chain, ld.to.name)
+	}
+	xd := &xdial{nd: nd, path: path, done: sim.NewEvent(n.K)}
+	pt.dials[did] = xd
+	pt.sendX(path, &xwire{op: opSYN, srcPart: pt.idx, srcID: did, dialer: nd.name, port: port, route: chain})
+	xd.done.Wait(p)
+	return xd.conn, xd.err
+}
+
+// sendX launches a typed control packet along path (ctl-sized, never
+// dropped, like every monolithic control packet).
+func (pt *Partition) sendX(path []*linkDir, x *xwire) {
+	n := pt.net
+	tr := n.newTransfer()
+	tr.size, tr.path = ctlSize, path
+	tr.x = x
+	n.launch(tr)
+}
+
+// dropSegmentX handles a flow-model drop of a resumed cross-partition data
+// segment: the retransmission re-enters at the resume point one sender-RTT
+// later (the pre-boundary hops were already paid for), and the sender's
+// window reacts via an opLoss message at the same instant.
+func (pt *Partition) dropSegmentX(ld *linkDir, tr *transfer) {
+	n := pt.net
+	n.flowDrops++
+	if o := n.Obs; o != nil {
+		o.Emit(n.K.Now(), "net", "drop", ld.label,
+			obs.Int("bytes", int64(tr.size)), obs.Int("seq", tr.seq))
+		o.Metrics().Counter("link." + ld.label + ".drops").Add(1)
+	}
+	n.K.After(tr.x.rtt, func() { pt.retransmitX(tr) })
+}
+
+// retransmitX re-sends a dropped cross-partition segment from its resume
+// point and notifies the sending partition so its congestion window halves.
+func (pt *Partition) retransmitX(tr *transfer) {
+	n := pt.net
+	x := tr.x
+	c := pt.xconns[x.dstID]
+	if c == nil || c.aborted {
+		n.putSeg(tr.seg)
+		n.putTransfer(tr)
+		return
+	}
+	pt.gk.Send(x.srcPart, n.K.Now(), &xwire{op: opLoss, srcPart: pt.idx, dstID: x.srcID, n: x.size})
+	if o := n.Obs; o != nil {
+		o.Emit(n.K.Now(), "net", "retransmit", x.nodes[0],
+			obs.Int("bytes", int64(tr.size)), obs.Int("seq", tr.seq))
+	}
+	tr.idx = 0
+	tr.path[0].enqueue(tr)
+}

@@ -1,0 +1,249 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/transport"
+)
+
+// buildPair creates the shared test topology on n: two hosts behind routers,
+// joined by a 5ms wide link (the partition boundary in coupled runs).
+func buildPair(n *Network) {
+	n.AddHost("h1", HostConfig{Site: "a"})
+	n.AddRouter("r1", "a")
+	n.AddHost("h2", HostConfig{Site: "b"})
+	n.AddRouter("r2", "b")
+	n.Connect("h1", "r1", LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 10 << 20})
+	n.Connect("r1", "r2", LinkConfig{Latency: 5 * time.Millisecond, Bandwidth: 1 << 20})
+	n.Connect("r2", "h2", LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 10 << 20})
+}
+
+var pairAssign = map[string]int{"h1": 0, "r1": 0, "h2": 1, "r2": 1}
+
+// echoWorkload runs a client on h1 (on net cli) against an echo server on h2
+// (on net srv): dial, send payload, read the echo, close. It records the
+// client's completion instant.
+func echoWorkload(t *testing.T, cli, srv *Network, payload int, doneAt *time.Duration, gotErr *error) {
+	t.Helper()
+	srv.Node("h2").SpawnDaemonOn("echo", func(env transport.Env) {
+		l, err := env.Listen(7000)
+		if err != nil {
+			return
+		}
+		for {
+			c, err := l.Accept(env)
+			if err != nil {
+				return
+			}
+			env.Spawn("echo-conn", func(env transport.Env) {
+				buf := make([]byte, 32<<10)
+				for {
+					n, err := c.Read(env, buf)
+					if n > 0 {
+						if _, werr := c.Write(env, buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			})
+		}
+	})
+	cli.Node("h1").SpawnOn("client", func(env transport.Env) {
+		defer func() { *doneAt = env.Now() }()
+		c, err := env.Dial("h2:7000")
+		if err != nil {
+			*gotErr = err
+			return
+		}
+		msg := make([]byte, payload)
+		if _, err := c.Write(env, msg); err != nil {
+			*gotErr = err
+			return
+		}
+		got := 0
+		buf := make([]byte, 32<<10)
+		for got < payload {
+			n, err := c.Read(env, buf)
+			got += n
+			if err != nil {
+				*gotErr = err
+				return
+			}
+		}
+		c.Close(env)
+	})
+}
+
+// runMono runs the echo workload on a monolithic network.
+func runMono(t *testing.T, payload int, flow bool) time.Duration {
+	t.Helper()
+	k := sim.New()
+	n := New(k)
+	buildPair(n)
+	if flow {
+		n.EnableFlowModel(FlowConfig{Seed: 7})
+	}
+	var done time.Duration
+	var err error
+	echoWorkload(t, n, n, payload, &done, &err)
+	if rerr := k.Run(); rerr != nil {
+		t.Fatalf("mono run: %v", rerr)
+	}
+	if err != nil {
+		t.Fatalf("mono workload: %v", err)
+	}
+	return done
+}
+
+// runCoupled runs the echo workload split across two partitions.
+func runCoupled(t *testing.T, payload, workers int, flow bool) time.Duration {
+	t.Helper()
+	g := sim.NewGroup(2)
+	nets := make([]*Network, 2)
+	for i := range nets {
+		nets[i] = New(g.Kernel(i))
+		buildPair(nets[i])
+		if flow {
+			nets[i].EnableFlowModel(FlowConfig{Seed: 7})
+		}
+	}
+	w, err := Couple(g, nets, pairAssign)
+	if err != nil {
+		t.Fatalf("Couple: %v", err)
+	}
+	if w != 5*time.Millisecond {
+		t.Fatalf("lookahead = %v, want 5ms", w)
+	}
+	var done time.Duration
+	var werr error
+	echoWorkload(t, nets[0], nets[1], payload, &done, &werr)
+	if rerr := g.Run(workers); rerr != nil {
+		t.Fatalf("group run: %v", rerr)
+	}
+	if werr != nil {
+		t.Fatalf("coupled workload: %v", werr)
+	}
+	return done
+}
+
+func TestPartitionedEchoMatchesMonolithic(t *testing.T) {
+	for _, payload := range []int{100, 64 << 10} {
+		want := runMono(t, payload, false)
+		for _, workers := range []int{1, 2} {
+			got := runCoupled(t, payload, workers, false)
+			if got != want {
+				t.Errorf("payload=%d workers=%d: coupled finished at %v, mono at %v",
+					payload, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestPartitionedFlowDeterministicAcrossWorkers(t *testing.T) {
+	// With the flow model on, cross-partition ACK timing is quantized to the
+	// lookahead window, so we assert worker-count invariance (not equality
+	// with the monolithic oracle).
+	base := runCoupled(t, 256<<10, 1, true)
+	for _, workers := range []int{2, 4} {
+		if got := runCoupled(t, 256<<10, workers, true); got != base {
+			t.Errorf("workers=%d: finished at %v, 1-worker baseline %v", workers, got, base)
+		}
+	}
+}
+
+func TestPartitionedDialRefusedAndCrash(t *testing.T) {
+	g := sim.NewGroup(2)
+	nets := make([]*Network, 2)
+	for i := range nets {
+		nets[i] = New(g.Kernel(i))
+		buildPair(nets[i])
+	}
+	if _, err := Couple(g, nets, pairAssign); err != nil {
+		t.Fatal(err)
+	}
+	var refusedErr, downErr error
+	nets[0].Node("h1").SpawnOn("client", func(env transport.Env) {
+		_, refusedErr = env.Dial("h2:9999") // nothing listens there
+		env.Sleep(50 * time.Millisecond)    // crash happens at 20ms
+		_, downErr = env.Dial("h2:9999")
+	})
+	plan := (&FaultPlan{}).Crash("h2", 20*time.Millisecond)
+	for _, n := range nets {
+		if err := n.ApplyPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Run(2); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !errors.Is(refusedErr, transport.ErrRefused) {
+		t.Errorf("dial to closed port: %v, want ErrRefused", refusedErr)
+	}
+	if !errors.Is(downErr, transport.ErrHostDown) {
+		t.Errorf("dial to crashed host: %v, want ErrHostDown", downErr)
+	}
+}
+
+func TestPartitionedCrashResetsCrossConn(t *testing.T) {
+	g := sim.NewGroup(2)
+	nets := make([]*Network, 2)
+	for i := range nets {
+		nets[i] = New(g.Kernel(i))
+		buildPair(nets[i])
+	}
+	if _, err := Couple(g, nets, pairAssign); err != nil {
+		t.Fatal(err)
+	}
+	var readErr error
+	nets[1].Node("h2").SpawnDaemonOn("server", func(env transport.Env) {
+		l, err := env.Listen(7000)
+		if err != nil {
+			return
+		}
+		c, err := l.Accept(env)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 16)
+		_, readErr = c.Read(env, buf) // blocks until the RST from h1's crash
+	})
+	nets[0].Node("h1").SpawnOn("client", func(env transport.Env) {
+		if _, err := env.Dial("h2:7000"); err != nil {
+			t.Errorf("dial: %v", err)
+		}
+		env.Sleep(time.Hour) // killed by the crash long before this expires
+	})
+	plan := (&FaultPlan{}).Crash("h1", 30*time.Millisecond)
+	for _, n := range nets {
+		if err := n.ApplyPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Run(2); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !errors.Is(readErr, transport.ErrReset) {
+		t.Errorf("server read after client crash: %v, want ErrReset", readErr)
+	}
+}
+
+func TestCoupleRejectsZeroLatencyBoundary(t *testing.T) {
+	g := sim.NewGroup(2)
+	nets := make([]*Network, 2)
+	for i := range nets {
+		n := New(g.Kernel(i))
+		n.AddHost("a", HostConfig{})
+		n.AddHost("b", HostConfig{})
+		n.Connect("a", "b", LinkConfig{}) // zero latency
+		nets[i] = n
+	}
+	if _, err := Couple(g, nets, map[string]int{"a": 0, "b": 1}); err == nil {
+		t.Fatal("Couple accepted a zero-latency boundary link")
+	}
+}
