@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check chaos race race-parallel bench bench-json bench-diff experiments examples cover fuzz clean
+.PHONY: all build test check chaos chaos-suite race race-parallel bench bench-json bench-diff experiments examples cover fuzz clean
 
 all: build check
 
@@ -13,11 +13,12 @@ test:
 	$(GO) test ./...
 
 # check is the default verification gate: vet, the end-to-end chaos
-# scenarios, the full test suite under the race detector (the parallel
+# scenarios, the declarative gray-failure suite gated against its committed
+# baseline, the full test suite under the race detector (the parallel
 # sweep makes race coverage load-bearing), a focused race pass over the
 # parallel-DES kernel paths, a short fuzz smoke over the wire-facing
 # parsers, and the coverage floor.
-check: chaos
+check: chaos chaos-suite
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) race-parallel
@@ -34,6 +35,16 @@ race-parallel:
 # "Chaos runs") on their own, under the race detector.
 chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/chaos/
+
+# chaos-suite runs the declarative gray-failure scenario library (partitions,
+# flapping links, stragglers, rolling outages — see EXPERIMENTS.md, "Chaos
+# suite"), every scenario replayed twice for trace determinism, then gates
+# the fresh summary against the committed CHAOS_suite.json baseline: any
+# failed invariant, shrunk scenario/invariant count, or dropped scenario
+# name exits non-zero.
+chaos-suite:
+	$(GO) run ./cmd/experiments -run chaos-suite -chaos-json CHAOS_new.json
+	$(GO) run ./cmd/benchdiff -chaos-old CHAOS_suite.json -chaos-new CHAOS_new.json
 
 race:
 	$(GO) test -race ./...

@@ -18,6 +18,16 @@
 // ns/op depends on host core count and scheduler timing, and their
 // correctness contract is enforced separately by the golden virtual-time
 // tests. Such rows are reported and summarized as speedups but never gate.
+//
+// -chaos-old/-chaos-new additionally (or instead) compare chaos-suite JSON
+// summaries (cmd/experiments -run chaos-suite -chaos-json …): the new suite
+// must pass every invariant, must not have fewer scenarios or invariants
+// than the committed baseline, and must not have dropped a baseline scenario
+// by name — so chaos coverage regressions fail the same gate as performance
+// regressions:
+//
+//	go run ./cmd/experiments -run chaos-suite -chaos-json CHAOS_new.json
+//	go run ./cmd/benchdiff -chaos-old CHAOS_suite.json -chaos-new CHAOS_new.json
 package main
 
 import (
@@ -75,7 +85,7 @@ func Diff(oldRecs, newRecs []Record, threshold float64) []Row {
 			continue
 		}
 		row := Row{
-			Name: name,
+			Name:  name,
 			OldNs: o.NsPerOp, NewNs: n.NsPerOp,
 			OldAllocs: o.AllocsPerOp, NewAllocs: n.AllocsPerOp,
 		}
@@ -205,6 +215,85 @@ func SpeedupSection(recs []Record) string {
 	return b.String()
 }
 
+// ChaosScenario mirrors internal/chaos.ScenarioResult's JSON shape (only the
+// gated fields).
+type ChaosScenario struct {
+	Name       string   `json:"name"`
+	Passed     bool     `json:"passed"`
+	Invariants int      `json:"invariants"`
+	Failures   []string `json:"failures,omitempty"`
+}
+
+// ChaosSuite mirrors internal/chaos.SuiteResult's JSON shape.
+type ChaosSuite struct {
+	Scenarios []ChaosScenario `json:"scenarios"`
+}
+
+func (s *ChaosSuite) counts() (scenarios, invariants, failures int) {
+	for _, sc := range s.Scenarios {
+		scenarios++
+		invariants += sc.Invariants
+		failures += len(sc.Failures)
+	}
+	return
+}
+
+// ChaosSection renders the chaos-suite summary line (plus any violations)
+// and reports whether the suite regressed: a failed invariant in the new
+// run, fewer scenarios or invariants than the baseline, or a baseline
+// scenario missing by name. old may be nil (no baseline: gate only on the
+// new run's own failures).
+func ChaosSection(old, cur *ChaosSuite) (string, bool) {
+	var b strings.Builder
+	regressed := false
+	scen, inv, fails := cur.counts()
+	fmt.Fprintf(&b, "\nchaos suite: %d scenarios, %d invariants, %d failures", scen, inv, fails)
+	if old != nil {
+		oScen, oInv, _ := old.counts()
+		fmt.Fprintf(&b, " (baseline: %d scenarios, %d invariants)", oScen, oInv)
+		if scen < oScen {
+			fmt.Fprintf(&b, "\n  REGRESSION: scenario count shrank %d -> %d", oScen, scen)
+			regressed = true
+		}
+		if inv < oInv {
+			fmt.Fprintf(&b, "\n  REGRESSION: invariant count shrank %d -> %d", oInv, inv)
+			regressed = true
+		}
+		have := make(map[string]bool, len(cur.Scenarios))
+		for _, sc := range cur.Scenarios {
+			have[sc.Name] = true
+		}
+		for _, sc := range old.Scenarios {
+			if !have[sc.Name] {
+				fmt.Fprintf(&b, "\n  REGRESSION: baseline scenario %q dropped", sc.Name)
+				regressed = true
+			}
+		}
+	}
+	for _, sc := range cur.Scenarios {
+		if !sc.Passed {
+			regressed = true
+			for _, f := range sc.Failures {
+				fmt.Fprintf(&b, "\n  FAIL %s: %s", sc.Name, f)
+			}
+		}
+	}
+	b.WriteString("\n")
+	return b.String(), regressed
+}
+
+func loadChaos(path string) (*ChaosSuite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s ChaosSuite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
 func load(path string) ([]Record, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -219,31 +308,60 @@ func load(path string) ([]Record, error) {
 
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "allowed relative ns/op growth before a benchmark counts as regressed")
+	chaosOld := flag.String("chaos-old", "", "committed chaos-suite JSON baseline to gate coverage against")
+	chaosNew := flag.String("chaos-new", "", "fresh chaos-suite JSON (cmd/experiments -run chaos-suite -chaos-json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.10] old.json new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.10] [-chaos-old base.json -chaos-new new.json] [old.json new.json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 2 || *threshold < 0 || math.IsNaN(*threshold) {
+	benchArgs := flag.NArg() == 2
+	if (!benchArgs && (flag.NArg() != 0 || *chaosNew == "")) || *threshold < 0 || math.IsNaN(*threshold) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	oldRecs, err := load(flag.Arg(0))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+	regressed := false
+	if benchArgs {
+		oldRecs, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		newRecs, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		rows := ExemptSpeedupGroups(Diff(oldRecs, newRecs, *threshold), newRecs)
+		out, reg := Format(rows, *threshold)
+		fmt.Print(out)
+		fmt.Print(SpeedupSection(newRecs))
+		if reg {
+			regressed = true
+			fmt.Fprintf(os.Stderr, "benchdiff: regression past %.0f%% threshold\n", *threshold*100)
+		}
 	}
-	newRecs, err := load(flag.Arg(1))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-		os.Exit(2)
+	if *chaosNew != "" {
+		cur, err := loadChaos(*chaosNew)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		var base *ChaosSuite
+		if *chaosOld != "" {
+			if base, err = loadChaos(*chaosOld); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		out, reg := ChaosSection(base, cur)
+		fmt.Print(out)
+		if reg {
+			regressed = true
+			fmt.Fprintf(os.Stderr, "benchdiff: chaos suite regression\n")
+		}
 	}
-	rows := ExemptSpeedupGroups(Diff(oldRecs, newRecs, *threshold), newRecs)
-	out, regressed := Format(rows, *threshold)
-	fmt.Print(out)
-	fmt.Print(SpeedupSection(newRecs))
 	if regressed {
-		fmt.Fprintf(os.Stderr, "benchdiff: regression past %.0f%% threshold\n", *threshold*100)
 		os.Exit(1)
 	}
 }

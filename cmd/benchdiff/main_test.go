@@ -174,3 +174,65 @@ func TestFormatCleanRun(t *testing.T) {
 		t.Errorf("delta missing from output:\n%s", out)
 	}
 }
+
+func chaosSuite(scens ...ChaosScenario) *ChaosSuite {
+	return &ChaosSuite{Scenarios: scens}
+}
+
+func TestChaosSectionClean(t *testing.T) {
+	s := chaosSuite(
+		ChaosScenario{Name: "partition", Passed: true, Invariants: 5},
+		ChaosScenario{Name: "flap", Passed: true, Invariants: 4},
+	)
+	out, regressed := ChaosSection(s, s)
+	if regressed {
+		t.Fatalf("identical suites flagged:\n%s", out)
+	}
+	for _, want := range []string{"2 scenarios", "9 invariants", "0 failures", "baseline: 2 scenarios"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChaosSectionFailuresGate(t *testing.T) {
+	cur := chaosSuite(ChaosScenario{
+		Name: "partition", Passed: false, Invariants: 5,
+		Failures: []string{"exact-optimum: best = 9, want 10"},
+	})
+	// Even with no baseline, a failed invariant gates.
+	out, regressed := ChaosSection(nil, cur)
+	if !regressed {
+		t.Fatalf("failed invariant not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL partition: exact-optimum") {
+		t.Errorf("failure detail missing:\n%s", out)
+	}
+}
+
+func TestChaosSectionCoverageShrinkGates(t *testing.T) {
+	old := chaosSuite(
+		ChaosScenario{Name: "partition", Passed: true, Invariants: 5},
+		ChaosScenario{Name: "flap", Passed: true, Invariants: 4},
+	)
+	// Same scenario count but a baseline scenario replaced by a new one,
+	// and fewer total invariants: both must gate.
+	cur := chaosSuite(
+		ChaosScenario{Name: "partition", Passed: true, Invariants: 4},
+		ChaosScenario{Name: "straggler", Passed: true, Invariants: 4},
+	)
+	out, regressed := ChaosSection(old, cur)
+	if !regressed {
+		t.Fatalf("coverage shrink not flagged:\n%s", out)
+	}
+	for _, want := range []string{`scenario "flap" dropped`, "invariant count shrank 9 -> 8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// New scenarios on top of the baseline are growth, not regression.
+	grown := chaosSuite(append(old.Scenarios, ChaosScenario{Name: "extra", Passed: true, Invariants: 3})...)
+	if out, regressed := ChaosSection(old, grown); regressed {
+		t.Fatalf("suite growth flagged as regression:\n%s", out)
+	}
+}

@@ -13,7 +13,9 @@
 // (parallel-stream bulk transfers through the proxy over a congestion-
 // modeled WAN), speedup (conservative parallel-DES wall-clock sweep over
 // site-worker counts on a wide grid; needs a multi-core host to show
-// speedup > 1), all.
+// speedup > 1), chaos-suite (the declarative gray-failure scenario library
+// with end-of-run invariants; exits nonzero on any violation and writes a
+// JSON summary with -chaos-json), all.
 //
 // -parallel-sim N partitions the simulation kernel by site and runs it on N
 // worker threads with lookahead synchronization (see DESIGN.md, "Parallel
@@ -36,6 +38,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -46,6 +49,7 @@ import (
 	"time"
 
 	"nxcluster/internal/bench"
+	"nxcluster/internal/chaos"
 	"nxcluster/internal/cluster"
 	"nxcluster/internal/knapsack"
 	"nxcluster/internal/obs"
@@ -64,6 +68,7 @@ func main() {
 	monitorHTML := flag.String("monitor-html", "", "write the monitor run's HTML/SVG report to this file")
 	monitorJSONL := flag.String("monitor-jsonl", "", "write the monitor run's time-series as JSONL to this file")
 	monitorAll := flag.Bool("monitor-all", false, "show every series on the dashboard, not just the wide-area headline set")
+	chaosJSON := flag.String("chaos-json", "", "write the chaos suite's per-scenario results as JSON (-run chaos-suite)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -279,6 +284,36 @@ func main() {
 			len(rep.Rows), runtime.GOMAXPROCS(0), time.Since(start).Round(time.Millisecond))
 		fmt.Println(bench.FormatSpeedup(rep))
 	}
+	if *run == "chaos-suite" {
+		start := time.Now()
+		res, err := chaos.RunSuite(chaos.DefaultSuite(), func(format string, args ...interface{}) {
+			fmt.Printf(format+"\n", args...)
+		})
+		if err != nil {
+			log.Fatalf("experiments: chaos-suite: %v", err)
+		}
+		scen, inv, fails := res.Counts()
+		fmt.Fprintf(os.Stderr, "[chaos suite: %d scenarios, host time %v]\n",
+			scen, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("chaos suite: %d scenarios, %d invariants, %d failures\n", scen, inv, fails)
+		if *chaosJSON != "" {
+			f, err := os.Create(*chaosJSON)
+			if err != nil {
+				log.Fatalf("experiments: chaos-json: %v", err)
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				log.Fatalf("experiments: chaos-json: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("experiments: chaos-json: %v", err)
+			}
+		}
+		if !res.Passed() {
+			os.Exit(1)
+		}
+	}
 	if want("table4") {
 		fmt.Println(bench.FormatTable4(needKnap()))
 	}
@@ -291,7 +326,7 @@ func main() {
 
 	switch *run {
 	case "all", "sweep", "table2", "table3", "table4", "table5", "table6",
-		"figure1", "figure2", "figure3", "figure4", "figure5", "decomp", "ktrace", "monitor", "gridftp", "speedup":
+		"figure1", "figure2", "figure3", "figure4", "figure5", "decomp", "ktrace", "monitor", "gridftp", "speedup", "chaos-suite":
 	default:
 		log.Fatalf("experiments: unknown -run %q", *run)
 	}

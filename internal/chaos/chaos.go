@@ -59,6 +59,27 @@ type Config struct {
 	// JobRuntime is how long the RMF job's process runs (default 3s) —
 	// long enough that a crash window can catch it mid-execution.
 	JobRuntime time.Duration
+	// JobCompute switches the RMF job from sleeping (wall-clock work,
+	// unaffected by host speed) to computing (CPU work): on a host slowed by
+	// FaultPlan.SlowHost the job stretches by the slow factor, which is what
+	// makes speculative re-execution worth demonstrating.
+	JobCompute bool
+	// Recovery overrides the RMF job's recovery policy (nil = the default
+	// {StatusRetries: 3}). Set SpeculateAfter here to enable straggler
+	// speculation.
+	Recovery *rmf.RecoveryPolicy
+	// SuspectWindow, when nonzero, enables the HBM monitor's gray-failure
+	// SUSPECT classification (see hbm.Monitor.SuspectWindow).
+	SuspectWindow time.Duration
+	// BeatCost charges each heartbeat reporter that much compute per beat,
+	// so a slowed host's beats arrive with stretched gaps — the degradation
+	// signal SUSPECT classification keys on.
+	BeatCost time.Duration
+	// HBMLateAfter/HBMDownAfter override the monitor's overdue thresholds
+	// (zero = derived from the beat interval). Scenarios that stretch beat
+	// gaps with BeatCost raise these so healthy hosts stay cleanly UP.
+	HBMLateAfter time.Duration
+	HBMDownAfter time.Duration
 	// Options forwards testbed construction options.
 	Options cluster.Options
 }
@@ -94,6 +115,18 @@ type Report struct {
 	JobErr      error
 	JobRequeues int
 	JobResource string
+	// JobDone is the virtual time the job's Wait returned (0 if it never
+	// did); JobSpeculations counts speculative duplicates launched.
+	JobDone         time.Duration
+	JobSpeculations int
+	// InnerStats snapshots the inner relay's counters at the horizon
+	// (SuspectPeriods is the degraded-boundary evidence).
+	InnerStats proxy.Stats
+	// HBMSuspects/HBMDowns count the monitor's transitions into SUSPECT and
+	// DOWN (control plane only): a straggler under a SuspectWindow should
+	// show suspects without DOWN/UP churn.
+	HBMSuspects int64
+	HBMDowns    int64
 }
 
 // Run executes one chaos scenario and returns its report.
@@ -109,8 +142,13 @@ func Run(cfg Config) (*Report, error) {
 	rep.WantBest, _ = knapsack.Solve(in)
 	rep.WantNodes = knapsack.NormalizedTreeNodes(cfg.Items, cfg.Capacity)
 
-	tb := cluster.NewTestbed(cfg.Options)
-	tb.EnableRecovery(cfg.Keepalive)
+	tb, err := cluster.NewTestbedChecked(cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.EnableRecoveryChecked(cfg.Keepalive); err != nil {
+		return nil, err
+	}
 	var mon *hbm.Monitor
 	if cfg.ControlPlane {
 		mon = startControlPlane(tb, cfg, rep)
@@ -145,11 +183,14 @@ func Run(cfg Config) (*Report, error) {
 			rep.Orphans++
 		}
 	}
-	rep.InnerRegistrations = tb.Inner.Stats().Registrations
+	rep.InnerStats = tb.Inner.Stats()
+	rep.InnerRegistrations = rep.InnerStats.Registrations
 	rep.OuterBoots = tb.OuterBoots
 	rep.OuterStats = tb.Outer.Stats()
 	if mon != nil {
 		rep.HBM = mon.Snapshot(cfg.Horizon)
+		rep.HBMSuspects = mon.SuspectCount()
+		rep.HBMDowns = mon.DownCount()
 	}
 	tb.K.Shutdown()
 	return rep, nil
@@ -167,13 +208,16 @@ func startControlPlane(tb *cluster.Testbed, cfg Config, rep *Report) *hbm.Monito
 	allocAddr := transport.JoinAddr(cluster.RWCPSun, rmf.AllocatorPort)
 
 	mon := hbm.NewMonitor(beat)
+	mon.SuspectWindow = cfg.SuspectWindow
+	mon.LateAfter = cfg.HBMLateAfter
+	mon.DownAfter = cfg.HBMDownAfter
 	tb.Host(cluster.RWCPInner).SpawnDaemonOn("hbm-monitor", func(env transport.Env) {
 		_ = mon.Serve(env, HBMPort, nil)
 	})
 	// The inner relay daemon reports its own liveness too.
 	tb.Host(cluster.RWCPInner).SpawnDaemonOn("hbm-rep-nxproxy", func(env transport.Env) {
 		env.Sleep(2 * time.Millisecond)
-		r := &hbm.Reporter{MonitorAddr: monAddr, Name: "nxproxy-inner", Interval: beat}
+		r := &hbm.Reporter{MonitorAddr: monAddr, Name: "nxproxy-inner", Interval: beat, BeatCost: cfg.BeatCost}
 		r.Start(env)
 	})
 
@@ -193,11 +237,18 @@ func startControlPlane(tb *cluster.Testbed, cfg Config, rep *Report) *hbm.Monito
 		fmt.Fprintf(&ctx.Stdout, "spun %v on %s\n", spin, ctx.Resource)
 		return nil
 	})
+	// chaos-burn does the same nominal amount of work as CPU time, so a
+	// SlowHost straggler stretches it by the slow factor.
+	reg.Register("chaos-burn", func(env transport.Env, ctx *rmf.JobContext) error {
+		env.Compute(spin)
+		fmt.Fprintf(&ctx.Stdout, "burned %v on %s\n", spin, ctx.Resource)
+		return nil
+	})
 	for i := 0; i < cluster.CompasNodes; i++ {
 		name := cluster.CompasNode(i)
 		boot := func(env transport.Env) {
 			env.Sleep(2 * time.Millisecond) // let monitor and allocator bind
-			r := &hbm.Reporter{MonitorAddr: monAddr, Name: name, Interval: beat}
+			r := &hbm.Reporter{MonitorAddr: monAddr, Name: name, Interval: beat, BeatCost: cfg.BeatCost}
 			r.Start(env)
 			q := rmf.NewQServer(name, "compas", 1, reg)
 			_ = q.Serve(env, rmf.QServerPort, allocAddr, nil)
@@ -206,20 +257,30 @@ func startControlPlane(tb *cluster.Testbed, cfg Config, rep *Report) *hbm.Monito
 		tb.Host(name).OnRestart("qserver-"+name, boot)
 	}
 
+	exe := "chaos-spin"
+	if cfg.JobCompute {
+		exe = "chaos-burn"
+	}
 	tb.Host(cluster.RWCPSun).SpawnOn("chaos-qclient", func(env transport.Env) {
 		env.Sleep(500 * time.Millisecond)
 		h, err := rmf.SubmitJob(env, allocAddr, rmf.JobRequest{
 			Count:   1,
 			Cluster: "compas",
-			Spec:    rmf.ProcessSpec{Executable: "chaos-spin"},
+			Spec:    rmf.ProcessSpec{Executable: exe},
 		})
 		if err != nil {
 			rep.JobErr = err
 			return
 		}
-		h.Recovery = &rmf.RecoveryPolicy{StatusRetries: 3}
+		pol := rmf.RecoveryPolicy{StatusRetries: 3}
+		if cfg.Recovery != nil {
+			pol = *cfg.Recovery
+		}
+		h.Recovery = &pol
 		rep.JobErr = h.Wait(env, 100*time.Millisecond, 30*time.Second)
+		rep.JobDone = env.Now()
 		rep.JobRequeues = h.Requeues
+		rep.JobSpeculations = h.Speculations
 		if len(h.Processes) > 0 {
 			rep.JobResource = h.Processes[0].Resource
 		}

@@ -1,0 +1,41 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestChaosSuite runs the full default scenario library: every invariant
+// must hold and every scenario must replay to an identical trace hash.
+func TestChaosSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos suite in -short mode")
+	}
+	res, err := RunSuite(DefaultSuite(), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Scenarios {
+		for _, f := range s.Failures {
+			t.Errorf("%s: %s", s.Name, f)
+		}
+	}
+	scen, inv, fail := res.Counts()
+	t.Logf("suite: %d scenarios, %d invariants, %d failures", scen, inv, fail)
+	if scen < 6 {
+		t.Errorf("suite has %d scenarios, want >= 6", scen)
+	}
+}
+
+// TestChaosSuiteNamesUnique guards the JSON baseline's key space.
+func TestChaosSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range DefaultSuite() {
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Compare != nil && s.Baseline == nil {
+			t.Errorf("%s: Compare set without Baseline", s.Name)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"nxcluster/internal/obs"
+	"nxcluster/internal/proxy"
+	"nxcluster/internal/simnet"
+)
+
+// TestOptionsValidateRejectsBadCombos pins the guard rails: observers bind to
+// a single kernel, so Obs plus a partitioned testbed must be refused with an
+// error that names the fix, and a negative worker count is never silently
+// clamped.
+func TestOptionsValidateRejectsBadCombos(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring of the error
+	}{
+		{"negative workers", Options{ParallelSites: -1}, "ParallelSites"},
+		{"obs on parallel", Options{ParallelSites: 2, Obs: obs.New()}, "Nets[i].Obs"},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if _, err := NewTestbedChecked(tc.opts); err == nil {
+			t.Errorf("%s: NewTestbedChecked accepted", tc.name)
+		}
+	}
+	for _, ok := range []Options{{}, {ParallelSites: 2}, {Obs: obs.New()}} {
+		if err := ok.Validate(); err != nil {
+			t.Errorf("valid options %+v rejected: %v", ok, err)
+		}
+	}
+}
+
+// TestNewTestbedCheckedBuildsValidCombos: the checked constructor returns a
+// working testbed for the combinations Validate admits.
+func TestNewTestbedCheckedBuildsValidCombos(t *testing.T) {
+	tb, err := NewTestbedChecked(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Net == nil || tb.K == nil {
+		t.Fatal("monolithic testbed missing kernel or network")
+	}
+	tb.Shutdown()
+
+	ptb, err := NewTestbedChecked(Options{ParallelSites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ptb.Parallel() || len(ptb.Nets) == 0 {
+		t.Fatal("parallel testbed not partitioned")
+	}
+	defer ptb.Shutdown()
+
+	// EnableRecovery's keepalive loops never drain on a RunUntil-driven
+	// partitioned kernel group; the checked variant must refuse rather than
+	// wedge, and the error must say why.
+	err = ptb.EnableRecoveryChecked(proxy.KeepaliveConfig{})
+	if err == nil {
+		t.Fatal("EnableRecoveryChecked on a parallel testbed succeeded")
+	}
+	if !strings.Contains(err.Error(), "ParallelSites = 0") {
+		t.Errorf("error %q does not name the monolithic requirement", err)
+	}
+}
+
+// TestTestbedApplyPlanPartitionGroups: the exported side-node lists must name
+// real topology nodes in both modes, so suite plans built from them validate.
+func TestTestbedApplyPlanPartitionGroups(t *testing.T) {
+	plan := (&simnet.FaultPlan{}).Partition(RWCPSideNodes(), ETLSideNodes(), 0, 0)
+	tb := NewTestbed(Options{})
+	if err := tb.ApplyPlan(plan); err != nil {
+		t.Errorf("monolithic: %v", err)
+	}
+	tb.Shutdown()
+
+	ptb := NewTestbed(Options{ParallelSites: 2})
+	defer ptb.Shutdown()
+	if err := ptb.ApplyPlan(plan); err != nil {
+		t.Errorf("parallel: %v", err)
+	}
+}

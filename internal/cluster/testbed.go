@@ -157,6 +157,19 @@ type Options struct {
 	ExtraSites int
 }
 
+// Validate reports option combinations that cannot work together, instead of
+// letting construction fail some distance from the mistake. NewTestbed
+// panics on these; NewTestbedChecked surfaces the error.
+func (o Options) Validate() error {
+	if o.ParallelSites < 0 {
+		return fmt.Errorf("cluster: Options.ParallelSites must be >= 0, got %d", o.ParallelSites)
+	}
+	if o.ParallelSites > 0 && o.Obs != nil {
+		return fmt.Errorf("cluster: Options.Obs requires the monolithic testbed (ParallelSites = 0); attach per-partition observers to Nets[i].Obs instead")
+	}
+	return nil
+}
+
 // Testbed is the simulated Figure 5 environment with proxy daemons running.
 //
 // In monolithic mode (Options.ParallelSites == 0), K and Net hold the single
@@ -279,6 +292,9 @@ func partitionAssign(opts Options) map[string]int {
 // daemons: on a fresh single kernel by default, or partitioned across
 // per-site sub-kernels when opts.ParallelSites >= 1.
 func NewTestbed(opts Options) *Testbed {
+	if err := opts.Validate(); err != nil {
+		panic(err.Error())
+	}
 	if opts.RelayPerBuffer == 0 {
 		opts.RelayPerBuffer = RelayPerBuffer
 	}
@@ -304,9 +320,6 @@ func NewTestbed(opts Options) *Testbed {
 // newParallelTestbed builds one topology mirror per site partition on a
 // kernel group and couples them with lookahead synchronization.
 func newParallelTestbed(opts Options) *Testbed {
-	if opts.Obs != nil {
-		panic("cluster: Options.Obs requires the monolithic testbed; attach per-partition observers to Nets[i].Obs instead")
-	}
 	assign := partitionAssign(opts)
 	parts := 2 + opts.ExtraSites
 	g := sim.NewGroup(parts)
@@ -330,6 +343,17 @@ func newParallelTestbed(opts Options) *Testbed {
 	tb.Group, tb.Nets, tb.assign, tb.workers = g, nets, assign, opts.ParallelSites
 	tb.spawnDaemons()
 	return tb
+}
+
+// NewTestbedChecked is NewTestbed with error-returning validation: option
+// combinations the testbed cannot support (Obs on a partitioned testbed,
+// negative ParallelSites) come back as errors instead of panics, so harness
+// code can report them cleanly.
+func NewTestbedChecked(opts Options) (*Testbed, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return NewTestbed(opts), nil
 }
 
 // newTestbedOn builds the kernel-independent testbed state.
@@ -382,6 +406,41 @@ func (tb *Testbed) Shutdown() {
 		return
 	}
 	tb.K.Shutdown()
+}
+
+// checkRecovery reports why EnableRecovery cannot run on this testbed.
+func (tb *Testbed) checkRecovery() error {
+	if tb.Group != nil {
+		return fmt.Errorf("cluster: EnableRecovery requires the monolithic testbed (ParallelSites = 0): recovery keepalives tick forever on a single RunUntil-driven kernel")
+	}
+	return nil
+}
+
+// EnableRecoveryChecked is EnableRecovery with an error return instead of a
+// panic for the unsupported partitioned-testbed combination.
+func (tb *Testbed) EnableRecoveryChecked(ka proxy.KeepaliveConfig) error {
+	if err := tb.checkRecovery(); err != nil {
+		return err
+	}
+	tb.EnableRecovery(ka)
+	return nil
+}
+
+// RWCPSideNodes lists every node on the RWCP side of the wide-area IMnet
+// link — the firewalled site plus the outer server. With ETLSideNodes it
+// forms the natural group pair for FaultPlan.Partition: severing the two
+// cuts ETL off from the rest of the testbed.
+func RWCPSideNodes() []string {
+	out := []string{"rwcp-lan", "compas-sw", "rwcp-gw", RWCPSun, RWCPInner, RWCPOuter}
+	for i := 0; i < CompasNodes; i++ {
+		out = append(out, CompasNode(i))
+	}
+	return out
+}
+
+// ETLSideNodes lists every node on the ETL side of the IMnet link.
+func ETLSideNodes() []string {
+	return []string{"etl-gw", "etl-lan", ETLSun, ETLO2K}
 }
 
 // Node returns a named node on the network that owns it — the single network
@@ -438,8 +497,8 @@ func (tb *Testbed) Kernels() []*sim.Kernel {
 // kernel with RunUntil, not Run. Recovery requires the monolithic testbed
 // (RunUntil has no parallel-mode equivalent).
 func (tb *Testbed) EnableRecovery(ka proxy.KeepaliveConfig) {
-	if tb.Group != nil {
-		panic("cluster: EnableRecovery requires the monolithic testbed (ParallelSites = 0)")
+	if err := tb.checkRecovery(); err != nil {
+		panic(err.Error())
 	}
 	if ka.OuterAddr == "" {
 		ka.OuterAddr = tb.ProxyCfg.OuterServer

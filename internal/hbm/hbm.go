@@ -26,11 +26,17 @@ var ErrUnknown = errors.New("hbm: unknown process")
 type Health int
 
 // Health states: a process is UP while beats arrive on time, LATE once a
-// beat is overdue by less than the grace period, and DOWN beyond it.
+// beat is overdue by less than the grace period, and DOWN beyond it. With a
+// SuspectWindow configured there is a fourth, gray state: SUSPECT marks a
+// process that is degraded — still beating, but with gaps that would
+// otherwise flap it DOWN and back UP — or freshly overdue past the DOWN
+// threshold but inside the suspect window. Suspect is numbered after Down so
+// the original three states keep their wire and gauge values.
 const (
 	Up Health = iota
 	Late
 	Down
+	Suspect
 )
 
 // String renders the health state.
@@ -40,6 +46,8 @@ func (h Health) String() string {
 		return "UP"
 	case Late:
 		return "LATE"
+	case Suspect:
+		return "SUSPECT"
 	default:
 		return "DOWN"
 	}
@@ -62,6 +70,10 @@ type record struct {
 	lastBeat time.Duration
 	beats    int64
 	seen     Health
+	// degraded marks a process whose beats arrive with gaps past the DOWN
+	// threshold: alive, but impaired. Set and cleared at beat arrival; only
+	// meaningful when the monitor has a SuspectWindow.
+	degraded bool
 }
 
 // Monitor is the heartbeat collector daemon.
@@ -78,11 +90,22 @@ type Monitor struct {
 	// DownAfter, when nonzero, overrides the LATE->DOWN threshold. Zero
 	// derives it from Interval+Grace.
 	DownAfter time.Duration
+	// SuspectWindow, when nonzero, enables gray-failure classification: a
+	// process overdue past the DOWN threshold is held SUSPECT for
+	// SuspectWindow before decaying to DOWN, and a process whose beats keep
+	// arriving but with DOWN-sized gaps is SUSPECT (degraded) instead of
+	// flapping DOWN -> UP on every beat. Zero preserves the original
+	// three-state behavior exactly.
+	SuspectWindow time.Duration
 
 	mu       sync.Mutex
 	procs    map[string]*record
 	listener transport.Listener
 	obs      *obs.Observer // bound at Serve; nil when tracing is off
+	// suspects/downs count transitions INTO the respective state — the
+	// flap-vs-suspect evidence chaos invariants assert on.
+	suspects int64
+	downs    int64
 }
 
 // NewMonitor creates a monitor expecting beats every interval.
@@ -94,7 +117,12 @@ func NewMonitor(interval time.Duration) *Monitor {
 	}
 }
 
-// beat records a heartbeat at the monitor's current time.
+// beat records a heartbeat at the monitor's current time. With a
+// SuspectWindow, beat gaps drive the degraded flag: a gap past the DOWN
+// threshold marks the process degraded (it would have flapped DOWN between
+// beats), and a gap back inside the LATE threshold clears it; gaps in
+// between keep the previous verdict (hysteresis, so a borderline process
+// doesn't oscillate).
 func (m *Monitor) beat(name string, now time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -103,9 +131,23 @@ func (m *Monitor) beat(name string, now time.Duration) {
 		r = &record{name: name}
 		m.procs[name] = r
 	}
+	if m.SuspectWindow > 0 && r.beats > 0 {
+		late, down := m.thresholds()
+		gap := now - r.lastBeat
+		switch {
+		case gap > down:
+			r.degraded = true
+		case gap <= late:
+			r.degraded = false
+		}
+	}
 	r.lastBeat = now
 	r.beats++
-	m.note(r, Up, now)
+	h := Up
+	if m.SuspectWindow > 0 && r.degraded {
+		h = Suspect
+	}
+	m.note(r, h, now)
 }
 
 // note records an observed classification, emitting a transition event when
@@ -119,10 +161,33 @@ func (m *Monitor) note(r *record, h Health, now time.Duration) {
 			obs.Str("from", r.seen.String()), obs.Str("to", h.String()))
 		o.Metrics().Counter("hbm.transitions").Add(1)
 		// Per-process health level for the monitoring plane's state series
-		// (Up=0, Late=1, Down=2 — the Health enum order).
+		// (Up=0, Late=1, Down=2, Suspect=3 — the Health enum order).
 		o.Metrics().Gauge("hbm.state." + r.name).Set(int64(h))
 	}
+	switch h {
+	case Suspect:
+		m.suspects++
+	case Down:
+		m.downs++
+	}
 	r.seen = h
+}
+
+// SuspectCount reports how many transitions into SUSPECT the monitor has
+// observed; DownCount the transitions into DOWN. A straggler under a
+// SuspectWindow shows suspects > 0 with no DOWN churn, where the three-state
+// monitor would have racked up DOWN -> UP flaps.
+func (m *Monitor) SuspectCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.suspects
+}
+
+// DownCount reports transitions into DOWN (see SuspectCount).
+func (m *Monitor) DownCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.downs
 }
 
 // Status classifies a process at time now.
@@ -138,16 +203,30 @@ func (m *Monitor) Status(name string, now time.Duration) (Health, error) {
 	return h, nil
 }
 
-func (m *Monitor) classify(r *record, now time.Duration) Health {
-	late := m.LateAfter
+// thresholds resolves the effective LATE and DOWN overdue cutoffs.
+func (m *Monitor) thresholds() (late, down time.Duration) {
+	late = m.LateAfter
 	if late <= 0 {
 		late = m.Interval
 	}
-	down := m.DownAfter
+	down = m.DownAfter
 	if down <= 0 {
 		down = m.Interval + m.Grace
 	}
+	return late, down
+}
+
+func (m *Monitor) classify(r *record, now time.Duration) Health {
+	late, down := m.thresholds()
 	overdue := now - r.lastBeat
+	if sw := m.SuspectWindow; sw > 0 {
+		if overdue > down+sw {
+			return Down // silent past the suspect window: genuinely dead
+		}
+		if r.degraded || overdue > down {
+			return Suspect
+		}
+	}
 	switch {
 	case overdue <= late:
 		return Up
@@ -383,6 +462,13 @@ type Reporter struct {
 	Name string
 	// Interval between beats (use the monitor's).
 	Interval time.Duration
+	// BeatCost, when nonzero, models the local work of producing one beat
+	// (collecting stats, serializing) as a Compute charge before each send.
+	// On a slowed or contended host the charge stretches, beats arrive with
+	// growing gaps, and a SuspectWindow-enabled monitor classifies the host
+	// SUSPECT instead of flapping it DOWN/UP. Zero (the default) keeps the
+	// loop compute-free and bit-identical to the original.
+	BeatCost time.Duration
 
 	stopped   bool
 	abandoned bool
@@ -401,6 +487,9 @@ func (r *Reporter) Start(env transport.Env) {
 					_ = Deregister(e, r.MonitorAddr, r.Name) // best effort
 				}
 				return
+			}
+			if r.BeatCost > 0 {
+				e.Compute(r.BeatCost)
 			}
 			_ = Beat(e, r.MonitorAddr, r.Name) // best effort
 			e.Sleep(r.Interval)

@@ -1,0 +1,113 @@
+package hbm
+
+import (
+	"testing"
+	"time"
+)
+
+// suspectMonitor: Interval 100ms, explicit thresholds late=100ms down=400ms,
+// SuspectWindow 1s — so overdue in (400ms, 1400ms] is SUSPECT and only past
+// 1400ms is DOWN.
+func suspectMonitor() *Monitor {
+	m := NewMonitor(100 * time.Millisecond)
+	m.LateAfter = 100 * time.Millisecond
+	m.DownAfter = 400 * time.Millisecond
+	m.SuspectWindow = time.Second
+	return m
+}
+
+func TestSuspectString(t *testing.T) {
+	if Suspect.String() != "SUSPECT" {
+		t.Errorf("Suspect = %s", Suspect.String())
+	}
+}
+
+// TestSuspectDegradedHysteresis drives beats with widening and then shrinking
+// gaps: a gap past the DOWN threshold marks the process degraded (SUSPECT on
+// its own beats), a mid-band gap keeps the previous verdict, and a gap back
+// inside the LATE threshold clears it to UP.
+func TestSuspectDegradedHysteresis(t *testing.T) {
+	m := suspectMonitor()
+	status := func(now time.Duration) Health {
+		h, err := m.Status("p", now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	m.beat("p", 0)
+	if got := status(50 * time.Millisecond); got != Up {
+		t.Fatalf("fresh process = %v, want UP", got)
+	}
+	m.beat("p", 500*time.Millisecond) // gap 500ms > down: degraded
+	if got := status(520 * time.Millisecond); got != Suspect {
+		t.Fatalf("after DOWN-sized gap = %v, want SUSPECT", got)
+	}
+	m.beat("p", 700*time.Millisecond) // gap 200ms: mid-band, hysteresis holds
+	if got := status(720 * time.Millisecond); got != Suspect {
+		t.Fatalf("mid-band gap = %v, want SUSPECT held", got)
+	}
+	m.beat("p", 750*time.Millisecond) // gap 50ms <= late: recovered
+	if got := status(760 * time.Millisecond); got != Up {
+		t.Fatalf("after tight gap = %v, want UP", got)
+	}
+	if m.SuspectCount() != 1 {
+		t.Errorf("SuspectCount = %d, want 1 (one transition into SUSPECT)", m.SuspectCount())
+	}
+	if m.DownCount() != 0 {
+		t.Errorf("DownCount = %d, want 0 (no flap to DOWN)", m.DownCount())
+	}
+}
+
+// TestSuspectDecaysToDown pins the silence path: overdue past the DOWN
+// threshold is SUSPECT for SuspectWindow, then genuinely DOWN.
+func TestSuspectDecaysToDown(t *testing.T) {
+	m := suspectMonitor()
+	m.beat("p", 0)
+	cases := []struct {
+		now  time.Duration
+		want Health
+	}{
+		{50 * time.Millisecond, Up},
+		{200 * time.Millisecond, Late},
+		{450 * time.Millisecond, Suspect},  // past down, inside window
+		{1400 * time.Millisecond, Suspect}, // window edge
+		{1401 * time.Millisecond, Down},    // past down + window
+	}
+	for _, tc := range cases {
+		if h, _ := m.Status("p", tc.now); h != tc.want {
+			t.Errorf("Status at %v = %v, want %v", tc.now, h, tc.want)
+		}
+	}
+	if m.SuspectCount() != 1 || m.DownCount() != 1 {
+		t.Errorf("counts = %d suspects / %d downs, want 1/1", m.SuspectCount(), m.DownCount())
+	}
+}
+
+// TestZeroSuspectWindowKeepsThreeStates guards the compatibility contract: a
+// monitor without a SuspectWindow never reports SUSPECT, even for gappy beats.
+func TestZeroSuspectWindowKeepsThreeStates(t *testing.T) {
+	m := NewMonitor(100 * time.Millisecond)
+	m.LateAfter = 100 * time.Millisecond
+	m.DownAfter = 400 * time.Millisecond
+	m.beat("p", 0)
+	m.beat("p", 500*time.Millisecond) // DOWN-sized gap
+	for _, tc := range []struct {
+		now  time.Duration
+		want Health
+	}{
+		{520 * time.Millisecond, Up}, // beat just arrived: straight back UP
+		{700 * time.Millisecond, Late},
+		{950 * time.Millisecond, Down},
+	} {
+		if h, _ := m.Status("p", tc.now); h != tc.want {
+			t.Errorf("Status at %v = %v, want %v", tc.now, h, tc.want)
+		}
+	}
+	if m.SuspectCount() != 0 {
+		t.Errorf("SuspectCount = %d, want 0 without a SuspectWindow", m.SuspectCount())
+	}
+	if m.DownCount() != 1 {
+		t.Errorf("DownCount = %d, want 1 (flapped DOWN once)", m.DownCount())
+	}
+}

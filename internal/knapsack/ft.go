@@ -66,6 +66,24 @@ type FTParams struct {
 	// StealRetries is how many resends a slave attempts before concluding it
 	// is orphaned (default 5).
 	StealRetries int
+	// HeartbeatEvery, when nonzero, makes each slave send a lightweight
+	// snapshot (an empty send-back) whenever it has computed that long
+	// without otherwise talking to the master — and lets the master reclaim
+	// a slave on ITS OWN silence exceeding SlaveTimeout, rather than only on
+	// total silence from everyone. Without heartbeats a computing slave and a
+	// dead one are indistinguishable, so the master's conservative detector
+	// waits for the whole network to go quiet; under gray failures (a slow
+	// host crashing with a batch outstanding while starving peers keep
+	// resending steals) that quiet never comes and the batch is stuck until
+	// every peer has given up. Zero disables both sides and preserves the
+	// original behavior bit for bit.
+	//
+	// Beats are sent between expansion intervals, so the effective beat
+	// granularity is Interval x NodeCost: keep that product (and
+	// HeartbeatEvery itself) well under SlaveTimeout, or slaves get falsely
+	// reclaimed mid-batch and their work re-expanded — still exact, but
+	// wasteful.
+	HeartbeatEvery time.Duration
 }
 
 func (p FTParams) withFTDefaults() FTParams {
@@ -352,6 +370,18 @@ func runFTMaster(c *mpi.Comm, in *Instance, p FTParams, start time.Duration) (*R
 		if err != nil {
 			return nil, err
 		}
+		if p.HeartbeatEvery > 0 {
+			// Slaves beat while computing, so per-slave silence is an honest
+			// death signal: reclaim even while other slaves keep talking
+			// (starving peers resending steals must not shield a dead slave's
+			// outstanding batch from reclamation).
+			now := c.Env().Now()
+			for s := 1; s < size; s++ {
+				if slaves[s].alive && now-slaves[s].lastHeard >= p.SlaveTimeout {
+					markDead(s)
+				}
+			}
+		}
 		if !ok {
 			// Nobody spoke for a whole timeout while we starve: reclaim from
 			// every slave that has been silent at least as long.
@@ -437,10 +467,12 @@ func runFTSlave(c *mpi.Comm, in *Instance, p FTParams) (*Result, error) {
 		return &Result{Best: worker.Best}, nil
 	}
 	opsSinceShare := 0
+	lastContact := c.Env().Now()
 	sendBack := func(k int) error {
 		batch := worker.Stack.TakeBottom(k)
 		sentBack += int64(len(batch))
 		opsSinceShare = 0
+		lastContact = c.Env().Now()
 		return c.Send(0, tagFTBack, encodeFTBack(snapshot(), batch))
 	}
 	for {
@@ -479,6 +511,7 @@ func runFTSlave(c *mpi.Comm, in *Instance, p FTParams) (*Result, error) {
 						continue // duplicate reply to an older steal; drop
 					}
 					worker.Stack.PushAll(ns)
+					lastContact = c.Env().Now()
 				default:
 					return nil, fmt.Errorf("knapsack ft slave: unexpected tag %d", m.Tag)
 				}
@@ -497,6 +530,13 @@ func runFTSlave(c *mpi.Comm, in *Instance, p FTParams) (*Result, error) {
 			}
 		case p.ShareInterval > 0 && opsSinceShare >= p.ShareInterval && worker.Stack.Len() > p.BackUnit+1:
 			if err := sendBack(p.BackUnit); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrOrphaned, err)
+			}
+		case p.HeartbeatEvery > 0 && c.Env().Now()-lastContact >= p.HeartbeatEvery:
+			// Liveness beat: an empty send-back refreshing the master's
+			// lastHeard (and snapshot) so a long subtree expansion is not
+			// mistaken for death under per-slave reclamation.
+			if err := sendBack(0); err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrOrphaned, err)
 			}
 		}

@@ -1,0 +1,98 @@
+package knapsack
+
+import (
+	"testing"
+	"time"
+
+	"nxcluster/internal/mpi"
+)
+
+// TestRunFTHeartbeatReclaimsSilentSlaveAmongChattyPeers pins the gray-failure
+// fix: a dead slave holding an outstanding batch while a healthy peer keeps
+// the master's receive loop busy (results and steal requests) means TOTAL
+// silence never happens, so the legacy reclaim path never fires. With
+// HeartbeatEvery set, per-slave silence is an honest death signal and the
+// master reclaims the batch while the chatty peer stays up.
+func TestRunFTHeartbeatReclaimsSilentSlaveAmongChattyPeers(t *testing.T) {
+	in := NoPruning(13)
+	wantBest, wantNodes := SolveExhaustive(in)
+	k, net, w := buildFTWorld(3)
+	var res *Result
+	w.Launch(func(c *mpi.Comm) error {
+		r, err := RunFT(c, in, FTParams{
+			Params:         Params{Interval: 50, StealUnit: 3, NodeCost: 200 * time.Microsecond},
+			SlaveTimeout:   200 * time.Millisecond,
+			StealTimeout:   50 * time.Millisecond,
+			StealRetries:   1000, // the healthy slave must never orphan
+			HeartbeatEvery: 50 * time.Millisecond,
+		})
+		if c.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	k.After(300*time.Millisecond, func() { _ = net.CrashHost("node2") })
+	// RunUntil, not Run: if the reclaim regressed, the master and the starved
+	// healthy slave would exchange steals forever and the queue never drains.
+	k.RunUntil(60 * time.Second)
+	k.Shutdown()
+	if res == nil {
+		t.Fatal("master produced no result: silent slave's batch never reclaimed")
+	}
+	if res.Best != wantBest {
+		t.Fatalf("best = %d, want %d", res.Best, wantBest)
+	}
+	if res.TotalTraversed < wantNodes {
+		t.Fatalf("traversed %d < %d: work lost, not reclaimed", res.TotalTraversed, wantNodes)
+	}
+	errs := w.RankErrs()
+	if errs[0] != nil {
+		t.Fatalf("master error: %v", errs[0])
+	}
+	if errs[1] != nil {
+		t.Fatalf("healthy slave error: %v", errs[1])
+	}
+}
+
+// TestRunFTHeartbeatNoFalseKills guards the other edge of the same knife: a
+// fault-free run where slaves spend many multiples of SlaveTimeout expanding
+// a batch. Per-slave reclaim without the liveness beats would kill and
+// re-expand those batches; with beats flowing between expansion intervals
+// (Interval x NodeCost, the beat granularity, kept under SlaveTimeout) the
+// run must stay exact — every node expanded exactly once.
+func TestRunFTHeartbeatNoFalseKills(t *testing.T) {
+	in := NoPruning(10)
+	wantBest, wantNodes := SolveExhaustive(in)
+	k, _, w := buildFTWorld(3)
+	var res *Result
+	w.Launch(func(c *mpi.Comm) error {
+		// A 20-node batch takes 20 x 20ms = 400ms >> SlaveTimeout, but the
+		// slave checks for a due beat every 2 nodes (40ms), so it is never
+		// silent long enough to be falsely reclaimed.
+		r, err := RunFT(c, in, FTParams{
+			Params:         Params{Interval: 2, StealUnit: 20, NodeCost: 20 * time.Millisecond},
+			SlaveTimeout:   200 * time.Millisecond,
+			StealTimeout:   50 * time.Millisecond,
+			StealRetries:   1000,
+			HeartbeatEvery: 50 * time.Millisecond,
+		})
+		if c.Rank() == 0 {
+			res = r
+		}
+		return err
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != wantBest {
+		t.Fatalf("best = %d, want %d", res.Best, wantBest)
+	}
+	if res.TotalTraversed != wantNodes {
+		t.Fatalf("traversed = %d, want exactly %d (a false kill duplicates work)",
+			res.TotalTraversed, wantNodes)
+	}
+}

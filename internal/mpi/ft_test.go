@@ -1,8 +1,12 @@
 package mpi
 
 import (
+	"fmt"
 	"testing"
 	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
 )
 
 // TestRecvTimeout: a too-short wait times out without losing messages; a
@@ -69,5 +73,75 @@ func TestRankErrs(t *testing.T) {
 	errs := w.RankErrs()
 	if len(errs) != 3 || errs[0] != nil || errs[1] == nil || errs[2] != nil {
 		t.Fatalf("RankErrs = %v", errs)
+	}
+}
+
+// TestRecvTimeoutUnderLinkFlap exercises the failure-detection primitive on
+// a flapping link: while the receiver's link is down, RecvTimeout returns
+// ok=false on schedule (virtual time keeps flowing); once the flap's up
+// phase restores service, in-flight messages deliver and nothing is lost or
+// reordered.
+func TestRecvTimeoutUnderLinkFlap(t *testing.T) {
+	k := sim.New()
+	net := simnet.New(k)
+	net.AddRouter("sw", "")
+	pls := make([]Placement, 2)
+	for i := range pls {
+		name := fmt.Sprintf("node%d", i)
+		net.AddHost(name, simnet.HostConfig{})
+		net.Connect(name, "sw", simnet.LinkConfig{Latency: 100 * time.Microsecond, Bandwidth: 12 << 20})
+		pls[i] = Placement{Name: name, Spawn: net.Node(name).SpawnOn}
+	}
+	w := NewWorld(pls)
+	// node0's link is down 60ms of every 100ms, from 10ms to 510ms: any
+	// send landing in a down phase stalls on the wire until the next up.
+	if err := net.ApplyPlan((&simnet.FaultPlan{}).
+		LinkFlap("node0", "sw", 100*time.Millisecond, 0.6, 10*time.Millisecond, 510*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	var timeouts, deliveries int
+	var order []string
+	w.Launch(func(c *Comm) error {
+		if c.Rank() == 1 {
+			for i := 0; i < 5; i++ {
+				if err := c.Send(0, 7, []byte(fmt.Sprintf("m%d", i))); err != nil {
+					return err
+				}
+				c.Env().Sleep(100 * time.Millisecond)
+			}
+			return nil
+		}
+		deadline := c.Env().Now() + 2*time.Second
+		for deliveries < 5 && c.Env().Now() < deadline {
+			m, ok, err := c.RecvTimeout(1, 7, 30*time.Millisecond)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				timeouts++
+				continue
+			}
+			deliveries++
+			order = append(order, string(m.Data))
+		}
+		return nil
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if deliveries != 5 {
+		t.Fatalf("delivered %d of 5 messages across the flap", deliveries)
+	}
+	if timeouts == 0 {
+		t.Error("no RecvTimeout expirations during the down phases")
+	}
+	for i, m := range order {
+		if want := fmt.Sprintf("m%d", i); m != want {
+			t.Fatalf("order[%d] = %q, want %q (stream reordered)", i, m, want)
+		}
 	}
 }

@@ -24,10 +24,11 @@ type InnerServer struct {
 
 	listener transport.Listener
 	// Relay counters, updated atomically (see OuterServer).
-	bindRelays    int64
-	bytes         int64
-	registrations int64
-	trace         func(format string, args ...interface{})
+	bindRelays     int64
+	bytes          int64
+	registrations  int64
+	suspectPeriods int64
+	trace          func(format string, args ...interface{})
 }
 
 // NewInnerServer creates an inner server.
@@ -47,9 +48,10 @@ func (s *InnerServer) tracef(format string, args ...interface{}) {
 // Stats returns a snapshot of relay counters.
 func (s *InnerServer) Stats() Stats {
 	return Stats{
-		BindRelays:    int(atomic.LoadInt64(&s.bindRelays)),
-		Bytes:         atomic.LoadInt64(&s.bytes),
-		Registrations: int(atomic.LoadInt64(&s.registrations)),
+		BindRelays:     int(atomic.LoadInt64(&s.bindRelays)),
+		Bytes:          atomic.LoadInt64(&s.bytes),
+		Registrations:  int(atomic.LoadInt64(&s.registrations)),
+		SuspectPeriods: int(atomic.LoadInt64(&s.suspectPeriods)),
 	}
 }
 

@@ -202,3 +202,49 @@ func TestRelayPropagatesResetThroughSplice(t *testing.T) {
 	}
 	k.Shutdown()
 }
+
+// TestKeepaliveMissBudgetRidesOutDegradedBoundary degrades the boundary link
+// so every pong lands after the keepalive timeout but well before the next
+// cycle. With a miss budget the inner server stays on its one session and
+// counts SUSPECT periods; the budget-less control flaps through a full
+// teardown and re-registration on the same schedule.
+func TestKeepaliveMissBudgetRidesOutDegradedBoundary(t *testing.T) {
+	run := func(missBudget int) (registrations, suspectPeriods int) {
+		k := sim.New()
+		n := buildFirewalledSite(k)
+		inner, _ := bootRegisteredProxy(n, KeepaliveConfig{
+			OuterAddr:  "outer:7000",
+			Interval:   100 * time.Millisecond,
+			Timeout:    200 * time.Millisecond,
+			MissBudget: missBudget,
+			Backoff:    transport.Backoff{Base: 50 * time.Millisecond, Max: time.Second},
+		})
+		// +250ms one-way: pings arrive late, so pongs always miss the 200ms
+		// window but surface as queued late arrivals next cycle.
+		plan := (&simnet.FaultPlan{}).LinkDegrade("gw", "outer", 250*time.Millisecond, 0,
+			time.Second, 3*time.Second)
+		if err := n.ApplyPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+		k.RunUntil(5 * time.Second)
+		st := inner.Stats()
+		k.Shutdown()
+		return st.Registrations, st.SuspectPeriods
+	}
+	regs, suspects := run(2)
+	if regs != 1 {
+		t.Errorf("with budget: registrations = %d, want 1 (session rides out the degrade)", regs)
+	}
+	// Only the first cycle misses: its late pong primes a one-behind
+	// pipeline, and every later cycle finds the previous pong already queued.
+	if suspects != 1 {
+		t.Errorf("with budget: suspect periods = %d, want 1", suspects)
+	}
+	regs, suspects = run(0)
+	if regs < 2 {
+		t.Errorf("without budget: registrations = %d, want >= 2 (flapped through teardown)", regs)
+	}
+	if suspects != 0 {
+		t.Errorf("without budget: suspect periods = %d, want 0", suspects)
+	}
+}

@@ -19,6 +19,14 @@ type KeepaliveConfig struct {
 	// dead (default 2*Interval). A WAN flap longer than this triggers a
 	// re-registration once connectivity returns.
 	Timeout time.Duration
+	// MissBudget is how many consecutive pong timeouts to tolerate before
+	// tearing the session down. On a degraded (slow but alive) boundary link
+	// a pong can arrive after Timeout; with a budget the session rides the
+	// delay out as SUSPECT — counted in Stats.SuspectPeriods — instead of
+	// flapping through teardown and re-registration. A late pong stays
+	// queued and squares the books on the next ping cycle. Zero preserves
+	// the original behavior: the first miss ends the session.
+	MissBudget int
 	// Backoff is the redial schedule after a failed or broken session; the
 	// zero value uses the transport defaults (100ms base, 5s cap) with a
 	// jitter key derived from the inner host's name.
@@ -79,7 +87,7 @@ func (s *InnerServer) MaintainRegistration(env transport.Env, cfg KeepaliveConfi
 			o.Metrics().Counter("proxy.registrations").Add(1)
 		}
 		bo.Reset()
-		s.keepalive(env, c, interval, timeout)
+		s.keepalive(env, c, interval, timeout, cfg.MissBudget)
 		s.tracef("inner: registration session %d broke; re-registering", n)
 		if o != nil {
 			o.Emit(env.Now(), "proxy", "register.broken", env.Hostname(), obs.Int("session", n))
@@ -89,11 +97,12 @@ func (s *InnerServer) MaintainRegistration(env transport.Env, cfg KeepaliveConfi
 }
 
 // keepalive pings the outer server every interval and waits for pongs. It
-// returns when the session is no longer healthy: a write error, a missed
-// pong, or a connection reset. The connection is aborted on return so the
-// outer server (if alive) sees the session end as a reset, and the reader
-// process unblocks.
-func (s *InnerServer) keepalive(env transport.Env, c transport.Conn, interval, timeout time.Duration) {
+// returns when the session is no longer healthy: a write error, a connection
+// reset, or more consecutive pong timeouts than missBudget allows (zero
+// budget: the first miss ends the session). The connection is aborted on
+// return so the outer server (if alive) sees the session end as a reset, and
+// the reader process unblocks.
+func (s *InnerServer) keepalive(env transport.Env, c transport.Conn, interval, timeout time.Duration, missBudget int) {
 	st := transport.Stream{Env: env, Conn: c}
 	pongs := transport.NewQueue[byte](env)
 	env.SpawnService("inner:reg-reader", func(e transport.Env) {
@@ -106,15 +115,29 @@ func (s *InnerServer) keepalive(env transport.Env, c transport.Conn, interval, t
 			pongs.Put(e, typ)
 		}
 	})
+	misses := 0
 	for {
 		env.Sleep(interval)
 		if err := writeMsg(st, msgPing); err != nil {
 			break
 		}
 		typ, ok, timedOut := pongs.GetTimeout(env, timeout)
-		if timedOut || !ok || typ != msgPong {
+		if timedOut {
+			if misses < missBudget {
+				// Degraded, not dead: the pong is late, not lost. Stay on
+				// the session and let a queued late pong settle the next
+				// cycle.
+				misses++
+				atomic.AddInt64(&s.suspectPeriods, 1)
+				s.tracef("inner: keepalive pong late (miss %d/%d); session SUSPECT", misses, missBudget)
+				continue
+			}
 			break
 		}
+		if !ok || typ != msgPong {
+			break
+		}
+		misses = 0
 	}
 	_ = transport.Abort(env, c)
 }

@@ -48,6 +48,10 @@ type Stats struct {
 	// InnerConnected reports whether a registration session is currently
 	// live (outer server only).
 	InnerConnected bool
+	// SuspectPeriods counts keepalive cycles that missed a pong but stayed
+	// on the session under KeepaliveConfig.MissBudget (inner server only):
+	// evidence the boundary link was degraded rather than down.
+	SuspectPeriods int
 }
 
 // pump copies bytes from src to dst until EOF or error, charging the

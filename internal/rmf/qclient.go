@@ -174,7 +174,10 @@ type JobHandle struct {
 	Recovery *RecoveryPolicy
 	// Requeues counts processes recovered onto replacement resources.
 	Requeues int
-	released bool
+	// Speculations counts speculative duplicates launched by Wait under a
+	// RecoveryPolicy with SpeculateAfter set.
+	Speculations int
+	released     bool
 }
 
 // JobRequest is a whole-job submission: count processes of one spec.
@@ -254,10 +257,17 @@ func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 			bo.Rand = transport.RandOf(env)
 		}
 	}
+	speculateAfter := time.Duration(0)
+	if h.Recovery != nil {
+		speculateAfter = h.Recovery.SpeculateAfter
+	}
 	o := obs.From(env)
 	var firstErr error
 	for i := range h.Processes {
 		errStreak := 0
+		specStreak := 0
+		var spec *Process // in-flight speculative duplicate, if any
+		procStart := env.Now()
 		for {
 			p := h.Processes[i]
 			state, msg, err := Status(env, p.QServerAddr, p.JobID)
@@ -268,6 +278,21 @@ func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 					break
 				}
 				if errStreak >= statusRetries {
+					if spec != nil {
+						// The primary is lost but a speculative copy is in
+						// flight: promote the copy instead of requeueing.
+						_ = Release(env, h.AllocatorAddr, []string{p.Resource})
+						h.Processes[i] = *spec
+						spec = nil
+						errStreak = 0
+						procStart = env.Now()
+						if o != nil {
+							o.Emit(env.Now(), "rmf", "spec-promote", env.Hostname(),
+								obs.Str("lost", p.Resource), obs.Str("to", h.Processes[i].Resource))
+						}
+						env.Sleep(poll)
+						continue
+					}
 					// The Q server is gone or lost the job: requeue.
 					if rqErr := h.requeue(env, i, deadline, &bo); rqErr != nil {
 						if firstErr == nil {
@@ -276,6 +301,7 @@ func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 						break
 					}
 					errStreak = 0
+					procStart = env.Now()
 				}
 				env.Sleep(poll)
 				continue
@@ -302,11 +328,77 @@ func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 				}
 				break
 			}
+			if spec != nil {
+				sstate, _, serr := Status(env, spec.QServerAddr, spec.JobID)
+				if serr != nil {
+					specStreak++
+					if specStreak >= statusRetries {
+						// The copy's resource died too; drop it. The progress
+						// deadline is still past, so a fresh copy launches on
+						// the next poll.
+						_ = Release(env, h.AllocatorAddr, []string{spec.Resource})
+						spec = nil
+						specStreak = 0
+					}
+				} else {
+					specStreak = 0
+					if sstate == StateDone {
+						// First completion wins: the copy beat the primary.
+						// Swap it in and release the loser's slot — the loser
+						// may still run to completion on its Q server
+						// (at-least-once), but only the winner's result is
+						// consumed.
+						_ = Release(env, h.AllocatorAddr, []string{p.Resource})
+						h.Processes[i] = *spec
+						spec = nil
+						if o != nil {
+							o.Emit(env.Now(), "rmf", "exit", env.Hostname(),
+								obs.Str("job", h.Processes[i].JobID), obs.Str("resource", h.Processes[i].Resource))
+						}
+						break
+					}
+					if sstate == StateFailed {
+						_ = Release(env, h.AllocatorAddr, []string{spec.Resource})
+						spec = nil
+					}
+				}
+			} else if speculateAfter > 0 && env.Now()-procStart >= speculateAfter {
+				spec = h.speculate(env, i, o)
+			}
 			env.Sleep(poll)
+		}
+		if spec != nil {
+			// The primary reached a terminal state with a copy still in
+			// flight: release the copy's slot.
+			_ = Release(env, h.AllocatorAddr, []string{spec.Resource})
 		}
 	}
 	h.ReleaseSlots(env)
 	return firstErr
+}
+
+// speculate launches one duplicate of process i on a fresh slot. The
+// allocator's load- and health-aware sort steers the copy away from the
+// straggler, which still holds its own slot. Best-effort by design: a copy
+// that cannot be placed or submitted is skipped, and since the progress
+// deadline stays expired, Wait simply tries again on a later poll.
+func (h *JobHandle) speculate(env transport.Env, i int, o *obs.Observer) *Process {
+	names, addrs, err := Allocate(env, h.AllocatorAddr, 1, h.Cluster)
+	if err != nil {
+		return nil
+	}
+	id, err := Submit(env, addrs[0], h.Specs[i])
+	if err != nil {
+		_ = Release(env, h.AllocatorAddr, names)
+		return nil
+	}
+	h.Speculations++
+	if o != nil {
+		o.Emit(env.Now(), "rmf", "speculate", env.Hostname(),
+			obs.Str("slow", h.Processes[i].Resource), obs.Str("copy", names[0]), obs.Str("job", id))
+		o.Metrics().Counter("rmf.speculations").Add(1)
+	}
+	return &Process{Resource: names[0], QServerAddr: addrs[0], JobID: id}
 }
 
 // ReleaseSlots returns the job's allocator slots (idempotent).

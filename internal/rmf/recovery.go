@@ -150,6 +150,18 @@ type RecoveryPolicy struct {
 	// Backoff paces replacement allocation and resubmission (zero value:
 	// transport defaults).
 	Backoff transport.Backoff
+	// SpeculateAfter, when nonzero, is a per-process progress deadline: a
+	// process still running SpeculateAfter past the start of its wait is
+	// treated as a straggler and one speculative duplicate is launched on a
+	// fresh slot — the load- and health-aware allocator steers the copy off
+	// the busy or SUSPECT resource. Whichever copy reaches DONE first wins
+	// and the loser's slot is released; a loser that is already executing
+	// may still run to completion on its Q server. Like requeue this is
+	// at-least-once execution with deduplication at the consumer: the job
+	// handle records exactly one winning Process per index, the same ledger
+	// discipline knapsack.RunFT uses to absorb duplicate steal results.
+	// Zero disables speculation.
+	SpeculateAfter time.Duration
 }
 
 // requeue replaces a lost process: release its slot, allocate a fresh one,

@@ -245,6 +245,13 @@ func (a *Allocator) allocate(count int, cluster string) ([]string, []string, err
 	var names, addrs []string
 	for i := 0; i < count; i++ {
 		sort.Slice(cands, func(x, y int) bool {
+			// SUSPECT (degraded) resources remain usable but rank behind
+			// every healthy one — a straggler only gets work when nothing
+			// else has capacity.
+			sx, sy := cands[x].Health == hbm.Suspect, cands[y].Health == hbm.Suspect
+			if sx != sy {
+				return sy
+			}
 			// Fractional load balances heterogeneous CPU counts.
 			lx := float64(cands[x].Load) / float64(cands[x].CPUs)
 			ly := float64(cands[y].Load) / float64(cands[y].CPUs)

@@ -1,0 +1,133 @@
+package rmf
+
+import (
+	"testing"
+	"time"
+
+	"nxcluster/internal/sim"
+	"nxcluster/internal/simnet"
+	"nxcluster/internal/transport"
+)
+
+// buildSpecWorld wires a minimal allocator + two Q servers + client LAN for
+// the speculation tests and submits one "burn" job (2s of Compute), which
+// lands on q0 by the allocator's name tie-break.
+func buildSpecWorld(t *testing.T, plan *simnet.FaultPlan, policy *RecoveryPolicy) (jobErr error, h *JobHandle, completedOn []string) {
+	k := sim.New()
+	n := simnet.New(k)
+	for _, host := range []string{"alloc", "q0", "q1", "client"} {
+		n.AddHost(host, simnet.HostConfig{})
+	}
+	n.AddRouter("sw", "")
+	lan := simnet.LinkConfig{Latency: time.Millisecond, Bandwidth: 12 << 20}
+	for _, host := range []string{"alloc", "q0", "q1", "client"} {
+		n.Connect(host, "sw", lan)
+	}
+	alloc := NewAllocator()
+	n.Node("alloc").SpawnDaemonOn("alloc", func(e transport.Env) {
+		_ = alloc.Serve(e, AllocatorPort, nil)
+	})
+	reg := NewRegistry()
+	reg.Register("burn", func(env transport.Env, ctx *JobContext) error {
+		env.Compute(2 * time.Second) // stretched by SlowHost on a straggler
+		completedOn = append(completedOn, ctx.Resource)
+		return nil
+	})
+	for _, name := range []string{"q0", "q1"} {
+		res := name
+		q := NewQServer(res, "c", 4, reg)
+		n.Node(res).SpawnDaemonOn("qserver-"+res, func(e transport.Env) {
+			e.Sleep(time.Millisecond)
+			_ = q.Serve(e, QServerPort, "alloc:7100", nil)
+		})
+	}
+	n.Node("client").SpawnOn("qclient", func(e transport.Env) {
+		e.Sleep(100 * time.Millisecond)
+		var err error
+		h, err = SubmitJob(e, "alloc:7100", JobRequest{Count: 1, Spec: ProcessSpec{Executable: "burn"}})
+		if err != nil {
+			jobErr = err
+			return
+		}
+		if h.Processes[0].Resource != "q0" {
+			t.Errorf("job landed on %s, want q0", h.Processes[0].Resource)
+		}
+		h.Recovery = policy
+		jobErr = h.Wait(e, 100*time.Millisecond, 30*time.Second)
+	})
+	if plan != nil {
+		if err := n.ApplyPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k.RunUntil(40 * time.Second)
+	k.Shutdown()
+	return jobErr, h, completedOn
+}
+
+// TestSpeculationBeatsStraggler slows the primary's host tenfold: the
+// progress deadline launches one duplicate on the healthy Q server, the copy
+// finishes first, and first-completion-wins swaps it in — no requeue, and
+// the straggler's slot is released while it grinds on (at-least-once).
+func TestSpeculationBeatsStraggler(t *testing.T) {
+	plan := (&simnet.FaultPlan{}).SlowHost("q0", 10, 0, 0)
+	jobErr, h, completedOn := buildSpecWorld(t, plan,
+		&RecoveryPolicy{StatusRetries: 3, SpeculateAfter: 3 * time.Second})
+	if jobErr != nil {
+		t.Fatalf("Wait = %v", jobErr)
+	}
+	if h.Speculations != 1 {
+		t.Errorf("speculations = %d, want 1", h.Speculations)
+	}
+	if h.Requeues != 0 {
+		t.Errorf("requeues = %d, want 0 (speculation, not requeue)", h.Requeues)
+	}
+	if h.Processes[0].Resource != "q1" {
+		t.Errorf("winner = %s, want the copy on q1", h.Processes[0].Resource)
+	}
+	if len(completedOn) == 0 || completedOn[0] != "q1" {
+		t.Errorf("first completion on %v, want q1", completedOn)
+	}
+}
+
+// TestSpeculationPromotedWhenPrimaryDies crashes the straggler after the
+// copy is already in flight: Wait must promote the copy instead of requeuing
+// onto a fresh slot, and the job still completes exactly once.
+func TestSpeculationPromotedWhenPrimaryDies(t *testing.T) {
+	plan := (&simnet.FaultPlan{}).
+		SlowHost("q0", 10, 0, 0).
+		Crash("q0", 5*time.Second) // after SpeculateAfter fires at ~3.1s
+	jobErr, h, completedOn := buildSpecWorld(t, plan,
+		&RecoveryPolicy{StatusRetries: 3, SpeculateAfter: 3 * time.Second})
+	if jobErr != nil {
+		t.Fatalf("Wait = %v", jobErr)
+	}
+	if h.Speculations != 1 {
+		t.Errorf("speculations = %d, want 1", h.Speculations)
+	}
+	if h.Requeues != 0 {
+		t.Errorf("requeues = %d, want 0 (copy promoted, not requeued)", h.Requeues)
+	}
+	if h.Processes[0].Resource != "q1" {
+		t.Errorf("winner = %s, want q1", h.Processes[0].Resource)
+	}
+	if len(completedOn) != 1 || completedOn[0] != "q1" {
+		t.Errorf("completions = %v, want exactly [q1]", completedOn)
+	}
+}
+
+// TestNoSpeculationWithoutDeadline: the same straggler with no SpeculateAfter
+// just runs slow — no duplicates, primary keeps its slot and wins.
+func TestNoSpeculationWithoutDeadline(t *testing.T) {
+	plan := (&simnet.FaultPlan{}).SlowHost("q0", 10, 0, 0)
+	jobErr, h, completedOn := buildSpecWorld(t, plan, &RecoveryPolicy{StatusRetries: 3})
+	if jobErr != nil {
+		t.Fatalf("Wait = %v", jobErr)
+	}
+	if h.Speculations != 0 {
+		t.Errorf("speculations = %d, want 0", h.Speculations)
+	}
+	if len(completedOn) != 1 || completedOn[0] != "q0" {
+		t.Errorf("completions = %v, want [q0]", completedOn)
+	}
+}

@@ -176,6 +176,89 @@ func (n *Network) setLink(a, b string, down bool) bool {
 	return found
 }
 
+// SetPartition severs (down=true) or restores every link with one endpoint
+// in groupA and the other in groupB. All cross-group links change state in
+// this one call — a network partition is atomic, traffic never observes a
+// half-cut boundary. Unknown node names and group pairs with no direct link
+// are skipped, so healing after topology edits is a deterministic no-op.
+// It returns the number of duplex links touched.
+func (n *Network) SetPartition(groupA, groupB []string, down bool) int {
+	inB := make(map[string]bool, len(groupB))
+	for _, b := range groupB {
+		inB[b] = true
+	}
+	count := 0
+	for _, a := range groupA {
+		na := n.nodes[a]
+		if na == nil {
+			continue
+		}
+		for _, ld := range na.links {
+			if inB[ld.to.name] {
+				ld.down = down
+				ld.rev.down = down
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// SetLinkDegraded applies gray degradation to the DIRECTED link a->b: every
+// transfer pays addLatency of extra propagation delay, and flow-modeled data
+// segments see lossPct of extra loss on top of the configured LossRate
+// (plain reliable streams are lossless by construction — for them only the
+// latency shows). Pass zeros to clear. Routing is not recomputed: paths keep
+// their hops, so degradation models congestion on the same route rather
+// than a topology change. It reports whether the link exists.
+func (n *Network) SetLinkDegraded(a, b string, addLatency time.Duration, lossPct float64) bool {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return false
+	}
+	found := false
+	for _, ld := range na.links {
+		if ld.to == nb {
+			ld.extraLat = addLatency
+			ld.extraLoss = lossPct
+			found = true
+		}
+	}
+	return found
+}
+
+// LinkDegraded reports the a->b direction's current extra latency and loss.
+func (n *Network) LinkDegraded(a, b string) (time.Duration, float64) {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return 0, 0
+	}
+	for _, ld := range na.links {
+		if ld.to == nb {
+			return ld.extraLat, ld.extraLoss
+		}
+	}
+	return 0, 0
+}
+
+// SetHostSpeed rescales a host's compute speed to configured/factor: factor
+// 2 makes every Compute call take twice as long (a straggler), factor 1
+// restores nominal. Sleep is wall-time, not compute, and stays unscaled.
+// Compute calls already in progress keep the rate they started with; only
+// new calls observe the change. Restarting a crashed host does not reset
+// the factor — slowness models hardware state that survives a reboot.
+func (n *Network) SetHostSpeed(name string, factor float64) error {
+	nd := n.nodes[name]
+	if nd == nil || !nd.isHost {
+		return fmt.Errorf("simnet: SetHostSpeed(%q): not a host", name)
+	}
+	if factor <= 0 {
+		return fmt.Errorf("simnet: SetHostSpeed(%q): factor %v must be > 0", name, factor)
+	}
+	nd.speed = nd.baseSpeed / factor
+	return nil
+}
+
 // LinkDown reports whether the a->b link is out of service.
 func (n *Network) LinkDown(a, b string) bool {
 	na, nb := n.nodes[a], n.nodes[b]

@@ -189,8 +189,7 @@ func (ld *linkDir) shouldDrop() bool {
 	if ld.cfg.QueueLimit > 0 && len(ld.queue)-ld.qhead >= ld.cfg.QueueLimit {
 		return true
 	}
-	if ld.cfg.LossRate > 0 {
-		rate := ld.cfg.LossRate
+	if rate := ld.cfg.LossRate + ld.extraLoss; rate > 0 {
 		if rate > 0.99 {
 			rate = 0.99 // a flow must eventually make progress
 		}

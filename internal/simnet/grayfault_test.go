@@ -1,0 +1,322 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nxcluster/internal/transport"
+)
+
+// TestFaultPlanInsertionOrderTies pins the same-instant tie-break: faults at
+// one instant apply in insertion order, never reordered by kind. The plan
+// restores a link and re-cuts it at the same instant; if ordering ever
+// regressed to kind-based, the final state would flip.
+func TestFaultPlanInsertionOrderTies(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	defer k.Shutdown()
+	plan := (&FaultPlan{}).
+		LinkOutage("a", "r", 10*time.Millisecond, 50*time.Millisecond) // up again at 50ms...
+	plan.add(Fault{At: 50 * time.Millisecond, Kind: FaultLinkDown, A: "a", B: "r"}) // ...then down at the same instant
+
+	ord := plan.ordered()
+	kinds := make([]FaultKind, len(ord))
+	for i, f := range ord {
+		kinds[i] = f.Kind
+	}
+	want := []FaultKind{FaultLinkDown, FaultLinkUp, FaultLinkDown}
+	for i, w := range want {
+		if kinds[i] != w {
+			t.Fatalf("ordered kinds = %v, want %v", kinds, want)
+		}
+	}
+
+	if err := n.ApplyPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	down := false
+	k.After(60*time.Millisecond, func() { down = n.LinkDown("a", "r") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !down {
+		t.Error("link up after same-instant up-then-down; ties not in insertion order")
+	}
+}
+
+// TestFaultPlanZeroLengthWindows checks that degenerate windows (to == from)
+// schedule cleanly: a zero-length crash window bounces the host within one
+// instant, and zero-length degrade/slow/partition windows mean "permanent".
+func TestFaultPlanZeroLengthWindows(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	defer k.Shutdown()
+	boots := 0
+	n.Node("b").OnRestart("srv", func(env transport.Env) { boots++ })
+	plan := (&FaultPlan{}).
+		CrashWindow("b", 30*time.Millisecond, 30*time.Millisecond).
+		LinkOutage("a", "r", 40*time.Millisecond, 40*time.Millisecond).
+		LinkDegrade("r", "b", 5*time.Millisecond, 0, 45*time.Millisecond, 45*time.Millisecond).
+		SlowHost("a", 2, 45*time.Millisecond, 45*time.Millisecond)
+	if err := n.ApplyPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Node("b").Crashed() {
+		t.Error("host still crashed after zero-length crash window")
+	}
+	if boots != 1 {
+		t.Errorf("boots = %d, want 1 (restart hook ran)", boots)
+	}
+	if n.LinkDown("a", "r") {
+		t.Error("link still down after zero-length outage")
+	}
+	// Zero-length degrade and slow windows are permanent by contract.
+	if lat, _ := n.LinkDegraded("r", "b"); lat != 5*time.Millisecond {
+		t.Errorf("r->b extra latency = %v, want permanent 5ms", lat)
+	}
+	if got := n.Node("a").Speed(); got != 0.5 {
+		t.Errorf("host a speed = %v, want permanent 0.5", got)
+	}
+}
+
+// TestFaultPlanRestartRacingOutage schedules a restart BEFORE the host ever
+// crashes and a crash for an already-crashed host: both are no-ops, never
+// panics, and the terminal state follows the last fault.
+func TestFaultPlanRestartRacingOutage(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	defer k.Shutdown()
+	plan := &FaultPlan{}
+	plan.add(Fault{At: 5 * time.Millisecond, Kind: FaultRestart, A: "b"}) // host is up: no-op
+	plan.Crash("b", 10*time.Millisecond)
+	plan.Crash("b", 15*time.Millisecond) // already crashed: no-op
+	plan.add(Fault{At: 20 * time.Millisecond, Kind: FaultRestart, A: "b"})
+	if err := n.ApplyPlan(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Node("b").Crashed() {
+		t.Error("host crashed at end; want restarted")
+	}
+}
+
+// TestFaultPlanRejectsMalformed covers every validation path: unknown nodes,
+// missing links, non-hosts, bad degrade/slow parameters, empty partition
+// groups, unknown kinds, and builder-recorded LinkFlap errors. ApplyPlan must
+// return an error — never panic — and schedule nothing.
+func TestFaultPlanRejectsMalformed(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	defer k.Shutdown()
+	cases := map[string]*FaultPlan{
+		"unknown link node": {Faults: []Fault{{Kind: FaultDegrade, A: "a", B: "zzz"}}},
+		"no such link":      {Faults: []Fault{{Kind: FaultDegrade, A: "a", B: "b"}}},
+		"negative latency":  {Faults: []Fault{{Kind: FaultDegrade, A: "a", B: "r", AddLatency: -time.Millisecond}}},
+		"loss >= 1":         {Faults: []Fault{{Kind: FaultDegrade, A: "a", B: "r", LossPct: 1.0}}},
+		"slow non-host":     {Faults: []Fault{{Kind: FaultSlowHost, A: "r", Factor: 2}}},
+		"slow unknown host": {Faults: []Fault{{Kind: FaultSlowHost, A: "zzz", Factor: 2}}},
+		"zero slow factor":  {Faults: []Fault{{Kind: FaultSlowHost, A: "a"}}},
+		"empty group":       {Faults: []Fault{{Kind: FaultPartition, GroupA: []string{"a"}}}},
+		"unknown in group":  {Faults: []Fault{{Kind: FaultPartition, GroupA: []string{"a"}, GroupB: []string{"zzz"}}}},
+		"flap bad duty":     (&FaultPlan{}).LinkFlap("a", "r", time.Second, 1.5, 0, time.Minute),
+		"flap zero period":  (&FaultPlan{}).LinkFlap("a", "r", 0, 0.5, 0, time.Minute),
+		"flap empty window": (&FaultPlan{}).LinkFlap("a", "r", time.Second, 0.5, time.Minute, time.Minute),
+	}
+	for name, p := range cases {
+		if err := n.ApplyPlan(p); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestLinkFlapExpansion pins the build-time expansion of a flap into plain
+// down/up pairs: one pair per period, down for duty*period, and the link
+// guaranteed up at the window's end even mid-period.
+func TestLinkFlapExpansion(t *testing.T) {
+	p := (&FaultPlan{}).LinkFlap("a", "r", 10*time.Millisecond, 0.3, 0, 35*time.Millisecond)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	type win struct{ down, up time.Duration }
+	want := []win{
+		{0, 3 * time.Millisecond},
+		{10 * time.Millisecond, 13 * time.Millisecond},
+		{20 * time.Millisecond, 23 * time.Millisecond},
+		{30 * time.Millisecond, 33 * time.Millisecond},
+	}
+	if len(p.Faults) != 2*len(want) {
+		t.Fatalf("flap expanded to %d faults, want %d", len(p.Faults), 2*len(want))
+	}
+	for i, w := range want {
+		d, u := p.Faults[2*i], p.Faults[2*i+1]
+		if d.Kind != FaultLinkDown || d.At != w.down || u.Kind != FaultLinkUp || u.At != w.up {
+			t.Errorf("period %d = %v@%v / %v@%v, want down@%v up@%v", i, d.Kind, d.At, u.Kind, u.At, w.down, w.up)
+		}
+	}
+	// A final period truncated by `to` must still end up.
+	p2 := (&FaultPlan{}).LinkFlap("a", "r", 10*time.Millisecond, 0.5, 0, 32*time.Millisecond)
+	last := p2.Faults[len(p2.Faults)-1]
+	if last.Kind != FaultLinkUp || last.At != 32*time.Millisecond {
+		t.Errorf("truncated flap ends with %v@%v, want link-up@32ms", last.Kind, last.At)
+	}
+	if !strings.Contains(p.String(), "link-down") {
+		t.Error("plan rendering missing expanded flap faults")
+	}
+}
+
+// TestSetPartitionAndHeal severs the a | {r, b} cut and verifies traffic
+// stalls until the heal, that the cut is atomic (returns the touched link
+// count), and that unknown names in a group are skipped, not fatal.
+func TestSetPartitionAndHeal(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	received := 0
+	n.Node("b").SpawnDaemonOn("sink", func(env transport.Env) {
+		l, _ := env.Listen(1)
+		c, err := l.Accept(env)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		for {
+			nn, err := c.Read(env, buf)
+			received += nn
+			if err != nil {
+				return
+			}
+		}
+	})
+	n.Node("a").SpawnOn("src", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		c, err := env.Dial("b:1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got := n.SetPartition([]string{"a", "ghost"}, []string{"r", "b"}, true); got != 1 {
+			t.Errorf("partition touched %d links, want 1 (a-r; ghost skipped)", got)
+		}
+		_, _ = c.Write(env, make([]byte, 64))
+		env.Sleep(50 * time.Millisecond)
+		if received != 0 {
+			t.Errorf("received %d bytes across the partition, want 0", received)
+		}
+		n.SetPartition([]string{"a", "ghost"}, []string{"r", "b"}, false)
+		env.Sleep(50 * time.Millisecond)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != 64 {
+		t.Errorf("received %d bytes after heal, want 64", received)
+	}
+	k.Shutdown()
+}
+
+// TestSetLinkDegradedLatencyIsDirectional measures a request/response pair
+// over a degraded hop: +20ms on r->b delays the request direction only, so
+// the observed RTT grows by exactly the one-way penalty.
+func TestSetLinkDegradedLatencyIsDirectional(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	n.Node("b").SpawnDaemonOn("echo", func(env transport.Env) {
+		l, _ := env.Listen(1)
+		c, err := l.Accept(env)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 16)
+		for {
+			nn, err := c.Read(env, buf)
+			if err != nil {
+				return
+			}
+			if _, err := c.Write(env, buf[:nn]); err != nil {
+				return
+			}
+		}
+	})
+	var healthy, degraded time.Duration
+	n.Node("a").SpawnOn("probe", func(env transport.Env) {
+		env.Sleep(time.Millisecond)
+		c, err := env.Dial("b:1")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		rtt := func() time.Duration {
+			start := env.Now()
+			_, _ = c.Write(env, make([]byte, 8))
+			_, _ = c.Read(env, make([]byte, 16))
+			return env.Now() - start
+		}
+		healthy = rtt()
+		if !n.SetLinkDegraded("r", "b", 20*time.Millisecond, 0) {
+			t.Error("SetLinkDegraded: link not found")
+		}
+		if lat, loss := n.LinkDegraded("r", "b"); lat != 20*time.Millisecond || loss != 0 {
+			t.Errorf("LinkDegraded = %v/%v, want 20ms/0", lat, loss)
+		}
+		degraded = rtt()
+		n.SetLinkDegraded("r", "b", 0, 0)
+		if after := rtt(); after != healthy {
+			t.Errorf("RTT after clear = %v, want %v", after, healthy)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := degraded - healthy; got != 20*time.Millisecond {
+		t.Errorf("degrade added %v to RTT, want exactly 20ms (one direction)", got)
+	}
+	if n.SetLinkDegraded("a", "zzz", time.Millisecond, 0) {
+		t.Error("SetLinkDegraded on unknown node reported success")
+	}
+	k.Shutdown()
+}
+
+// TestSetHostSpeedScalesCompute pins the straggler model: Compute stretches
+// by the slowdown factor, Sleep is unscaled, and restoring the host returns
+// Compute to nominal.
+func TestSetHostSpeedScalesCompute(t *testing.T) {
+	k, n := crashPair(time.Millisecond, 0)
+	var slow, restored, slept time.Duration
+	n.Node("b").SpawnOn("burn", func(env transport.Env) {
+		if err := n.SetHostSpeed("b", 4); err != nil {
+			t.Error(err)
+		}
+		start := env.Now()
+		env.Compute(10 * time.Millisecond)
+		slow = env.Now() - start
+
+		start = env.Now()
+		env.Sleep(10 * time.Millisecond)
+		slept = env.Now() - start
+
+		if err := n.SetHostSpeed("b", 1); err != nil {
+			t.Error(err)
+		}
+		start = env.Now()
+		env.Compute(10 * time.Millisecond)
+		restored = env.Now() - start
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if slow != 40*time.Millisecond {
+		t.Errorf("slowed Compute(10ms) took %v, want 40ms", slow)
+	}
+	if slept != 10*time.Millisecond {
+		t.Errorf("Sleep under slowdown took %v, want 10ms (unscaled)", slept)
+	}
+	if restored != 10*time.Millisecond {
+		t.Errorf("restored Compute(10ms) took %v, want 10ms", restored)
+	}
+	if err := n.SetHostSpeed("r", 2); err == nil {
+		t.Error("SetHostSpeed on a router succeeded")
+	}
+	if err := n.SetHostSpeed("b", -1); err == nil {
+		t.Error("SetHostSpeed with negative factor succeeded")
+	}
+	k.Shutdown()
+}

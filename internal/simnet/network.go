@@ -122,6 +122,7 @@ type Node struct {
 	site      string
 	isHost    bool
 	speed     float64
+	baseSpeed float64 // configured speed; SetHostSpeed scales speed off this
 	cpus      *sim.Semaphore
 	cpuCount  int
 	links     []*linkDir
@@ -168,6 +169,7 @@ func (n *Network) AddHost(name string, cfg HostConfig) *Node {
 		site:      cfg.Site,
 		isHost:    true,
 		speed:     cfg.Speed,
+		baseSpeed: cfg.Speed,
 		cpus:      sim.NewSemaphore(n.K, cfg.CPUs),
 		cpuCount:  cfg.CPUs,
 		listeners: make(map[int]*listener),
@@ -343,6 +345,11 @@ type linkDir struct {
 	cfg   LinkConfig
 	label string // "from>to", the trace track and metric prefix
 	down  bool
+	// Gray degradation (SetLinkDegraded): extra one-way propagation delay on
+	// every transfer and extra flow-model loss probability, this direction
+	// only. Both zero on a healthy link — the hot path pays one add.
+	extraLat  time.Duration
+	extraLoss float64
 	// Traffic counters for utilization reporting.
 	bytes   int64
 	stalled int64
@@ -574,6 +581,7 @@ func (ld *linkDir) completeHead(k *sim.Kernel) {
 	tr := ld.cur
 	ld.cur = nil
 	ld.bytes += int64(tr.size)
+	lat := ld.cfg.Latency + ld.extraLat
 	if o := ld.net.Obs; o != nil {
 		// One instant per (segment, hop), stamped at serialization end ==
 		// propagation start: ser_ns looks back, lat_ns looks forward.
@@ -583,13 +591,13 @@ func (ld *linkDir) completeHead(k *sim.Kernel) {
 		o.Emit(k.Now(), "net", "hop", ld.label,
 			obs.Int("bytes", int64(tr.size)),
 			obs.Int("ser_ns", int64(ld.ser)),
-			obs.Int("lat_ns", int64(ld.cfg.Latency)))
+			obs.Int("lat_ns", int64(lat)))
 	}
 	if ld.xship {
 		ld.net.part.ship(ld, tr)
 		return
 	}
-	k.AfterEvent(ld.cfg.Latency, tr)
+	k.AfterEvent(lat, tr)
 }
 
 // advance moves the transfer to its next hop, or delivers it at the final

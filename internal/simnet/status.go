@@ -46,6 +46,10 @@ type LinkStatus struct {
 	Busy      time.Duration
 	Queue     int // transfers waiting (excluding the one in service)
 	Bandwidth int64
+	// ExtraLatency/ExtraLoss are the direction's current gray degradation
+	// (SetLinkDegraded); zero on a healthy link.
+	ExtraLatency time.Duration
+	ExtraLoss    float64
 }
 
 // LinkStatuses reports every link direction that has ever carried or queued
@@ -62,13 +66,15 @@ func (n *Network) LinkStatuses() []LinkStatus {
 				continue
 			}
 			out = append(out, LinkStatus{
-				Label:     ld.label,
-				Up:        !ld.down,
-				Bytes:     ld.bytes,
-				Stalled:   ld.stalled,
-				Busy:      ld.busy,
-				Queue:     len(ld.queue) - ld.qhead,
-				Bandwidth: ld.cfg.Bandwidth,
+				Label:        ld.label,
+				Up:           !ld.down,
+				Bytes:        ld.bytes,
+				Stalled:      ld.stalled,
+				Busy:         ld.busy,
+				Queue:        len(ld.queue) - ld.qhead,
+				Bandwidth:    ld.cfg.Bandwidth,
+				ExtraLatency: ld.extraLat,
+				ExtraLoss:    ld.extraLoss,
 			})
 		}
 	}
