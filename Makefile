@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check chaos chaos-suite race race-parallel bench bench-json bench-diff experiments examples cover fuzz clean
+.PHONY: all build test check chaos chaos-suite scenarios race race-parallel bench bench-json bench-diff experiments examples cover fuzz clean
 
 all: build check
 
@@ -14,11 +14,12 @@ test:
 
 # check is the default verification gate: vet, the end-to-end chaos
 # scenarios, the declarative gray-failure suite gated against its committed
-# baseline, the full test suite under the race detector (the parallel
+# baseline, the declarative scenario library (validate + run + coverage
+# gate), the full test suite under the race detector (the parallel
 # sweep makes race coverage load-bearing), a focused race pass over the
 # parallel-DES kernel paths, a short fuzz smoke over the wire-facing
 # parsers, and the coverage floor.
-check: chaos chaos-suite
+check: chaos chaos-suite scenarios
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) race-parallel
@@ -45,6 +46,17 @@ chaos:
 chaos-suite:
 	$(GO) run ./cmd/experiments -run chaos-suite -chaos-json CHAOS_new.json
 	$(GO) run ./cmd/benchdiff -chaos-old CHAOS_suite.json -chaos-new CHAOS_new.json
+
+# scenarios validates and runs the declarative scenario library (see
+# EXPERIMENTS.md, "Scenario runs"): every file under scenarios/ must parse,
+# validate, double-run bit-identically, and pass its declared assertions;
+# the fresh summary is then gated against the committed SCENARIOS_suite.json
+# baseline exactly like the chaos suite (failed invariant, shrunk counts, or
+# a dropped scenario name exits non-zero).
+scenarios:
+	$(GO) run ./cmd/simulator validate scenarios/*.yaml
+	$(GO) run ./cmd/simulator run -json SCENARIOS_new.json scenarios/*.yaml
+	$(GO) run ./cmd/benchdiff -scenarios-old SCENARIOS_suite.json -scenarios-new SCENARIOS_new.json
 
 race:
 	$(GO) test -race ./...
@@ -95,15 +107,16 @@ cover:
 	{ echo "coverage $$total% is below the $(COVER_MIN)% floor"; exit 1; }
 
 # fuzz gives each wire-facing parser a short, deterministic-budget fuzz run:
-# the RSL parser, the proxy control-channel decoder, and the gridftp MODE E
-# block reader. Crashers land in testdata/fuzz/ and fail the build until
-# fixed.
+# the RSL parser, the proxy control-channel decoder, the gridftp MODE E
+# block reader, and the scenario-file parser. Crashers land in testdata/fuzz/
+# and fail the build until fixed.
 FUZZTIME ?= 10s
 
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/rsl/
 	$(GO) test -fuzz FuzzReadMsg -fuzztime $(FUZZTIME) ./internal/proxy/
 	$(GO) test -fuzz FuzzReadBlock -fuzztime $(FUZZTIME) ./internal/gridftp/
+	$(GO) test -fuzz FuzzScenario -fuzztime $(FUZZTIME) ./internal/scenario/
 
 clean:
 	$(GO) clean ./...

@@ -28,6 +28,14 @@
 //
 //	go run ./cmd/experiments -run chaos-suite -chaos-json CHAOS_new.json
 //	go run ./cmd/benchdiff -chaos-old CHAOS_suite.json -chaos-new CHAOS_new.json
+//
+// -scenarios-old/-scenarios-new apply the identical gate to scenario-suite
+// JSON written by `simulator run -json` over scenarios/*.yaml, so shrinking
+// the declarative scenario library (or its invariant counts) fails the build
+// the same way shrinking the chaos suite does:
+//
+//	go run ./cmd/simulator run -json SCENARIOS_new.json scenarios/*.yaml
+//	go run ./cmd/benchdiff -scenarios-old SCENARIOS_suite.json -scenarios-new SCENARIOS_new.json
 package main
 
 import (
@@ -244,10 +252,17 @@ func (s *ChaosSuite) counts() (scenarios, invariants, failures int) {
 // scenario missing by name. old may be nil (no baseline: gate only on the
 // new run's own failures).
 func ChaosSection(old, cur *ChaosSuite) (string, bool) {
+	return SuiteSection("chaos suite", old, cur)
+}
+
+// SuiteSection is ChaosSection generalized over the suite's display label;
+// the scenario-suite gate (simulator run -json) shares the JSON shape and
+// the regression rules.
+func SuiteSection(label string, old, cur *ChaosSuite) (string, bool) {
 	var b strings.Builder
 	regressed := false
 	scen, inv, fails := cur.counts()
-	fmt.Fprintf(&b, "\nchaos suite: %d scenarios, %d invariants, %d failures", scen, inv, fails)
+	fmt.Fprintf(&b, "\n%s: %d scenarios, %d invariants, %d failures", label, scen, inv, fails)
 	if old != nil {
 		oScen, oInv, _ := old.counts()
 		fmt.Fprintf(&b, " (baseline: %d scenarios, %d invariants)", oScen, oInv)
@@ -310,13 +325,15 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "allowed relative ns/op growth before a benchmark counts as regressed")
 	chaosOld := flag.String("chaos-old", "", "committed chaos-suite JSON baseline to gate coverage against")
 	chaosNew := flag.String("chaos-new", "", "fresh chaos-suite JSON (cmd/experiments -run chaos-suite -chaos-json)")
+	scenOld := flag.String("scenarios-old", "", "committed scenario-suite JSON baseline to gate coverage against")
+	scenNew := flag.String("scenarios-new", "", "fresh scenario-suite JSON (simulator run -json)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.10] [-chaos-old base.json -chaos-new new.json] [old.json new.json]\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold 0.10] [-chaos-old base.json -chaos-new new.json] [-scenarios-old base.json -scenarios-new new.json] [old.json new.json]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	benchArgs := flag.NArg() == 2
-	if (!benchArgs && (flag.NArg() != 0 || *chaosNew == "")) || *threshold < 0 || math.IsNaN(*threshold) {
+	if (!benchArgs && (flag.NArg() != 0 || (*chaosNew == "" && *scenNew == ""))) || *threshold < 0 || math.IsNaN(*threshold) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -359,6 +376,26 @@ func main() {
 		if reg {
 			regressed = true
 			fmt.Fprintf(os.Stderr, "benchdiff: chaos suite regression\n")
+		}
+	}
+	if *scenNew != "" {
+		cur, err := loadChaos(*scenNew)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		var base *ChaosSuite
+		if *scenOld != "" {
+			if base, err = loadChaos(*scenOld); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		out, reg := SuiteSection("scenario suite", base, cur)
+		fmt.Print(out)
+		if reg {
+			regressed = true
+			fmt.Fprintf(os.Stderr, "benchdiff: scenario suite regression\n")
 		}
 	}
 	if regressed {

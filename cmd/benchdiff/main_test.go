@@ -236,3 +236,22 @@ func TestChaosSectionCoverageShrinkGates(t *testing.T) {
 		t.Fatalf("suite growth flagged as regression:\n%s", out)
 	}
 }
+
+func TestSuiteSectionLabel(t *testing.T) {
+	// The scenario-library gate reuses the chaos gate machinery under its
+	// own label; the label must flow into the summary line.
+	cur := chaosSuite(ChaosScenario{Name: "table4-sweep", Passed: true, Invariants: 6})
+	out, regressed := SuiteSection("scenario suite", cur, cur)
+	if regressed {
+		t.Fatalf("identical suites flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "scenario suite: 1 scenarios, 6 invariants, 0 failures") {
+		t.Errorf("labeled summary missing:\n%s", out)
+	}
+	shrunk := chaosSuite()
+	if out, regressed := SuiteSection("scenario suite", cur, shrunk); !regressed {
+		t.Fatalf("scenario-count shrink not flagged:\n%s", out)
+	} else if !strings.Contains(out, "scenario count shrank 1 -> 0") {
+		t.Errorf("shrink detail missing:\n%s", out)
+	}
+}

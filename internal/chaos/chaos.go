@@ -64,6 +64,11 @@ type Config struct {
 	// FaultPlan.SlowHost the job stretches by the slow factor, which is what
 	// makes speculative re-execution worth demonstrating.
 	JobCompute bool
+	// ExtraJobs submits that many additional RMF jobs in a staggered burst
+	// shortly after the primary — a flash crowd against the site's 8
+	// capacity-1 Q servers. The allocator queues the overflow and drains it
+	// in waves; Report.ExtraJobsDone counts clean completions.
+	ExtraJobs int
 	// Recovery overrides the RMF job's recovery policy (nil = the default
 	// {StatusRetries: 3}). Set SpeculateAfter here to enable straggler
 	// speculation.
@@ -119,6 +124,9 @@ type Report struct {
 	// did); JobSpeculations counts speculative duplicates launched.
 	JobDone         time.Duration
 	JobSpeculations int
+	// ExtraJobsDone counts flash-crowd jobs (Config.ExtraJobs) whose Wait
+	// returned cleanly before the horizon.
+	ExtraJobsDone int
 	// InnerStats snapshots the inner relay's counters at the horizon
 	// (SuspectPeriods is the degraded-boundary evidence).
 	InnerStats proxy.Stats
@@ -285,5 +293,42 @@ func startControlPlane(tb *cluster.Testbed, cfg Config, rep *Report) *hbm.Monito
 			rep.JobResource = h.Processes[0].Resource
 		}
 	})
+
+	// The flash crowd: ExtraJobs more submissions, staggered 50ms apart
+	// starting just after the primary, so the allocator sees a burst that
+	// overflows the site's slots and must drain it in waves. The stagger is
+	// deterministic — every run replays the identical arrival pattern.
+	for i := 0; i < cfg.ExtraJobs; i++ {
+		delay := 600*time.Millisecond + time.Duration(i)*50*time.Millisecond
+		tb.Host(cluster.RWCPSun).SpawnOn(fmt.Sprintf("chaos-extra-%d", i), func(env transport.Env) {
+			env.Sleep(delay)
+			// A burst bigger than the site's slot count sees ErrNoResources
+			// until a wave drains; poll on a fixed deterministic cadence.
+			var h *rmf.JobHandle
+			var err error
+			for attempt := 0; attempt < 240; attempt++ {
+				h, err = rmf.SubmitJob(env, allocAddr, rmf.JobRequest{
+					Count:   1,
+					Cluster: "compas",
+					Spec:    rmf.ProcessSpec{Executable: exe},
+				})
+				if err == nil {
+					break
+				}
+				env.Sleep(250 * time.Millisecond)
+			}
+			if err != nil {
+				return
+			}
+			pol := rmf.RecoveryPolicy{StatusRetries: 3}
+			if cfg.Recovery != nil {
+				pol = *cfg.Recovery
+			}
+			h.Recovery = &pol
+			if h.Wait(env, 100*time.Millisecond, 60*time.Second) == nil {
+				rep.ExtraJobsDone++
+			}
+		})
+	}
 	return mon
 }

@@ -105,7 +105,7 @@ func fingerprint(rep *Report) string {
 		rep.InnerRegistrations, rep.OuterBoots, rep.InnerStats.SuspectPeriods)
 	fmt.Fprintf(&b, " joberr=%v requeues=%d spec=%d res=%s done=%v",
 		rep.JobErr, rep.JobRequeues, rep.JobSpeculations, rep.JobResource, rep.JobDone)
-	fmt.Fprintf(&b, " suspects=%d downs=%d", rep.HBMSuspects, rep.HBMDowns)
+	fmt.Fprintf(&b, " suspects=%d downs=%d extrajobs=%d", rep.HBMSuspects, rep.HBMDowns, rep.ExtraJobsDone)
 	names := make([]string, 0, len(rep.HBM))
 	for n := range rep.HBM {
 		names = append(names, n)
@@ -359,6 +359,17 @@ func HBMSuspectsSeen(min int64) Invariant {
 	return Invariant{Name: "hbm-suspects", Check: func(r *Report) error {
 		if r.HBMSuspects < min {
 			return fmt.Errorf("suspect transitions = %d, want >= %d", r.HBMSuspects, min)
+		}
+		return nil
+	}}
+}
+
+// ExtraJobsDone demands at least min flash-crowd jobs (Config.ExtraJobs)
+// completed cleanly before the horizon.
+func ExtraJobsDone(min int) Invariant {
+	return Invariant{Name: "extra-jobs-done", Check: func(r *Report) error {
+		if r.ExtraJobsDone < min {
+			return fmt.Errorf("extra jobs done = %d, want >= %d", r.ExtraJobsDone, min)
 		}
 		return nil
 	}}

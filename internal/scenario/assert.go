@@ -1,0 +1,442 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"nxcluster/internal/bench"
+	"nxcluster/internal/chaos"
+	"nxcluster/internal/knapsack"
+)
+
+// check is one compiled assertion for a non-chaos kind; chaos asserts
+// compile straight to chaos.Invariant so chaos.RunScenario owns them.
+type check struct {
+	Name string
+	Fn   func(v any) error
+}
+
+// compiled assertions for one spec: exactly one of the two slices is
+// populated, matching the kind.
+type asserts struct {
+	chaos []chaos.Invariant
+	other []check
+}
+
+// buildAsserts validates every assert entry's name and argument for the
+// spec's kind and returns the compiled checkers. Unknown names and
+// ill-typed arguments error here, so `simulator validate` rejects them
+// without running anything.
+func buildAsserts(s *Spec) (*asserts, error) {
+	out := &asserts{}
+	for i, a := range s.Asserts {
+		path := fmt.Sprintf("scenario %s: assert[%d] %s", s.Name, i, a.Name)
+		if s.Kind == KindChaos {
+			inv, err := chaosInvariant(a, path)
+			if err != nil {
+				return nil, err
+			}
+			out.chaos = append(out.chaos, inv)
+			continue
+		}
+		c, err := otherCheck(s.Kind, a, path)
+		if err != nil {
+			return nil, err
+		}
+		out.other = append(out.other, c)
+	}
+	return out, nil
+}
+
+// --- argument coercion ---
+
+func argNone(a AssertSpec, path string) error {
+	if a.Arg != nil {
+		return fmt.Errorf("%s: takes no argument", path)
+	}
+	return nil
+}
+
+func argInt(a AssertSpec, path string) (int, error) {
+	n, err := coerceInt(a.Arg, path)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%s: must be >= 0, got %d", path, n)
+	}
+	return int(n), nil
+}
+
+func argFloat(a AssertSpec, path string) (float64, error) {
+	return coerceFloat(a.Arg, path)
+}
+
+func argDuration(a AssertSpec, path string) (time.Duration, error) {
+	return coerceDuration(a.Arg, path)
+}
+
+func argString(a AssertSpec, path string) (string, error) {
+	s, ok := a.Arg.(string)
+	if !ok {
+		return "", fmt.Errorf("%s: must be a string, got %s", path, typeName(a.Arg))
+	}
+	return s, nil
+}
+
+func argMinMax(a AssertSpec, path string) (int, int, error) {
+	o, err := asObject(a.Arg, path)
+	if err != nil {
+		return 0, 0, err
+	}
+	min, err := o.integer("min", 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	max, err := o.integer("max", 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := o.finish(); err != nil {
+		return 0, 0, err
+	}
+	return int(min), int(max), nil
+}
+
+// --- chaos assertions ---
+
+func chaosInvariant(a AssertSpec, path string) (chaos.Invariant, error) {
+	var zero chaos.Invariant
+	switch a.Name {
+	case "exact-optimum":
+		return chaos.ExactOptimum(), argNone(a, path)
+	case "all-work-done":
+		return chaos.AllWorkDone(), argNone(a, path)
+	case "no-orphans":
+		return chaos.NoOrphans(), argNone(a, path)
+	case "no-rank-errors":
+		return chaos.NoRankErrors(), argNone(a, path)
+	case "registrations":
+		min, max, err := argMinMax(a, path)
+		if err != nil {
+			return zero, err
+		}
+		return chaos.Registrations(min, max), nil
+	case "suspect-periods":
+		n, err := argInt(a, path)
+		if err != nil {
+			return zero, err
+		}
+		return chaos.SuspectPeriods(n), nil
+	case "job-completed":
+		return chaos.JobCompleted(), argNone(a, path)
+	case "job-off-host":
+		h, err := argString(a, path)
+		if err != nil {
+			return zero, err
+		}
+		return chaos.JobOffHost(h), nil
+	case "min-requeues":
+		n, err := argInt(a, path)
+		if err != nil {
+			return zero, err
+		}
+		return chaos.MinRequeues(n), nil
+	case "max-requeues":
+		n, err := argInt(a, path)
+		if err != nil {
+			return zero, err
+		}
+		return chaos.MaxRequeues(n), nil
+	case "min-speculations":
+		n, err := argInt(a, path)
+		if err != nil {
+			return zero, err
+		}
+		return chaos.MinSpeculations(n), nil
+	case "elapsed-ceiling":
+		d, err := argDuration(a, path)
+		if err != nil {
+			return zero, err
+		}
+		return chaos.ElapsedCeiling(d), nil
+	case "hbm-all-up":
+		return chaos.HBMAllUp(), argNone(a, path)
+	case "hbm-suspects":
+		n, err := argInt(a, path)
+		if err != nil {
+			return zero, err
+		}
+		return chaos.HBMSuspectsSeen(int64(n)), nil
+	case "hbm-no-downs":
+		return chaos.HBMNoDowns(), argNone(a, path)
+	case "extra-jobs-done":
+		n, err := argInt(a, path)
+		if err != nil {
+			return zero, err
+		}
+		return chaos.ExtraJobsDone(n), nil
+	}
+	return zero, fmt.Errorf("%s: unknown chaos assertion (one of: exact-optimum, all-work-done, no-orphans, no-rank-errors, registrations, suspect-periods, job-completed, job-off-host, min-requeues, max-requeues, min-speculations, elapsed-ceiling, hbm-all-up, hbm-suspects, hbm-no-downs, extra-jobs-done)", path)
+}
+
+// comparatorOf resolves a named baseline comparator for chaos scenarios.
+func comparatorOf(name string) (func(rep, base *chaos.Report) error, error) {
+	switch name {
+	case "speculation-wins":
+		// The mitigated run's job must finish strictly earlier than the
+		// baseline's, with both keeping the exact optimum.
+		return func(rep, base *chaos.Report) error {
+			if base.JobErr != nil {
+				return fmt.Errorf("baseline job error: %v", base.JobErr)
+			}
+			if rep.JobDone >= base.JobDone {
+				return fmt.Errorf("speculation did not win: job done at %v, baseline %v", rep.JobDone, base.JobDone)
+			}
+			if rep.Best != rep.WantBest || base.Best != base.WantBest {
+				return fmt.Errorf("optimum drifted: spec %d base %d want %d", rep.Best, base.Best, rep.WantBest)
+			}
+			return nil
+		}, nil
+	case "baseline-reregisters":
+		// The baseline (without the mitigation) must have flapped through
+		// at least one re-registration — proof the mitigation is load-bearing.
+		return func(rep, base *chaos.Report) error {
+			if base.InnerRegistrations < 2 {
+				return fmt.Errorf("baseline without a miss budget re-registered %d times, want >= 2 (the budget should be what prevents the flap)", base.InnerRegistrations)
+			}
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown compare %q (one of: speculation-wins, baseline-reregisters)", name)
+}
+
+// --- non-chaos assertions ---
+
+func otherCheck(kind Kind, a AssertSpec, path string) (check, error) {
+	var zero check
+	switch kind {
+	case KindTable2:
+		switch a.Name {
+		case "rows":
+			n, err := argInt(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				rows := v.([]bench.Table2Row)
+				if len(rows) != n {
+					return fmt.Errorf("rows = %d, want %d", len(rows), n)
+				}
+				return nil
+			}}, nil
+		case "indirect-slower":
+			// Every proxied measurement must cost more latency than its
+			// direct counterpart on the same path — the paper's Table 2
+			// headline.
+			return check{a.Name, func(v any) error {
+				rows := v.([]bench.Table2Row)
+				direct := map[string]time.Duration{}
+				for _, r := range rows {
+					if !r.Indirect {
+						direct[r.Path] = r.Latency
+					}
+				}
+				for _, r := range rows {
+					if !r.Indirect {
+						continue
+					}
+					d, ok := direct[r.Path]
+					if !ok {
+						return fmt.Errorf("%s has no direct counterpart", r.Path)
+					}
+					if r.Latency <= d {
+						return fmt.Errorf("%s: indirect latency %v <= direct %v", r.Path, r.Latency, d)
+					}
+				}
+				return nil
+			}}, argNone(a, path)
+		}
+		return zero, fmt.Errorf("%s: unknown table2 assertion (one of: rows, indirect-slower)", path)
+
+	case KindTable4:
+		switch a.Name {
+		case "systems":
+			n, err := argInt(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				rep := v.(*bench.KnapsackReport)
+				if len(rep.Rows) != n {
+					return fmt.Errorf("systems = %d, want %d", len(rep.Rows), n)
+				}
+				return nil
+			}}, nil
+		case "proxy-overhead-max":
+			f, err := argFloat(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				rep := v.(*bench.KnapsackReport)
+				if ov := rep.ProxyOverhead(); ov > f {
+					return fmt.Errorf("proxy overhead %.4f > ceiling %.4f", ov, f)
+				}
+				return nil
+			}}, nil
+		case "exact-optimum":
+			return check{a.Name, func(v any) error {
+				rep := v.(*bench.KnapsackReport)
+				want := wantBest(rep.Config.Items, rep.Config.Capacity)
+				for _, row := range rep.Rows {
+					if row.Result != nil && row.Result.Best != want {
+						return fmt.Errorf("%s: best = %d, want %d", row.System, row.Result.Best, want)
+					}
+				}
+				return nil
+			}}, argNone(a, path)
+		case "speedup-positive":
+			return check{a.Name, func(v any) error {
+				rep := v.(*bench.KnapsackReport)
+				for _, row := range rep.Rows {
+					if row.Speedup <= 0 {
+						return fmt.Errorf("%s: speedup %.3f <= 0", row.System, row.Speedup)
+					}
+				}
+				return nil
+			}}, argNone(a, path)
+		}
+		return zero, fmt.Errorf("%s: unknown table4 assertion (one of: systems, proxy-overhead-max, exact-optimum, speedup-positive)", path)
+
+	case KindMonitor:
+		switch a.Name {
+		case "min-windows":
+			n, err := argInt(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				rep := v.(*bench.MonitorReport)
+				if rep.Store.Windows() < n {
+					return fmt.Errorf("windows = %d, want >= %d", rep.Store.Windows(), n)
+				}
+				return nil
+			}}, nil
+		case "min-series":
+			n, err := argInt(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				rep := v.(*bench.MonitorReport)
+				if rep.Store.Len() < n {
+					return fmt.Errorf("series = %d, want >= %d", rep.Store.Len(), n)
+				}
+				return nil
+			}}, nil
+		case "exact-optimum":
+			return check{a.Name, func(v any) error {
+				rep := v.(*bench.MonitorReport)
+				want := wantBest(rep.Config.Items, rep.Config.Capacity)
+				if rep.Result == nil || rep.Result.Best != want {
+					return fmt.Errorf("best = %v, want %d", resultBest(rep.Result), want)
+				}
+				return nil
+			}}, argNone(a, path)
+		}
+		return zero, fmt.Errorf("%s: unknown monitor assertion (one of: min-windows, min-series, exact-optimum)", path)
+
+	case KindGridFTP:
+		switch a.Name {
+		case "points":
+			n, err := argInt(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				pts := v.([]bench.TransferPoint)
+				if len(pts) != n {
+					return fmt.Errorf("points = %d, want %d", len(pts), n)
+				}
+				return nil
+			}}, nil
+		case "parallel-streams-win":
+			// At the sweep's highest loss rate, the widest stream fan must
+			// beat the single stream on goodput — GridFTP's raison d'être.
+			return check{a.Name, func(v any) error {
+				pts := v.([]bench.TransferPoint)
+				var worst float64
+				for _, p := range pts {
+					if p.LossRate > worst {
+						worst = p.LossRate
+					}
+				}
+				var single, widest bench.TransferPoint
+				for _, p := range pts {
+					if p.LossRate != worst {
+						continue
+					}
+					if p.Streams == 1 {
+						single = p
+					}
+					if p.Streams > widest.Streams {
+						widest = p
+					}
+				}
+				if single.Streams != 1 || widest.Streams <= 1 {
+					return fmt.Errorf("sweep needs streams 1 and > 1 at loss %.3f to compare", worst)
+				}
+				if widest.Goodput <= single.Goodput {
+					return fmt.Errorf("at loss %.3f: %d streams %.0f B/s <= 1 stream %.0f B/s",
+						worst, widest.Streams, widest.Goodput, single.Goodput)
+				}
+				return nil
+			}}, argNone(a, path)
+		}
+		return zero, fmt.Errorf("%s: unknown gridftp assertion (one of: points, parallel-streams-win)", path)
+
+	case KindGrid:
+		switch a.Name {
+		case "exact-optimum":
+			return check{a.Name, func(v any) error {
+				gr := v.(*gridRun)
+				want := wantBest(gr.items, gr.capacity)
+				if gr.res.Best != want {
+					return fmt.Errorf("best = %d, want %d", gr.res.Best, want)
+				}
+				return nil
+			}}, argNone(a, path)
+		case "all-work-done":
+			return check{a.Name, func(v any) error {
+				gr := v.(*gridRun)
+				want := knapsack.NormalizedTreeNodes(gr.items, gr.capacity)
+				if gr.res.Traversed < want {
+					return fmt.Errorf("traversed %d < %d: work was lost", gr.res.Traversed, want)
+				}
+				return nil
+			}}, argNone(a, path)
+		case "elapsed-ceiling":
+			d, err := argDuration(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				gr := v.(*gridRun)
+				if gr.res.Elapsed > d {
+					return fmt.Errorf("elapsed %v > ceiling %v", gr.res.Elapsed, d)
+				}
+				return nil
+			}}, nil
+		}
+		return zero, fmt.Errorf("%s: unknown grid assertion (one of: exact-optimum, all-work-done, elapsed-ceiling)", path)
+	}
+	return zero, fmt.Errorf("%s: no assertions defined for kind %s", path, kind)
+}
+
+func resultBest(r *knapsack.Result) any {
+	if r == nil {
+		return "<no result>"
+	}
+	return r.Best
+}

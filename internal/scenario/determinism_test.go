@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func shippedFiles(t *testing.T) []string {
+	t.Helper()
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read scenarios dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && (strings.HasSuffix(e.Name(), ".yaml") || strings.HasSuffix(e.Name(), ".yml") || strings.HasSuffix(e.Name(), ".json")) {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) < 10 {
+		t.Fatalf("scenario library shrank: %d files, want >= 10", len(files))
+	}
+	return files
+}
+
+// TestShippedScenariosValidate: every shipped scenario file must parse and
+// validate — host names, link names, assertion vocabulary, shape constraints.
+func TestShippedScenariosValidate(t *testing.T) {
+	for _, file := range shippedFiles(t) {
+		t.Run(file, func(t *testing.T) {
+			if err := Validate(loadShipped(t, file)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShippedScenariosRun is the determinism wall: every shipped scenario
+// runs (Run itself executes each workload twice and fails on any trace-hash
+// or fingerprint divergence) and passes all its declared assertions.
+func TestShippedScenariosRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario library (~5s of virtual-time runs) in -short mode")
+	}
+	for _, file := range shippedFiles(t) {
+		t.Run(file, func(t *testing.T) {
+			res, err := Run(loadShipped(t, file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Passed {
+				t.Fatalf("failures: %v", res.Failures)
+			}
+			if res.Invariants < 1 {
+				t.Fatalf("invariants = %d — even a bare scenario carries the determinism invariant", res.Invariants)
+			}
+		})
+	}
+}
+
+// TestParallelSitesInvariance: the partitioned parallel-DES run must agree
+// with the monolithic oracle on every result field. Only the trace-hash
+// suffix may differ (one hash per kernel, so the count varies with the
+// partition layout) — elapsed virtual time, best, and traversed may not.
+func TestParallelSitesInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three grid solves in -short mode")
+	}
+	s := loadShipped(t, "grid-multi-site.yaml")
+	resultPrefix := func(fp string) string {
+		if i := strings.Index(fp, " trace="); i >= 0 {
+			return fp[:i]
+		}
+		return fp
+	}
+	var prefixes []string
+	for _, sites := range []int{0, 2, 3} {
+		s.Topology.ParallelSites = sites
+		res, err := Run(s)
+		if err != nil {
+			t.Fatalf("sites=%d: %v", sites, err)
+		}
+		if !res.Passed {
+			t.Fatalf("sites=%d: failures: %v", sites, res.Failures)
+		}
+		prefixes = append(prefixes, resultPrefix(res.Fingerprint))
+	}
+	for i := 1; i < len(prefixes); i++ {
+		if prefixes[i] != prefixes[0] {
+			t.Errorf("partitioned run diverged from the monolithic oracle:\n sites=0 %q\n variant %q", prefixes[0], prefixes[i])
+		}
+	}
+}
+
+// TestWorkerInvariance: the bench sweeps parallelize measurement points
+// across workers, but every point runs in its own testbed — the worker
+// count must never show up in the results.
+func TestWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated sweeps in -short mode")
+	}
+	t.Run("table4", func(t *testing.T) {
+		s := loadShipped(t, "table4-sweep.yaml")
+		var fps []string
+		for _, workers := range []int{1, 4} {
+			s.Table4.Workers = workers
+			res, err := Run(s)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			fps = append(fps, res.Fingerprint)
+		}
+		if fps[0] != fps[1] {
+			t.Errorf("worker count leaked into results:\n w=1 %q\n w=4 %q", fps[0], fps[1])
+		}
+	})
+	t.Run("gridftp", func(t *testing.T) {
+		s := loadShipped(t, "gridftp-congestion.yaml")
+		var fps []string
+		for _, workers := range []int{1, 4} {
+			s.GridFTP.Workers = workers
+			res, err := Run(s)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			fps = append(fps, res.Fingerprint)
+		}
+		if fps[0] != fps[1] {
+			t.Errorf("worker count leaked into results:\n w=1 %q\n w=4 %q", fps[0], fps[1])
+		}
+	})
+}
+
+// TestGOMAXPROCSInvariance: scheduler parallelism must not perturb a
+// partitioned grid run — the conservative sync protocol, not the OS
+// scheduler, orders cross-site events.
+func TestGOMAXPROCSInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated grid solves in -short mode")
+	}
+	s := loadShipped(t, "grid-multi-site.yaml")
+	var hashes, fps []string
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		res, err := Run(s)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		if !res.Passed {
+			t.Fatalf("GOMAXPROCS=%d: failures: %v", procs, res.Failures)
+		}
+		hashes = append(hashes, res.TraceHash)
+		fps = append(fps, res.Fingerprint)
+	}
+	if hashes[0] != hashes[1] || fps[0] != fps[1] {
+		t.Errorf("GOMAXPROCS leaked into the run:\n p=1 %s %q\n p=4 %s %q",
+			hashes[0], fps[0], hashes[1], fps[1])
+	}
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustParseDoc(t *testing.T, src string) any {
+	t.Helper()
+	v, err := parseDocument([]byte(src))
+	if err != nil {
+		t.Fatalf("parseDocument(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestYAMLBlockMapAndSeq(t *testing.T) {
+	v := mustParseDoc(t, `
+name: demo
+nested:
+  a: 1
+  b: two
+list:
+  - x
+  - y: 2
+    z: 3
+`)
+	want := map[string]any{
+		"name":   "demo",
+		"nested": map[string]any{"a": int64(1), "b": "two"},
+		"list": []any{
+			"x",
+			map[string]any{"y": int64(2), "z": int64(3)},
+		},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v\nwant %#v", v, want)
+	}
+}
+
+func TestYAMLFlowCollections(t *testing.T) {
+	v := mustParseDoc(t, `
+ints: [1, 2, 3]
+floats: [0, 0.02]
+m: {a: rwcp-gw, from: 2s, n: 1}
+deep: {groups: ["$rwcp-side", etl-sun]}
+`)
+	m := v.(map[string]any)
+	if !reflect.DeepEqual(m["ints"], []any{int64(1), int64(2), int64(3)}) {
+		t.Errorf("ints = %#v", m["ints"])
+	}
+	if !reflect.DeepEqual(m["floats"], []any{int64(0), 0.02}) {
+		t.Errorf("floats = %#v", m["floats"])
+	}
+	if !reflect.DeepEqual(m["m"], map[string]any{"a": "rwcp-gw", "from": "2s", "n": int64(1)}) {
+		t.Errorf("m = %#v", m["m"])
+	}
+	if !reflect.DeepEqual(m["deep"], map[string]any{"groups": []any{"$rwcp-side", "etl-sun"}}) {
+		t.Errorf("deep = %#v", m["deep"])
+	}
+}
+
+func TestYAMLScalars(t *testing.T) {
+	v := mustParseDoc(t, `
+s1: plain
+s2: "quoted: with colon"
+s3: 'single ''quoted'''
+b1: true
+b2: false
+n1: null
+n2: ~
+i: -42
+f: 2.5
+dur: 250ms
+`)
+	m := v.(map[string]any)
+	checks := map[string]any{
+		"s1": "plain", "s2": "quoted: with colon", "s3": "single 'quoted'",
+		"b1": true, "b2": false, "n1": nil, "n2": nil,
+		"i": int64(-42), "f": 2.5,
+		// Durations must stay strings so time.ParseDuration sees them.
+		"dur": "250ms",
+	}
+	for k, want := range checks {
+		if got := m[k]; !reflect.DeepEqual(got, want) {
+			t.Errorf("%s = %#v (%T), want %#v", k, got, got, want)
+		}
+	}
+}
+
+func TestYAMLCommentsAndBlankLines(t *testing.T) {
+	v := mustParseDoc(t, `
+# leading comment
+name: demo   # trailing comment
+
+kind: chaos  # another
+`)
+	want := map[string]any{"name": "demo", "kind": "chaos"}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestJSONDocument(t *testing.T) {
+	v := mustParseDoc(t, `{"name": "demo", "n": 3, "f": 1.5, "l": [1, "x"], "b": true}`)
+	want := map[string]any{
+		"name": "demo", "n": int64(3), "f": 1.5,
+		"l": []any{int64(1), "x"}, "b": true,
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v\nwant %#v", v, want)
+	}
+}
+
+func TestYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"empty", "", "empty"},
+		{"tab indent", "a:\n\tb: 1\n", "tab"},
+		{"duplicate key", "a: 1\na: 2\n", "duplicate key"},
+		{"unterminated quote", `a: "oops`, "unterminated"},
+		{"unterminated flow", "a: [1, 2\n", "unterminated flow list"},
+		{"unbalanced brackets", "a: [1, 2]]\n", "unbalanced"},
+		{"json trailing", `{"a": 1} trailing`, "trailing"},
+		{"bad json", `{"a": }`, "json"},
+		{"empty flow entry", "a: [1, , 2]\n", "empty"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseDocument([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parseDocument(%q) succeeded, want error containing %q", tc.src, tc.wantErr)
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
