@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check chaos chaos-suite scenarios race race-parallel bench bench-json bench-diff experiments examples cover fuzz clean
+.PHONY: all build test check chaos chaos-suite scenarios trace-goldens race race-parallel bench bench-json bench-diff experiments examples cover fuzz clean
 
 all: build check
 
@@ -19,7 +19,7 @@ test:
 # sweep makes race coverage load-bearing), a focused race pass over the
 # parallel-DES kernel paths, a short fuzz smoke over the wire-facing
 # parsers, and the coverage floor.
-check: chaos chaos-suite scenarios
+check: chaos chaos-suite scenarios trace-goldens
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) race-parallel
@@ -58,6 +58,13 @@ scenarios:
 	$(GO) run ./cmd/simulator run -json SCENARIOS_new.json scenarios/*.yaml
 	$(GO) run ./cmd/benchdiff -scenarios-old SCENARIOS_suite.json -scenarios-new SCENARIOS_new.json
 
+# trace-goldens re-runs (uncached) the byte-exact observability goldens —
+# the Chrome trace_event and JSONL exports, the HTML time-series report —
+# plus the causal-analysis and tracer CLI tests. Regenerate intentional
+# drift with `go test ./internal/obs/... -run Golden -update`.
+trace-goldens:
+	$(GO) test -count=1 -run 'Golden|TestChrome|TestBuild|TestDecompose|TestSummarize|TestSpanDurations|TestCausal|TestTable4Jobs|TestAnalyze|TestQuery|TestRoundTrip' ./internal/obs/... ./internal/bench/ ./cmd/tracer/
+
 race:
 	$(GO) test -race ./...
 
@@ -69,7 +76,7 @@ bench:
 # stretches each benchmark enough that the ~100ms/op parallel-DES runs get
 # a stable sample.
 BENCHTIME ?= 2s
-BENCH_PAT = KernelStep|KernelTimerStop|SimnetThroughput|MPIPingPong|TransferSingle|TransferParallel8|ParallelTable4
+BENCH_PAT = KernelStep|KernelTimerStop|ObsSpan|SimnetThroughput|MPIPingPong|TransferSingle|TransferParallel8|ParallelTable4
 
 bench-json:
 	$(GO) test -run NONE -bench '$(BENCH_PAT)' -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson > BENCH_kernel.json

@@ -24,6 +24,7 @@ import (
 	"nxcluster/internal/cluster"
 	"nxcluster/internal/knapsack"
 	"nxcluster/internal/mpi"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/proxy"
 	"nxcluster/internal/sim"
 	"nxcluster/internal/simnet"
@@ -173,6 +174,42 @@ func BenchmarkAblationProxyPlacement(b *testing.B) {
 	rows := table2Rows(b)
 	b.ReportMetric(float64(rows[1].Latency)/float64(time.Millisecond), "ms-both-sides-proxied")
 	b.ReportMetric(float64(rows[3].Latency)/float64(time.Millisecond), "ms-one-side-proxied")
+}
+
+// BenchmarkObsSpan measures the observability layer's span hot path. The
+// disabled leaf is the price every instrumented site pays when tracing is
+// off — a nil receiver check, zero allocations (pinned by the regression
+// test in internal/obs) — and the enabled/traced leaves are the marginal
+// cost of flat spans and causal parent/child spans when a trace is on.
+func BenchmarkObsSpan(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		var o *obs.Observer
+		for i := 0; i < b.N; i++ {
+			at := time.Duration(i)
+			id := o.Begin(at, "rmf", "job", "bench")
+			o.End(at+1, id, "rmf", "job", "bench")
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		o := obs.New()
+		for i := 0; i < b.N; i++ {
+			at := time.Duration(i)
+			id := o.Begin(at, "rmf", "job", "bench")
+			o.End(at+1, id, "rmf", "job", "bench")
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		o := obs.New()
+		root := o.BeginTrace(0, "rmf", "job", "bench")
+		for i := 0; i < b.N; i++ {
+			at := time.Duration(i)
+			child := o.BeginChild(at, root, "gram", "submit", "bench")
+			o.EndSpan(at+1, child, "gram", "submit", "bench")
+		}
+	})
 }
 
 // BenchmarkSimnetThroughput measures raw simulator performance: virtual

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+
+	"nxcluster/internal/obs"
+	"nxcluster/internal/obs/causal"
+)
+
+// tracedTable4Events runs the wide-area (Table 4) knapsack system with an
+// observer attached and returns the recorded event stream.
+func tracedTable4Events(t *testing.T) []obs.Event {
+	t.Helper()
+	o := obs.New()
+	if _, err := RunKnapsackTraced(KnapsackConfig{Capacity: 2, Workers: 1}, o); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	return o.Events()
+}
+
+// TestTable4JobsDecomposeExactly is the tentpole acceptance check: every
+// job (MPI rank) in a Table 4 run yields a span tree whose critical-path
+// decomposition telescopes bit-exactly to the job's elapsed virtual time.
+// Decompose verifies the telescoping sum internally and errors on any
+// mismatch, so a nil error per root IS the bit-exactness assertion.
+func TestTable4JobsDecomposeExactly(t *testing.T) {
+	f := causal.Build(tracedTable4Events(t))
+	// SystemWide places 20 ranks (4 RWCP Sun + 8 compas + 8 ETL O2K); each
+	// roots its own trace.
+	if len(f.Traces) != 20 {
+		t.Fatalf("traces = %d, want 20 (one per rank)", len(f.Traces))
+	}
+	jobs := 0
+	for _, tr := range f.Traces {
+		for _, root := range tr.Roots {
+			if root.Label() != "mpi/rank" {
+				continue
+			}
+			d, err := causal.Decompose(root)
+			if err != nil {
+				t.Fatalf("trace %d: %v", tr.ID, err)
+			}
+			if d.Total <= 0 {
+				t.Errorf("trace %d: non-positive total %v", tr.ID, d.Total)
+			}
+			jobs++
+		}
+	}
+	if jobs != 20 {
+		t.Errorf("decomposed %d mpi/rank roots, want 20", jobs)
+	}
+	s := causal.Summarize(f)
+	if len(s.Jobs) == 0 {
+		t.Fatal("summary has no jobs")
+	}
+	// The solver leg must appear in the per-leg aggregate: the bulk of a
+	// rank's life is the knap/solve span opened under it.
+	found := false
+	for _, l := range s.Legs {
+		if l.Leg == "knap/solve" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("per-leg aggregate missing knap/solve: %+v", s.Legs)
+	}
+}
+
+// causalTraceHash hashes the JSONL export of a traced Table 4 run.
+func causalTraceHash(t *testing.T) uint64 {
+	t.Helper()
+	o := obs.New()
+	if _, err := RunKnapsackTraced(KnapsackConfig{Capacity: 2, Workers: 1}, o); err != nil {
+		t.Fatalf("traced run: %v", err)
+	}
+	return o.Hash()
+}
+
+// TestCausalTraceDeterministic pins double-run hash equality for the traced
+// stream, including across host-parallelism settings: the causal fields
+// (trace, parent) must be as deterministic as the event payloads.
+func TestCausalTraceDeterministic(t *testing.T) {
+	h1 := causalTraceHash(t)
+	h2 := causalTraceHash(t)
+	if h1 != h2 {
+		t.Fatalf("double run diverged: %#x vs %#x", h1, h2)
+	}
+	prev := runtime.GOMAXPROCS(1)
+	g1 := causalTraceHash(t)
+	runtime.GOMAXPROCS(8)
+	g8 := causalTraceHash(t)
+	runtime.GOMAXPROCS(prev)
+	if g1 != g8 {
+		t.Errorf("trace diverged across GOMAXPROCS: %#x vs %#x", g1, g8)
+	}
+	if g1 != h1 {
+		t.Errorf("trace diverged from baseline run: %#x vs %#x", g1, h1)
+	}
+}

@@ -47,6 +47,9 @@ type MonitorReport struct {
 	Store   *timeseries.Store
 	Dir     *mds.Directory
 	Elapsed time.Duration
+	// Obs is the run's observer: the causal trace the scenario DSL's SLO
+	// latency objectives decompose.
+	Obs *obs.Observer
 }
 
 // RunMonitor executes the wide-area (proxied) knapsack run with the full
@@ -127,7 +130,7 @@ func RunMonitor(cfg MonitorConfig, onSample func(at time.Duration, st *timeserie
 			res.TotalTraversed, wantNodes)
 	}
 	return &MonitorReport{
-		Config: cfg, Result: res, Store: s.Store(), Dir: dir, Elapsed: res.Elapsed,
+		Config: cfg, Result: res, Store: s.Store(), Dir: dir, Elapsed: res.Elapsed, Obs: o,
 	}, nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"nxcluster/internal/hbm"
 	"nxcluster/internal/knapsack"
 	"nxcluster/internal/mpi"
+	"nxcluster/internal/obs/timeseries"
 	"nxcluster/internal/proxy"
 	"nxcluster/internal/rmf"
 	"nxcluster/internal/simnet"
@@ -85,6 +86,13 @@ type Config struct {
 	// gaps with BeatCost raise these so healthy hosts stay cleanly UP.
 	HBMLateAfter time.Duration
 	HBMDownAfter time.Duration
+	// SampleInterval, when nonzero (and Options.Obs is set), attaches a
+	// kernel-scheduled time-series sampler with that window width; the
+	// windowed series land in Report.Store. Sampling only reads metrics, so
+	// it never changes the run's virtual-time results. The scenario DSL's
+	// slo: block switches this on to judge throughput floors and error
+	// budgets.
+	SampleInterval time.Duration
 	// Options forwards testbed construction options.
 	Options cluster.Options
 }
@@ -135,6 +143,9 @@ type Report struct {
 	// show suspects without DOWN/UP churn.
 	HBMSuspects int64
 	HBMDowns    int64
+	// Store holds the windowed time-series when Config.SampleInterval asked
+	// for sampling (nil otherwise).
+	Store *timeseries.Store
 }
 
 // Run executes one chaos scenario and returns its report.
@@ -160,6 +171,14 @@ func Run(cfg Config) (*Report, error) {
 	var mon *hbm.Monitor
 	if cfg.ControlPlane {
 		mon = startControlPlane(tb, cfg, rep)
+	}
+	if cfg.SampleInterval > 0 && cfg.Options.Obs != nil {
+		// KeepAlive: chaos kernels run to a horizon with daemons beating
+		// forever, so the sampler must not stop itself when live work dips.
+		smp := timeseries.NewSampler(tb.K, cfg.SampleInterval, cfg.Options.Obs.Metrics())
+		smp.KeepAlive = true
+		smp.Start()
+		rep.Store = smp.Store()
 	}
 
 	var res *knapsack.Result

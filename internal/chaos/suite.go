@@ -66,6 +66,9 @@ type ScenarioResult struct {
 	// logging; they are not part of the JSON baseline.
 	Report     *Report `json:"-"`
 	BaseReport *Report `json:"-"`
+	// Obs is the primary run's observer — the causal trace SLO evaluation
+	// reads. Not part of the JSON baseline.
+	Obs *obs.Observer `json:"-"`
 }
 
 // SuiteResult aggregates a whole suite run.
@@ -122,29 +125,31 @@ func fingerprint(rep *Report) string {
 // (a config the runner rejects) come back as the error; invariant violations
 // and determinism breaks are recorded as failures in the result.
 func RunScenario(s Scenario) (*ScenarioResult, error) {
-	runWith := func(cfg Config) (*Report, uint64, error) {
+	runWith := func(cfg Config) (*Report, *obs.Observer, error) {
 		o := obs.New()
 		cfg.Options.Obs = o
 		rep, err := Run(cfg)
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
-		return rep, o.Hash(), nil
+		return rep, o, nil
 	}
-	rep, h1, err := runWith(s.Config)
+	rep, o1, err := runWith(s.Config)
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s: %w", s.Name, err)
 	}
-	rep2, h2, err := runWith(s.Config)
+	rep2, o2, err := runWith(s.Config)
 	if err != nil {
 		return nil, fmt.Errorf("chaos %s (replay): %w", s.Name, err)
 	}
+	h1, h2 := o1.Hash(), o2.Hash()
 	res := &ScenarioResult{
 		Name:      s.Name,
 		TraceHash: fmt.Sprintf("%016x", h1),
 		ElapsedMS: rep.Elapsed.Milliseconds(),
 		JobDoneMS: rep.JobDone.Milliseconds(),
 		Report:    rep,
+		Obs:       o1,
 	}
 	// The determinism invariant is implicit on every scenario: identical
 	// trace hash and identical report fingerprint across the double run.

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"nxcluster/internal/obs"
 	"nxcluster/internal/transport"
 )
 
@@ -366,16 +367,26 @@ func Fetch(env transport.Env, url string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	o := obs.From(env)
+	span := o.BeginChild(env.Now(), obs.CtxOf(env), "gass", "fetch", env.Hostname(), obs.Str("url", url))
 	conn, err := env.Dial(hostport)
 	if err != nil {
+		o.EndSpan(env.Now(), span, "gass", "fetch", env.Hostname(), obs.Str("err", "dial"))
 		return nil, fmt.Errorf("gass: dial %s: %w", hostport, err)
 	}
 	defer conn.Close(env)
 	st := transport.Stream{Env: env, Conn: conn}
 	if err := writeReq(st, opGet, path); err != nil {
+		o.EndSpan(env.Now(), span, "gass", "fetch", env.Hostname(), obs.Str("err", "request"))
 		return nil, err
 	}
-	return readResp(st)
+	data, err := readResp(st)
+	if err != nil {
+		o.EndSpan(env.Now(), span, "gass", "fetch", env.Hostname(), obs.Str("err", err.Error()))
+		return nil, err
+	}
+	o.EndSpan(env.Now(), span, "gass", "fetch", env.Hostname(), obs.Int("bytes", int64(len(data))))
+	return data, nil
 }
 
 // Publish stores data at a URL.
@@ -389,6 +400,21 @@ func Publish(env transport.Env, url string, data []byte) error {
 	if len(data) > MaxFileSize {
 		return fmt.Errorf("%w: put %s (%d bytes)", ErrTooLarge, url, len(data))
 	}
+	o := obs.From(env)
+	span := o.BeginChild(env.Now(), obs.CtxOf(env), "gass", "publish", env.Hostname(),
+		obs.Str("url", url), obs.Int("bytes", int64(len(data))))
+	err = publish(env, hostport, path, url, data)
+	if err != nil {
+		o.EndSpan(env.Now(), span, "gass", "publish", env.Hostname(), obs.Str("err", err.Error()))
+		return err
+	}
+	o.EndSpan(env.Now(), span, "gass", "publish", env.Hostname())
+	return nil
+}
+
+// publish is Publish's transfer body, split out so the caller can wrap one
+// success and one failure span-end around every exit.
+func publish(env transport.Env, hostport, path, url string, data []byte) error {
 	conn, err := env.Dial(hostport)
 	if err != nil {
 		return fmt.Errorf("gass: dial %s: %w", hostport, err)

@@ -26,6 +26,7 @@ import (
 
 	"nxcluster/internal/auth"
 	"nxcluster/internal/nexus"
+	"nxcluster/internal/obs"
 	"nxcluster/internal/rmf"
 	"nxcluster/internal/rsl"
 	"nxcluster/internal/transport"
@@ -125,6 +126,10 @@ func (g *Gatekeeper) Close(env transport.Env) {
 
 func (g *Gatekeeper) handle(env transport.Env, c transport.Conn) {
 	defer c.Close(env)
+	// Adopt the submitter's trace context from connection baggage: job
+	// manager processes spawned below inherit it, chaining the RSL submit
+	// leg into the submitter's trace.
+	obs.SetCtx(env, obs.BaggageOf(c))
 	subject, err := auth.Accept(env, c, g.cfg.Keyring)
 	if err != nil {
 		g.tracef("gatekeeper: authentication failed: %v", err)
@@ -271,13 +276,19 @@ func (g *Gatekeeper) startFork(env transport.Env, job *managedJob, spec rmf.Proc
 	for i := 0; i < count; i++ {
 		i := i
 		env.Spawn(fmt.Sprintf("fork:%s:%d", job.contact, i), func(e transport.Env) {
+			o := obs.From(e)
+			tc := o.BeginSpan(e.Now(), obs.CtxOf(e), "gram", "fork", e.Hostname(),
+				obs.Str("contact", job.contact), obs.Int("proc", int64(i)))
+			obs.SetCtx(e, tc)
 			ctx := &rmf.JobContext{
 				JobID:    fmt.Sprintf("%s/%d", job.contact, i),
 				Resource: e.Hostname(),
 				Args:     spec.Args,
 				Env:      spec.Env,
+				Trace:    tc,
 			}
 			err := prog(e, ctx)
+			o.EndSpan(e.Now(), tc, "gram", "fork", e.Hostname())
 			g.mu.Lock()
 			defer g.mu.Unlock()
 			job.pending--
@@ -300,6 +311,14 @@ func (g *Gatekeeper) startRMF(env transport.Env, job *managedJob, spec rmf.Proce
 	job.state = rmf.StateActive
 	env.Spawn("jobmanager:"+job.contact, func(e transport.Env) {
 		g.tracef("job manager %s: creating Q client", job.contact)
+		// The job manager span covers the job's whole gatekeeper-side life
+		// (Q client creation through completion). It roots the trace when
+		// the submitter was untraced and joins theirs otherwise.
+		o := obs.From(e)
+		tc := o.BeginSpan(e.Now(), obs.CtxOf(e), "gram", "jobmanager", e.Hostname(),
+			obs.Str("contact", job.contact), obs.Int("count", int64(count)))
+		obs.SetCtx(e, tc)
+		defer func() { o.EndSpan(e.Now(), tc, "gram", "jobmanager", e.Hostname()) }()
 		h, err := rmf.SubmitJob(e, g.cfg.AllocatorAddr, rmf.JobRequest{
 			Count:   count,
 			Cluster: cluster,

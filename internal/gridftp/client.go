@@ -129,9 +129,9 @@ func (c *Client) Get(env transport.Env, url string) ([]byte, *TransferStats, err
 	}
 	start := env.Now()
 	o := obs.From(env)
-	var span obs.SpanID
+	var span obs.TraceContext
 	if o != nil {
-		span = o.Begin(start, "gridftp", "get", env.Hostname(), obs.Str("url", url))
+		span = o.BeginChild(start, obs.CtxOf(env), "gridftp", "get", env.Hostname(), obs.Str("url", url))
 	}
 	sink := newGetSink()
 	stats := &TransferStats{Streams: c.streams()}
@@ -146,7 +146,7 @@ func (c *Client) Get(env transport.Env, url string) ([]byte, *TransferStats, err
 			stats.Bytes = sink.size
 			stats.Elapsed = env.Now() - start
 			if o != nil {
-				o.End(env.Now(), span, "gridftp", "get", env.Hostname(),
+				o.EndSpan(env.Now(), span, "gridftp", "get", env.Hostname(),
 					obs.Int("bytes", stats.Bytes), obs.Int("resumes", int64(stats.Resumes)))
 				o.Metrics().Counter("gridftp." + env.Hostname() + ".bytes_in").Add(stats.Bytes)
 			}
@@ -161,7 +161,7 @@ func (c *Client) Get(env transport.Env, url string) ([]byte, *TransferStats, err
 	}
 	err = fmt.Errorf("gridftp: get %s after %d resumes: %w", url, stats.Resumes, lastErr)
 	if o != nil {
-		o.End(env.Now(), span, "gridftp", "get", env.Hostname(), obs.Str("err", err.Error()))
+		o.EndSpan(env.Now(), span, "gridftp", "get", env.Hostname(), obs.Str("err", err.Error()))
 	}
 	return nil, stats, err
 }
@@ -258,9 +258,9 @@ func (c *Client) Put(env transport.Env, url string, data []byte) (*TransferStats
 	}
 	start := env.Now()
 	o := obs.From(env)
-	var span obs.SpanID
+	var span obs.TraceContext
 	if o != nil {
-		span = o.Begin(start, "gridftp", "put", env.Hostname(),
+		span = o.BeginChild(start, obs.CtxOf(env), "gridftp", "put", env.Hostname(),
 			obs.Str("url", url), obs.Int("bytes", int64(len(data))))
 	}
 	c.mu.Lock()
@@ -280,7 +280,7 @@ func (c *Client) Put(env transport.Env, url string, data []byte) (*TransferStats
 			stats.Bytes = int64(len(data))
 			stats.Elapsed = env.Now() - start
 			if o != nil {
-				o.End(env.Now(), span, "gridftp", "put", env.Hostname(),
+				o.EndSpan(env.Now(), span, "gridftp", "put", env.Hostname(),
 					obs.Int("bytes", stats.Bytes), obs.Int("resumes", int64(stats.Resumes)))
 				o.Metrics().Counter("gridftp." + env.Hostname() + ".bytes_out").Add(stats.Bytes)
 			}
@@ -295,7 +295,7 @@ func (c *Client) Put(env transport.Env, url string, data []byte) (*TransferStats
 	}
 	err = fmt.Errorf("gridftp: put %s after %d resumes: %w", url, stats.Resumes, lastErr)
 	if o != nil {
-		o.End(env.Now(), span, "gridftp", "put", env.Hostname(), obs.Str("err", err.Error()))
+		o.EndSpan(env.Now(), span, "gridftp", "put", env.Hostname(), obs.Str("err", err.Error()))
 	}
 	return stats, err
 }
@@ -420,9 +420,9 @@ func (c *Client) GetStriped(env transport.Env, urls []string) ([]byte, *Transfer
 		return nil, nil, err
 	}
 	o := obs.From(env)
-	var span obs.SpanID
+	var span obs.TraceContext
 	if o != nil {
-		span = o.Begin(start, "gridftp", "get-striped", env.Hostname(),
+		span = o.BeginChild(start, obs.CtxOf(env), "gridftp", "get-striped", env.Hostname(),
 			obs.Int("bytes", size), obs.Int("sources", int64(len(urls))))
 	}
 	sink := newGetSink()
@@ -469,14 +469,14 @@ func (c *Client) GetStriped(env transport.Env, urls []string) ([]byte, *Transfer
 		}
 		err := fmt.Errorf("gridftp: striped get: %w", stripeErr)
 		if o != nil {
-			o.End(env.Now(), span, "gridftp", "get-striped", env.Hostname(), obs.Str("err", err.Error()))
+			o.EndSpan(env.Now(), span, "gridftp", "get-striped", env.Hostname(), obs.Str("err", err.Error()))
 		}
 		return nil, stats, err
 	}
 	stats.Bytes = size
 	stats.Elapsed = env.Now() - start
 	if o != nil {
-		o.End(env.Now(), span, "gridftp", "get-striped", env.Hostname(),
+		o.EndSpan(env.Now(), span, "gridftp", "get-striped", env.Hostname(),
 			obs.Int("bytes", size), obs.Int("resumes", int64(stats.Resumes)))
 	}
 	return sink.buf, stats, nil
@@ -616,7 +616,7 @@ func (c *Client) armWatchdog(env transport.Env, progress *atomic.Int64) *watchdo
 				w.stopped = true
 				w.mu.Unlock()
 				if o := obs.From(e); o != nil {
-					o.Emit(e.Now(), "gridftp", "stall-abort", e.Hostname(),
+					o.EmitCtx(e.Now(), obs.CtxOf(e), "gridftp", "stall-abort", e.Hostname(),
 						obs.Int("conns", int64(len(conns))))
 				}
 				for _, conn := range conns {

@@ -206,6 +206,18 @@ func RunFT(c *mpi.Comm, in *Instance, p FTParams) (*Result, error) {
 		return nil, err
 	}
 	start := c.Env().Now()
+	// Same per-rank solve span as the non-FT path; reclaim/serve/steal
+	// instants parent under it through the ambient context.
+	env := c.Env()
+	o := obs.From(env)
+	tcSolve := o.BeginChild(start, obs.CtxOf(env), "knap", "solve", env.Hostname(),
+		obs.Int("rank", int64(c.Rank())))
+	saved := obs.CtxOf(env)
+	obs.SetCtx(env, tcSolve)
+	defer func() {
+		obs.SetCtx(env, saved)
+		o.EndSpan(env.Now(), tcSolve, "knap", "solve", env.Hostname())
+	}()
 	if c.Size() == 1 || c.Rank() == 0 {
 		return runFTMaster(c, in, p, start)
 	}
@@ -242,7 +254,7 @@ func runFTMaster(c *mpi.Comm, in *Instance, p FTParams, start time.Duration) (*R
 		}
 		st.alive = false
 		if o != nil {
-			o.Emit(c.Env().Now(), "knap", "reclaim", trk,
+			o.EmitCtx(c.Env().Now(), obs.CtxOf(c.Env()), "knap", "reclaim", trk,
 				obs.Int("slave", int64(s)), obs.Int("nodes", int64(len(st.outstanding))))
 			o.Metrics().Counter("knap.reclaims").Add(1)
 		}
@@ -273,7 +285,7 @@ func runFTMaster(c *mpi.Comm, in *Instance, p FTParams, start time.Duration) (*R
 			st.outstanding = batch
 			handled++
 			if o != nil {
-				o.Emit(c.Env().Now(), "knap", "serve", trk,
+				o.EmitCtx(c.Env().Now(), obs.CtxOf(c.Env()), "knap", "serve", trk,
 					obs.Int("to", int64(s)), obs.Int("nodes", int64(len(batch))))
 			}
 		}
@@ -480,7 +492,7 @@ func runFTSlave(c *mpi.Comm, in *Instance, p FTParams) (*Result, error) {
 			seq++
 			steals++
 			if o != nil {
-				o.Emit(c.Env().Now(), "knap", "steal", trk, obs.Int("seq", seq))
+				o.EmitCtx(c.Env().Now(), obs.CtxOf(c.Env()), "knap", "steal", trk, obs.Int("seq", seq))
 				o.Metrics().Counter("knap.steals").Add(1)
 			}
 			retries := 0

@@ -145,6 +145,19 @@ func Run(c *mpi.Comm, in *Instance, p Params) (*Result, error) {
 		return nil, err
 	}
 	start := c.Env().Now()
+	// Each rank's solve is one span under its mpi/rank context; the steal,
+	// bound, and reclaim instants below parent under it via the ambient
+	// context, so a job's critical path can charge time to the solver leg.
+	env := c.Env()
+	o := obs.From(env)
+	tcSolve := o.BeginChild(start, obs.CtxOf(env), "knap", "solve", env.Hostname(),
+		obs.Int("rank", int64(c.Rank())))
+	saved := obs.CtxOf(env)
+	obs.SetCtx(env, tcSolve)
+	defer func() {
+		obs.SetCtx(env, saved)
+		o.EndSpan(env.Now(), tcSolve, "knap", "solve", env.Hostname())
+	}()
 	var (
 		local RankStats
 		err   error
@@ -270,7 +283,7 @@ func runMaster(c *mpi.Comm, in *Instance, p Params) (int64, RankStats, error) {
 			}
 			handled++
 			if o != nil {
-				o.Emit(c.Env().Now(), "knap", "serve", trk,
+				o.EmitCtx(c.Env().Now(), obs.CtxOf(c.Env()), "knap", "serve", trk,
 					obs.Int("to", int64(to)), obs.Int("nodes", int64(len(batch))))
 			}
 		}
@@ -300,7 +313,7 @@ func runMaster(c *mpi.Comm, in *Instance, p Params) (int64, RankStats, error) {
 			}
 			if o != nil && solver.Best != lastBest {
 				lastBest = solver.Best
-				o.Emit(c.Env().Now(), "knap", "bound", trk, obs.Int("best", lastBest))
+				o.EmitCtx(c.Env().Now(), obs.CtxOf(c.Env()), "knap", "bound", trk, obs.Int("best", lastBest))
 			}
 			for c.Iprobe(mpi.AnySource, mpi.AnyTag) {
 				m, err := c.Recv(mpi.AnySource, mpi.AnyTag)
@@ -358,7 +371,7 @@ func runSlave(c *mpi.Comm, in *Instance, p Params) (RankStats, error) {
 		st.SentBack += int64(len(batch))
 		opsSinceShare = 0
 		if o != nil {
-			o.Emit(c.Env().Now(), "knap", "back", trk, obs.Int("nodes", int64(len(batch))))
+			o.EmitCtx(c.Env().Now(), obs.CtxOf(c.Env()), "knap", "back", trk, obs.Int("nodes", int64(len(batch))))
 		}
 		return c.Send(0, tagBack, EncodeNodes(batch))
 	}
@@ -366,7 +379,7 @@ func runSlave(c *mpi.Comm, in *Instance, p Params) (RankStats, error) {
 		if worker.Stack.Len() == 0 {
 			st.Steals++
 			if o != nil {
-				o.Emit(c.Env().Now(), "knap", "steal", trk)
+				o.EmitCtx(c.Env().Now(), obs.CtxOf(c.Env()), "knap", "steal", trk)
 				o.Metrics().Counter("knap.steals").Add(1)
 			}
 			if err := c.Send(0, tagSteal, nil); err != nil {
@@ -396,7 +409,7 @@ func runSlave(c *mpi.Comm, in *Instance, p Params) (RankStats, error) {
 		}
 		if o != nil && worker.Best != lastBest {
 			lastBest = worker.Best
-			o.Emit(c.Env().Now(), "knap", "bound", trk, obs.Int("best", lastBest))
+			o.EmitCtx(c.Env().Now(), obs.CtxOf(c.Env()), "knap", "bound", trk, obs.Int("best", lastBest))
 		}
 		switch {
 		case p.BackThreshold > 0 && worker.Stack.Len() > p.BackThreshold:

@@ -147,6 +147,17 @@ func (w *World) runRank(env transport.Env, rank int, pl Placement, fn func(*Comm
 	if bb != nil {
 		bb.SetExpected(len(w.placements))
 	}
+	// Each rank is a traced job: its root span covers init, the roster
+	// barrier and the application, and every span opened below (proxy
+	// connects, dials, staging, solver phases) parents under it through the
+	// process's ambient context. Ranks launched from an already-traced
+	// process (a Q server exec span) join that trace instead of rooting one.
+	if o := obs.From(env); o != nil {
+		tc := o.BeginSpan(env.Now(), obs.CtxOf(env), "mpi", "rank", env.Hostname(),
+			obs.Int("rank", int64(rank)), obs.Str("placement", pl.Name))
+		obs.SetCtx(env, tc)
+		defer func() { o.EndSpan(env.Now(), tc, "mpi", "rank", env.Hostname()) }()
+	}
 	ctx, err := nexus.Init(env, pl.Proxy)
 	if err != nil {
 		return fmt.Errorf("mpi: rank %d init: %w", rank, err)

@@ -85,6 +85,14 @@ func appendEventJSON(b []byte, e *Event) []byte {
 		b = append(b, `,"id":`...)
 		b = strconv.AppendUint(b, e.ID, 10)
 	}
+	if e.Trace != 0 {
+		b = append(b, `,"trace":`...)
+		b = strconv.AppendUint(b, e.Trace, 10)
+	}
+	if e.Parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, e.Parent, 10)
+	}
 	for i := range e.Fields {
 		f := &e.Fields[i]
 		b = append(b, ',')
@@ -139,14 +147,20 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 	if _, err := bw.WriteString("[\n"); err != nil {
 		return err
 	}
-	// Assign stable tids in order of first appearance.
+	// Assign stable tids in order of first appearance, and remember where
+	// each span begins so causal children can draw flow arrows back to
+	// their parent span's begin point.
 	tids := make(map[string]int)
 	var order []string
+	begins := make(map[uint64]int)
 	for i := range o.events {
-		t := o.events[i].Track
-		if _, ok := tids[t]; !ok {
-			tids[t] = len(tids) + 1
-			order = append(order, t)
+		e := &o.events[i]
+		if _, ok := tids[e.Track]; !ok {
+			tids[e.Track] = len(tids) + 1
+			order = append(order, e.Track)
+		}
+		if e.Ph == PhaseBegin && e.ID != 0 {
+			begins[e.ID] = i
 		}
 	}
 	var buf []byte
@@ -171,6 +185,16 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 			return err
 		}
 	}
+	appendTS := func(buf []byte, at int64) []byte {
+		us := at / 1000
+		ns := at % 1000
+		buf = strconv.AppendInt(buf, us, 10)
+		if ns != 0 {
+			buf = append(buf, '.')
+			buf = append(buf, byte('0'+ns/100), byte('0'+ns/10%10), byte('0'+ns%10))
+		}
+		return buf
+	}
 	for i := range o.events {
 		e := &o.events[i]
 		buf = append(buf[:0], `{"ph":"`...)
@@ -178,13 +202,7 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 		buf = append(buf, `,"pid":1,"tid":`...)
 		buf = strconv.AppendInt(buf, int64(tids[e.Track]), 10)
 		buf = append(buf, `,"ts":`...)
-		us := int64(e.At) / 1000
-		ns := int64(e.At) % 1000
-		buf = strconv.AppendInt(buf, us, 10)
-		if ns != 0 {
-			buf = append(buf, '.')
-			buf = append(buf, byte('0'+ns/100), byte('0'+ns/10%10), byte('0'+ns%10))
-		}
+		buf = appendTS(buf, int64(e.At))
 		buf = append(buf, `,"cat":`...)
 		buf = appendJSONString(buf, e.Cat)
 		buf = append(buf, `,"name":`...)
@@ -192,12 +210,28 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 		if e.Ph == PhaseInstant {
 			buf = append(buf, `,"s":"t"`...)
 		}
-		if len(e.Fields) > 0 || e.ID != 0 {
+		if len(e.Fields) > 0 || e.ID != 0 || e.Trace != 0 {
 			buf = append(buf, `,"args":{`...)
 			n := 0
 			if e.ID != 0 {
 				buf = append(buf, `"span":`...)
 				buf = strconv.AppendUint(buf, e.ID, 10)
+				n++
+			}
+			if e.Trace != 0 {
+				if n > 0 {
+					buf = append(buf, ',')
+				}
+				buf = append(buf, `"trace":`...)
+				buf = strconv.AppendUint(buf, e.Trace, 10)
+				n++
+			}
+			if e.Parent != 0 {
+				if n > 0 {
+					buf = append(buf, ',')
+				}
+				buf = append(buf, `"parent":`...)
+				buf = strconv.AppendUint(buf, e.Parent, 10)
 				n++
 			}
 			for j := range e.Fields {
@@ -219,6 +253,34 @@ func (o *Observer) WriteChromeTrace(w io.Writer) error {
 		buf = append(buf, '}')
 		if err := put(); err != nil {
 			return err
+		}
+		// A causal child whose parent span began on a different track gets a
+		// flow arrow from the parent's begin point to its own: a paired
+		// "s"/"f" record bound by the child's span ID.
+		if e.Ph == PhaseBegin && e.Parent != 0 {
+			if pi, ok := begins[e.Parent]; ok && o.events[pi].Track != e.Track {
+				p := &o.events[pi]
+				buf = append(buf[:0], `{"ph":"s","pid":1,"tid":`...)
+				buf = strconv.AppendInt(buf, int64(tids[p.Track]), 10)
+				buf = append(buf, `,"ts":`...)
+				buf = appendTS(buf, int64(p.At))
+				buf = append(buf, `,"cat":"flow","name":"causal","id":`...)
+				buf = strconv.AppendUint(buf, e.ID, 10)
+				buf = append(buf, '}')
+				if err := put(); err != nil {
+					return err
+				}
+				buf = append(buf[:0], `{"ph":"f","bp":"e","pid":1,"tid":`...)
+				buf = strconv.AppendInt(buf, int64(tids[e.Track]), 10)
+				buf = append(buf, `,"ts":`...)
+				buf = appendTS(buf, int64(e.At))
+				buf = append(buf, `,"cat":"flow","name":"causal","id":`...)
+				buf = strconv.AppendUint(buf, e.ID, 10)
+				buf = append(buf, '}')
+				if err := put(); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	if _, err := bw.WriteString("\n]\n"); err != nil {

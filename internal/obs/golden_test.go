@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTrace is a small but representative trace: a causal tree crossing
+// two tracks (so the Chrome export emits flow events), an untraced flat
+// span, an instant marker with both field kinds, and a string needing JSON
+// escaping.
+func goldenTrace() *Observer {
+	o := New()
+	root := o.BeginTrace(500*time.Microsecond, "rmf", "job", "rwcp-sun", Str("rsl", `&(executable="knap")`))
+	sub := o.BeginChild(700*time.Microsecond, root, "gram", "submit", "compas00", Int("rank", 0))
+	o.EmitCtx(800*time.Microsecond, sub, "rmf", "requeue", "compas00", Int("attempt", 1))
+	o.EndSpan(1200*time.Microsecond+250*time.Nanosecond, sub, "gram", "submit", "compas00")
+	o.EndSpan(2*time.Millisecond, root, "rmf", "job", "rwcp-sun", Int("jobs", 1))
+	id := o.Begin(3*time.Millisecond, "net", "dial", "etl-sun")
+	o.End(3*time.Millisecond+10*time.Microsecond, id, "net", "dial", "etl-sun")
+	o.Emit(4*time.Millisecond, "hbm", "suspect", "rwcp-inner", Str("host", "compas01"))
+	return o
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs/... -run Golden -update` to create it)", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("%s drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestChromeTraceGolden pins the Chrome trace_event export byte for byte:
+// metadata thread names, B/E/i phases, µs timestamps with the sub-µs
+// remainder, span/trace/parent args, and the cross-track flow event pair.
+func TestChromeTraceGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chrome.json.golden", []byte(b.String()))
+}
+
+// TestJSONLGolden pins the canonical JSONL export — the bytes the trace
+// hash is computed over, and the format cmd/tracer reads back.
+func TestJSONLGolden(t *testing.T) {
+	var b strings.Builder
+	o := goldenTrace()
+	if err := o.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.jsonl.golden", []byte(b.String()))
+
+	// The export must round-trip byte-exactly through the JSONL reader.
+	events, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 strings.Builder
+	if err := FromEvents(events).WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b.String() {
+		t.Fatal("JSONL round trip not byte-exact")
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ReadJSONL parses a stream previously written by WriteJSONL back into
+// events. It walks each line's object with a token decoder so field order —
+// which WriteJSONL preserves from the original Emit calls — survives the
+// round trip: re-serializing the result reproduces the input bytes exactly,
+// which is what lets cmd/tracer verify a capture against its recorded hash.
+//
+// Keys at/ph/cat/name/track/id/trace/parent are the event envelope; every
+// other key is a Field (string or integer by JSON type).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		e, err := parseEventJSON(raw)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+func parseEventJSON(raw []byte) (Event, error) {
+	var e Event
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return e, err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return e, fmt.Errorf("not a JSON object")
+	}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return e, err
+		}
+		key := keyTok.(string)
+		valTok, err := dec.Token()
+		if err != nil {
+			return e, fmt.Errorf("key %q: %w", key, err)
+		}
+		switch key {
+		case "at":
+			n, err := tokInt(valTok)
+			if err != nil {
+				return e, fmt.Errorf("at: %w", err)
+			}
+			e.At = time.Duration(n)
+		case "ph":
+			s, ok := valTok.(string)
+			if !ok || len(s) != 1 {
+				return e, fmt.Errorf("ph: want 1-char string, got %v", valTok)
+			}
+			e.Ph = s[0]
+		case "cat":
+			e.Cat, _ = valTok.(string)
+		case "name":
+			e.Name, _ = valTok.(string)
+		case "track":
+			e.Track, _ = valTok.(string)
+		case "id":
+			n, err := tokInt(valTok)
+			if err != nil {
+				return e, fmt.Errorf("id: %w", err)
+			}
+			e.ID = uint64(n)
+		case "trace":
+			n, err := tokInt(valTok)
+			if err != nil {
+				return e, fmt.Errorf("trace: %w", err)
+			}
+			e.Trace = uint64(n)
+		case "parent":
+			n, err := tokInt(valTok)
+			if err != nil {
+				return e, fmt.Errorf("parent: %w", err)
+			}
+			e.Parent = uint64(n)
+		default:
+			switch v := valTok.(type) {
+			case string:
+				e.Fields = append(e.Fields, Str(key, v))
+			case json.Number:
+				n, err := v.Int64()
+				if err != nil {
+					return e, fmt.Errorf("field %q: %w", key, err)
+				}
+				e.Fields = append(e.Fields, Int(key, n))
+			default:
+				return e, fmt.Errorf("field %q: unsupported value %v", key, valTok)
+			}
+		}
+	}
+	return e, nil
+}
+
+func tokInt(tok json.Token) (int64, error) {
+	n, ok := tok.(json.Number)
+	if !ok {
+		return 0, fmt.Errorf("want number, got %v", tok)
+	}
+	return n.Int64()
+}

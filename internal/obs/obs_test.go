@@ -209,6 +209,31 @@ func TestMetricUpdatesDoNotAllocate(t *testing.T) {
 	}
 }
 
+// TestDisabledTracingDoesNotAllocate pins the overhead contract for the
+// span API: with tracing off (a nil observer) every call is a branch and a
+// return — no event is built, nothing escapes. BenchmarkObsSpan/disabled in
+// the root package reports the same path's per-op cost.
+func TestDisabledTracingDoesNotAllocate(t *testing.T) {
+	var o *Observer
+	var parent TraceContext
+	if n := testing.AllocsPerRun(1000, func() {
+		o.Emit(1, "rmf", "submit", "t")
+		id := o.Begin(2, "rmf", "job", "t")
+		o.End(3, id, "rmf", "job", "t")
+		tc := o.BeginTrace(4, "rmf", "job", "t")
+		child := o.BeginChild(5, tc, "gram", "submit", "t")
+		o.EndSpan(6, child, "gram", "submit", "t")
+		span := o.BeginSpan(7, parent, "mpi", "rank", "t")
+		o.EndSpan(8, span, "mpi", "rank", "t")
+		o.EmitCtx(9, tc, "rmf", "requeue", "t")
+		if o.Enabled() || o.Len() != 0 || o.Events() != nil || o.Metrics() != nil {
+			t.Fatal("nil observer recorded something")
+		}
+	}); n != 0 {
+		t.Fatalf("disabled tracing allocates: %v allocs/op", n)
+	}
+}
+
 // TestFrom checks observer extraction via the duck-typed carrier.
 func TestFrom(t *testing.T) {
 	o := New()

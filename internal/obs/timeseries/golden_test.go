@@ -1,0 +1,38 @@
+package timeseries
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestHTMLGolden pins the self-contained HTML report byte for byte (the
+// golden uses a .golden suffix so the repo's *.html ignore rule cannot eat
+// it). TestHTMLReport checks the structural invariants; this catches any
+// unintended drift in markup, styling, or SVG geometry.
+func TestHTMLGolden(t *testing.T) {
+	st, _ := workload(t, time.Second, false)
+	var b strings.Builder
+	if err := st.WriteHTML(&b, "golden run", DashboardOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "report.html.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs/timeseries -run Golden -update` to create it)", err)
+	}
+	if b.String() != string(want) {
+		t.Fatalf("HTML report drifted from golden (re-run with -update if intended):\n--- got ---\n%.2000s", b.String())
+	}
+}

@@ -34,25 +34,25 @@ func NXProxyConnect(env transport.Env, cfg Config, target string) (transport.Con
 	// then the outer server's onward dial (acknowledged by msgOK). The leg
 	// events let the decomposition report split them apart.
 	o := obs.From(env)
-	span := o.Begin(env.Now(), "proxy", "connect", env.Hostname(), obs.Str("target", target))
+	span := o.BeginChild(env.Now(), obs.CtxOf(env), "proxy", "connect", env.Hostname(), obs.Str("target", target))
 	c, err := env.Dial(cfg.OuterServer)
 	if err != nil {
-		o.End(env.Now(), span, "proxy", "connect", env.Hostname(), obs.Str("err", "dial-outer"))
+		o.EndSpan(env.Now(), span, "proxy", "connect", env.Hostname(), obs.Str("err", "dial-outer"))
 		return nil, fmt.Errorf("proxy: dial outer server %s: %w", cfg.OuterServer, err)
 	}
-	o.Emit(env.Now(), "proxy", "connect.leg.outer", env.Hostname(), obs.Str("outer", cfg.OuterServer))
+	o.EmitCtx(env.Now(), span, "proxy", "connect.leg.outer", env.Hostname(), obs.Str("outer", cfg.OuterServer))
 	st := transport.Stream{Env: env, Conn: c}
 	if err := sendAuthedRequest(st, cfg.Secret, msgConnect, target); err != nil {
 		_ = c.Close(env)
-		o.End(env.Now(), span, "proxy", "connect", env.Hostname(), obs.Str("err", "request"))
+		o.EndSpan(env.Now(), span, "proxy", "connect", env.Hostname(), obs.Str("err", "request"))
 		return nil, err
 	}
 	if _, err := expect(st, msgOK); err != nil {
 		_ = c.Close(env)
-		o.End(env.Now(), span, "proxy", "connect", env.Hostname(), obs.Str("err", "relay"))
+		o.EndSpan(env.Now(), span, "proxy", "connect", env.Hostname(), obs.Str("err", "relay"))
 		return nil, fmt.Errorf("proxy: connect %s: %w", target, err)
 	}
-	o.End(env.Now(), span, "proxy", "connect", env.Hostname(), obs.Str("target", target))
+	o.EndSpan(env.Now(), span, "proxy", "connect", env.Hostname(), obs.Str("target", target))
 	return c, nil
 }
 
@@ -78,24 +78,24 @@ var _ transport.Listener = (*ProxyListener)(nil)
 // public port.
 func NXProxyBind(env transport.Env, cfg Config) (*ProxyListener, error) {
 	o := obs.From(env)
-	span := o.Begin(env.Now(), "proxy", "bind", env.Hostname())
+	span := o.BeginChild(env.Now(), obs.CtxOf(env), "proxy", "bind", env.Hostname())
 	local, err := env.Listen(0)
 	if err != nil {
-		o.End(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("err", "local-bind"))
+		o.EndSpan(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("err", "local-bind"))
 		return nil, fmt.Errorf("proxy: local bind: %w", err)
 	}
-	o.Emit(env.Now(), "proxy", "bind.leg.local", env.Hostname(), obs.Str("local", local.Addr()))
+	o.EmitCtx(env.Now(), span, "proxy", "bind.leg.local", env.Hostname(), obs.Str("local", local.Addr()))
 	control, err := env.Dial(cfg.OuterServer)
 	if err != nil {
 		_ = local.Close(env)
-		o.End(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("err", "dial-outer"))
+		o.EndSpan(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("err", "dial-outer"))
 		return nil, fmt.Errorf("proxy: dial outer server %s: %w", cfg.OuterServer, err)
 	}
 	st := transport.Stream{Env: env, Conn: control}
 	if err := sendAuthedRequest(st, cfg.Secret, msgBind, local.Addr()); err != nil {
 		_ = local.Close(env)
 		_ = control.Close(env)
-		o.End(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("err", "request"))
+		o.EndSpan(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("err", "request"))
 		return nil, err
 	}
 	fields, err := expect(st, msgBindOK)
@@ -105,10 +105,10 @@ func NXProxyBind(env transport.Env, cfg Config) (*ProxyListener, error) {
 		if err == nil {
 			err = fmt.Errorf("%w: bindok wants 2 fields", ErrProtocol)
 		}
-		o.End(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("err", "bindok"))
+		o.EndSpan(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("err", "bindok"))
 		return nil, err
 	}
-	o.End(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("public", fields[0]))
+	o.EndSpan(env.Now(), span, "proxy", "bind", env.Hostname(), obs.Str("public", fields[0]))
 	return &ProxyListener{
 		cfg:        cfg,
 		control:    control,
@@ -145,7 +145,7 @@ func (l *ProxyListener) Accept(env transport.Env) (transport.Conn, error) {
 			continue
 		}
 		if o := obs.From(env); o != nil {
-			o.Emit(env.Now(), "proxy", "accept", env.Hostname(), obs.Str("conn", fields[0]))
+			o.EmitCtx(env.Now(), obs.BaggageOf(c), "proxy", "accept", env.Hostname(), obs.Str("conn", fields[0]))
 		}
 		return c, nil
 	}

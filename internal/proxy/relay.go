@@ -73,6 +73,9 @@ func pump(env transport.Env, name string, src, dst transport.Conn, cfg RelayConf
 	var mOcc *obs.Gauge
 	var mBytes *obs.Counter
 	track := env.Hostname() + "/" + name
+	// Relay legs belong to whichever traced job dialed the source leg; its
+	// context rides the connection as baggage.
+	tc := obs.BaggageOf(src)
 	if o != nil {
 		mOcc = o.Metrics().Gauge("relay." + env.Hostname() + ".occupancy")
 		mBytes = o.Metrics().Counter("relay." + env.Hostname() + ".bytes")
@@ -87,7 +90,7 @@ func pump(env transport.Env, name string, src, dst transport.Conn, cfg RelayConf
 		n, err := src.Read(env, buf)
 		if n > 0 {
 			if o != nil {
-				o.Emit(env.Now(), "relay", "recv", track, obs.Int("bytes", int64(n)))
+				o.EmitCtx(env.Now(), tc, "relay", "recv", track, obs.Int("bytes", int64(n)))
 				mOcc.Add(int64(n))
 			}
 			if cfg.PerBuffer > 0 {
@@ -98,7 +101,7 @@ func pump(env transport.Env, name string, src, dst transport.Conn, cfg RelayConf
 				break
 			}
 			if o != nil {
-				o.Emit(env.Now(), "relay", "fwd", track, obs.Int("bytes", int64(n)))
+				o.EmitCtx(env.Now(), tc, "relay", "fwd", track, obs.Int("bytes", int64(n)))
 				mOcc.Add(-int64(n))
 				mBytes.Add(int64(n))
 			}

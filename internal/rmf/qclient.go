@@ -177,7 +177,12 @@ type JobHandle struct {
 	// Speculations counts speculative duplicates launched by Wait under a
 	// RecoveryPolicy with SpeculateAfter set.
 	Speculations int
-	released     bool
+	// Trace is the job's root trace context, minted by SubmitJob when an
+	// observer is attached (zero otherwise). Allocation, per-process
+	// submission, server-side execution and staging all parent under it;
+	// Wait closes the root span when the job reaches a terminal state.
+	Trace    obs.TraceContext
+	released bool
 }
 
 // JobRequest is a whole-job submission: count processes of one spec.
@@ -198,28 +203,47 @@ func SubmitJob(env transport.Env, allocatorAddr string, req JobRequest) (*JobHan
 		return nil, fmt.Errorf("rmf: job count must be positive")
 	}
 	o := obs.From(env)
+	// The job is a traced unit: a trace tree roots here — or joins the
+	// caller's, when a gatekeeper job manager already carries one — and the
+	// allocate and per-process submit legs run with the matching context
+	// installed as the process's ambient, so their dials — and, through
+	// connection baggage, the Q server's execution and staging spans —
+	// parent under it. The saved context is restored on return; with no
+	// observer every context is zero and nothing changes.
+	root := o.BeginSpan(env.Now(), obs.CtxOf(env), "rmf", "job", env.Hostname(),
+		obs.Int("count", int64(req.Count)), obs.Str("cluster", req.Cluster))
+	saved := obs.CtxOf(env)
+	defer obs.SetCtx(env, saved)
 	if o != nil {
-		o.Emit(env.Now(), "rmf", "submit", env.Hostname(), obs.Int("count", int64(req.Count)), obs.Str("cluster", req.Cluster))
+		o.EmitCtx(env.Now(), root, "rmf", "submit", env.Hostname(), obs.Int("count", int64(req.Count)), obs.Str("cluster", req.Cluster))
 	}
+	tcAlloc := o.BeginChild(env.Now(), root, "rmf", "allocate", env.Hostname())
+	obs.SetCtx(env, tcAlloc)
 	names, addrs, err := Allocate(env, allocatorAddr, req.Count, req.Cluster)
+	o.EndSpan(env.Now(), tcAlloc, "rmf", "allocate", env.Hostname(), obs.Int("granted", int64(len(names))))
 	if err != nil {
+		o.EndSpan(env.Now(), root, "rmf", "job", env.Hostname(), obs.Str("err", "allocate"))
 		return nil, err
 	}
 	if o != nil {
 		for _, n := range names {
-			o.Emit(env.Now(), "rmf", "allocate", env.Hostname(), obs.Str("resource", n))
+			o.EmitCtx(env.Now(), tcAlloc, "rmf", "allocate", env.Hostname(), obs.Str("resource", n))
 		}
 	}
-	h := &JobHandle{AllocatorAddr: allocatorAddr, Cluster: req.Cluster}
+	h := &JobHandle{AllocatorAddr: allocatorAddr, Cluster: req.Cluster, Trace: root}
 	for i := range names {
 		spec := req.Spec
 		if spec.StdoutURL != "" && req.Count > 1 {
 			spec.StdoutURL = fmt.Sprintf("%s#%d", spec.StdoutURL, i)
 		}
+		tcSub := o.BeginChild(env.Now(), root, "rmf", "submit-proc", env.Hostname(), obs.Str("resource", names[i]))
+		obs.SetCtx(env, tcSub)
 		id, err := Submit(env, addrs[i], spec)
+		o.EndSpan(env.Now(), tcSub, "rmf", "submit-proc", env.Hostname())
 		if err != nil {
 			// Best-effort cleanup of already-claimed slots.
 			_ = Release(env, allocatorAddr, names)
+			o.EndSpan(env.Now(), root, "rmf", "job", env.Hostname(), obs.Str("err", "submit"))
 			return nil, fmt.Errorf("rmf: submit to %s: %w", names[i], err)
 		}
 		h.Processes = append(h.Processes, Process{Resource: names[i], QServerAddr: addrs[i], JobID: id})
@@ -287,7 +311,7 @@ func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 						errStreak = 0
 						procStart = env.Now()
 						if o != nil {
-							o.Emit(env.Now(), "rmf", "spec-promote", env.Hostname(),
+							o.EmitCtx(env.Now(), h.Trace, "rmf", "spec-promote", env.Hostname(),
 								obs.Str("lost", p.Resource), obs.Str("to", h.Processes[i].Resource))
 						}
 						env.Sleep(poll)
@@ -309,13 +333,13 @@ func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 			errStreak = 0
 			if state == StateDone {
 				if o != nil {
-					o.Emit(env.Now(), "rmf", "exit", env.Hostname(), obs.Str("job", p.JobID), obs.Str("resource", p.Resource))
+					o.EmitCtx(env.Now(), h.Trace, "rmf", "exit", env.Hostname(), obs.Str("job", p.JobID), obs.Str("resource", p.Resource))
 				}
 				break
 			}
 			if state == StateFailed {
 				if o != nil {
-					o.Emit(env.Now(), "rmf", "failed", env.Hostname(), obs.Str("job", p.JobID), obs.Str("resource", p.Resource))
+					o.EmitCtx(env.Now(), h.Trace, "rmf", "failed", env.Hostname(), obs.Str("job", p.JobID), obs.Str("resource", p.Resource))
 				}
 				if firstErr == nil {
 					firstErr = fmt.Errorf("rmf: job %s on %s failed: %s", p.JobID, p.Resource, msg)
@@ -352,7 +376,7 @@ func (h *JobHandle) Wait(env transport.Env, poll, timeout time.Duration) error {
 						h.Processes[i] = *spec
 						spec = nil
 						if o != nil {
-							o.Emit(env.Now(), "rmf", "exit", env.Hostname(),
+							o.EmitCtx(env.Now(), h.Trace, "rmf", "exit", env.Hostname(),
 								obs.Str("job", h.Processes[i].JobID), obs.Str("resource", h.Processes[i].Resource))
 						}
 						break
@@ -394,19 +418,22 @@ func (h *JobHandle) speculate(env transport.Env, i int, o *obs.Observer) *Proces
 	}
 	h.Speculations++
 	if o != nil {
-		o.Emit(env.Now(), "rmf", "speculate", env.Hostname(),
+		o.EmitCtx(env.Now(), h.Trace, "rmf", "speculate", env.Hostname(),
 			obs.Str("slow", h.Processes[i].Resource), obs.Str("copy", names[0]), obs.Str("job", id))
 		o.Metrics().Counter("rmf.speculations").Add(1)
 	}
 	return &Process{Resource: names[0], QServerAddr: addrs[0], JobID: id}
 }
 
-// ReleaseSlots returns the job's allocator slots (idempotent).
+// ReleaseSlots returns the job's allocator slots (idempotent). It also
+// closes the job's root trace span: releasing is the terminal client-side
+// operation, so the span covers submit through release.
 func (h *JobHandle) ReleaseSlots(env transport.Env) {
 	if h.released {
 		return
 	}
 	h.released = true
+	obs.From(env).EndSpan(env.Now(), h.Trace, "rmf", "job", env.Hostname())
 	names := make([]string, len(h.Processes))
 	for i, p := range h.Processes {
 		names[i] = p.Resource

@@ -107,6 +107,9 @@ func (q *QServer) JobCount() int {
 
 func (q *QServer) handle(env transport.Env, c transport.Conn) {
 	defer c.Close(env)
+	// Adopt the dialer's trace context from connection baggage so spans the
+	// handler (and processes it spawns) open parent under the submitting job.
+	obs.SetCtx(env, obs.BaggageOf(c))
 	st := transport.Stream{Env: env, Conn: c}
 	req, err := nexus.ReadFrame(st, 0)
 	if err != nil {
@@ -205,15 +208,23 @@ func (q *QServer) handleSubmit(env transport.Env, req *nexus.Buffer, resp *nexus
 	// every update a no-op) when tracing is off.
 	var mActive *obs.Gauge
 	var mDone, mFailed *obs.Counter
-	if o := obs.From(env); o != nil {
-		o.Emit(env.Now(), "rmf", "spawn", q.Resource, obs.Str("job", id), obs.Str("exe", executable))
+	parent := obs.CtxOf(env)
+	var tcExec obs.TraceContext
+	o := obs.From(env)
+	if o != nil {
+		o.EmitCtx(env.Now(), parent, "rmf", "spawn", q.Resource, obs.Str("job", id), obs.Str("exe", executable))
+		// The exec span covers the process's whole server-side life: staging
+		// in, the program itself, and staging out.
+		tcExec = o.BeginChild(env.Now(), parent, "rmf", "exec", q.Resource, obs.Str("job", id))
 		o.Metrics().Counter("rmf." + q.Resource + ".jobs_submitted").Add(1)
 		mActive = o.Metrics().Gauge("rmf." + q.Resource + ".jobs_active")
 		mDone = o.Metrics().Counter("rmf." + q.Resource + ".jobs_done")
 		mFailed = o.Metrics().Counter("rmf." + q.Resource + ".jobs_failed")
 	}
 	env.Spawn("job:"+id, func(e transport.Env) {
-		ctx := &JobContext{JobID: id, Resource: q.Resource, Args: args, Env: envMap}
+		obs.SetCtx(e, tcExec)
+		defer func() { o.EndSpan(e.Now(), tcExec, "rmf", "exec", q.Resource) }()
+		ctx := &JobContext{JobID: id, Resource: q.Resource, Args: args, Env: envMap, Trace: tcExec}
 		// Stage input via the URL's scheme: GASS for small control files, as
 		// the paper's Q system does, or the gridftp bulk data plane
 		// (parallel streams, restart markers) for x-gridftp URLs.

@@ -170,6 +170,11 @@ type RecoveryPolicy struct {
 // until the heartbeat monitor classifies it DOWN.
 func (h *JobHandle) requeue(env transport.Env, i int, deadline time.Duration, bo *transport.Backoff) error {
 	p := h.Processes[i]
+	// Resubmission dials carry the job's root context so the replacement
+	// exec span parents under the same trace as the lost original.
+	saved := obs.CtxOf(env)
+	obs.SetCtx(env, h.Trace)
+	defer obs.SetCtx(env, saved)
 	_ = Release(env, h.AllocatorAddr, []string{p.Resource})
 	for {
 		if env.Now() > deadline {
@@ -189,7 +194,7 @@ func (h *JobHandle) requeue(env transport.Env, i int, deadline time.Duration, bo
 		h.Processes[i] = Process{Resource: names[0], QServerAddr: addrs[0], JobID: id}
 		h.Requeues++
 		if o := obs.From(env); o != nil {
-			o.Emit(env.Now(), "rmf", "requeue", env.Hostname(),
+			o.EmitCtx(env.Now(), h.Trace, "rmf", "requeue", env.Hostname(),
 				obs.Str("lost", p.Resource), obs.Str("to", names[0]), obs.Str("job", id))
 			o.Metrics().Counter("rmf.requeues").Add(1)
 		}

@@ -93,6 +93,10 @@ type JobContext struct {
 	// Stdout collects the program's output; the Q server publishes it to
 	// the job's stdout URL on completion.
 	Stdout bytes.Buffer
+	// Trace is the exec span the Q server opened for this process (zero when
+	// tracing is off or the submitter was untraced). Programs that open spans
+	// of their own should parent them here.
+	Trace obs.TraceContext
 }
 
 // Program is a simulated executable.

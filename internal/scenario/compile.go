@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"time"
 
 	"nxcluster/internal/bench"
 	"nxcluster/internal/chaos"
@@ -169,6 +170,14 @@ func (s *Spec) chaosConfig() (chaos.Config, error) {
 			SpeculateAfter: w.Recovery.SpeculateAfter,
 		}
 	}
+	// An SLO block needs windowed series to judge, so it switches the
+	// chaos sampler on (reads only — never perturbs virtual-time results).
+	if s.SLO != nil {
+		cfg.SampleInterval = s.SLO.Interval
+		if cfg.SampleInterval <= 0 {
+			cfg.SampleInterval = time.Second
+		}
+	}
 	return cfg, nil
 }
 
@@ -249,6 +258,14 @@ func Validate(s *Spec) error {
 func (s *Spec) checkShape() error {
 	if len(s.Faults) > 0 && s.Kind != KindChaos && s.Kind != KindGrid {
 		return fmt.Errorf("scenario %s: faults are not supported for kind %s (only chaos and grid take a fault plan)", s.Name, s.Kind)
+	}
+	if s.SLO != nil {
+		if s.Kind != KindChaos && s.Kind != KindMonitor {
+			return fmt.Errorf("scenario %s: slo blocks are not supported for kind %s (only chaos and monitor run with an observer attached)", s.Name, s.Kind)
+		}
+		if s.Kind == KindMonitor && s.SLO.Interval != 0 {
+			return fmt.Errorf("scenario %s: slo.interval is the chaos sampler window; monitor scenarios window on workload.interval", s.Name)
+		}
 	}
 	switch s.Kind {
 	case KindChaos:

@@ -169,6 +169,14 @@ func Run(s *Spec) (*Result, error) {
 			res.Failures = append(res.Failures, fmt.Sprintf("%s: %v", c.Name, err))
 		}
 	}
+	if s.SLO != nil {
+		// checkShape restricts SLOs to monitor among the non-chaos kinds, so
+		// v1 is the monitored report carrying both the causal trace and the
+		// windowed store.
+		rep := v1.(*bench.MonitorReport)
+		res.Invariants += s.SLO.Objectives()
+		res.Failures = append(res.Failures, s.SLO.Evaluate(rep.Obs.Events(), rep.Store)...)
+	}
 	res.Passed = len(res.Failures) == 0
 	return res, nil
 }
@@ -204,7 +212,7 @@ func runChaos(s *Spec, invs []chaos.Invariant) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Name:        cres.Name,
 		Kind:        string(KindChaos),
 		Passed:      cres.Passed,
@@ -213,7 +221,13 @@ func runChaos(s *Spec, invs []chaos.Invariant) (*Result, error) {
 		TraceHash:   cres.TraceHash,
 		Fingerprint: fmt.Sprintf("elapsed=%dms job=%dms", cres.ElapsedMS, cres.JobDoneMS),
 		ElapsedMS:   cres.ElapsedMS,
-	}, nil
+	}
+	if s.SLO != nil {
+		res.Invariants += s.SLO.Objectives()
+		res.Failures = append(res.Failures, s.SLO.Evaluate(cres.Obs.Events(), cres.Report.Store)...)
+		res.Passed = len(res.Failures) == 0
+	}
+	return res, nil
 }
 
 // --- canonical fingerprints ---

@@ -45,6 +45,11 @@ type Spec struct {
 	Faults   []FaultSpec
 	Asserts  []AssertSpec
 
+	// SLO, when non-nil, is the scenario's service-level-objective block:
+	// latency percentiles over causal trace legs, throughput floors and
+	// error budgets over the sampled time-series (chaos and monitor kinds).
+	SLO *SLOSpec
+
 	// Exactly one of the following is non-nil, matching Kind.
 	Chaos   *ChaosWorkload
 	Table2  *Table2Workload
@@ -504,6 +509,9 @@ func decodeSpec(doc any, allowBaseline bool) (*Spec, error) {
 	if err := decodeAsserts(root, s); err != nil {
 		return nil, err
 	}
+	if err := decodeSLO(root, s); err != nil {
+		return nil, err
+	}
 
 	baseline, hasBaseline := root.take("baseline")
 	compare, err := root.str("compare", "")
@@ -522,7 +530,10 @@ func decodeSpec(doc any, allowBaseline bool) (*Spec, error) {
 		if !ok {
 			return nil, fmt.Errorf("scenario: baseline must be a mapping, got %s", typeName(baseline))
 		}
-		merged := deepMerge(pruneKeys(doc.(map[string]any), "baseline", "compare", "assert"), patch)
+		// The baseline inherits the document minus the primary-run-only
+		// sections: its own baseline/compare, the assertions, and the SLO
+		// block (objectives judge the mitigated run, not the control).
+		merged := deepMerge(pruneKeys(doc.(map[string]any), "baseline", "compare", "assert", "slo"), patch)
 		base, err := decodeSpec(merged, false)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: baseline: %w", s.Name, err)

@@ -108,6 +108,27 @@ type conn struct {
 	// parallel group: peer is nil and all peer effects travel as typed wire
 	// messages (see partition.go).
 	x *xdesc
+
+	// bag is the connection's trace baggage: the dialer's ambient trace
+	// context, shared with the peer endpoint so the accepting side can
+	// parent its spans under the caller's job. Out of band only — it never
+	// adds wire bytes, so it cannot perturb simulated timing. Cross-
+	// partition connections carry none (parallel testbeds run untraced).
+	bag obs.TraceContext
+}
+
+// TraceBaggage returns the trace context attached to this connection
+// (obs.BaggageOf is the portable extraction).
+func (c *conn) TraceBaggage() obs.TraceContext { return c.bag }
+
+// SetTraceBaggage attaches a trace context to both endpoints of the
+// connection (obs.SetBaggage is the portable setter). No-op effect on the
+// peer for cross-partition conns, whose peer lives in another kernel.
+func (c *conn) SetTraceBaggage(tc obs.TraceContext) {
+	c.bag = tc
+	if c.peer != nil {
+		c.peer.bag = tc
+	}
 }
 
 func (c *conn) pushInbox(seg []byte) {
@@ -117,8 +138,10 @@ func (c *conn) pushInbox(seg []byte) {
 // dial performs the connection handshake from nd to addr, blocking p for one
 // path round trip. Firewall denial surfaces immediately (reject semantics;
 // a drop-style firewall would instead time the dialer out — the distinction
-// does not affect any experiment).
-func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
+// does not affect any experiment). tctx is the dialing process's ambient
+// trace context: the dial span parents under it and the new connection
+// carries it as baggage for the accepting side.
+func (nd *Node) dial(p *sim.Proc, tctx obs.TraceContext, addr string) (transport.Conn, error) {
 	host, port, err := transport.SplitAddr(addr)
 	if err != nil {
 		return nil, err
@@ -138,9 +161,9 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 	var dialed *conn
 	var dialErr error
 	n := nd.net
-	var span obs.SpanID
+	var span obs.TraceContext
 	if o := n.Obs; o != nil {
-		span = o.Begin(n.K.Now(), "net", "dial", nd.name, obs.Str("addr", addr))
+		span = o.BeginChild(n.K.Now(), tctx, "net", "dial", nd.name, obs.Str("addr", addr))
 	}
 	if pt := n.part; pt != nil && pt.owner[dst.name] != pt.idx {
 		dialed, dialErr = pt.dialX(p, nd, port, path)
@@ -182,6 +205,7 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 			finSeq: -1,
 		}
 		cDial.peer, cAcc.peer = cAcc, cDial
+		cDial.bag, cAcc.bag = tctx, tctx
 		if n.flowOn && len(path) > 0 {
 			cDial.flow = n.newFlowState(cDial.path, localAddr+">"+remoteAddr)
 			cAcc.flow = n.newFlowState(cAcc.path, remoteAddr+">"+localAddr)
@@ -205,13 +229,13 @@ func (nd *Node) dial(p *sim.Proc, addr string) (transport.Conn, error) {
 }
 
 // finishDial closes the dial trace span and wraps the handshake outcome.
-func (nd *Node) finishDial(span obs.SpanID, addr string, dialed *conn, dialErr error) (transport.Conn, error) {
+func (nd *Node) finishDial(span obs.TraceContext, addr string, dialed *conn, dialErr error) (transport.Conn, error) {
 	n := nd.net
 	if o := n.Obs; o != nil {
 		if dialErr != nil {
-			o.End(n.K.Now(), span, "net", "dial", nd.name, obs.Str("err", dialErr.Error()))
+			o.EndSpan(n.K.Now(), span, "net", "dial", nd.name, obs.Str("err", dialErr.Error()))
 		} else {
-			o.End(n.K.Now(), span, "net", "dial", nd.name, obs.Str("addr", addr))
+			o.EndSpan(n.K.Now(), span, "net", "dial", nd.name, obs.Str("addr", addr))
 		}
 	}
 	if dialErr != nil {

@@ -15,6 +15,11 @@ type Env struct {
 	node   *Node
 	p      *sim.Proc
 	daemon bool
+	// tctx is the process's ambient trace context: spans opened while it is
+	// set parent under the traced job that reached this process. Children
+	// inherit the spawner's context at spawn time. Purely observational —
+	// it never influences scheduling or timing.
+	tctx obs.TraceContext
 }
 
 var _ transport.Env = (*Env)(nil)
@@ -25,13 +30,14 @@ var _ transport.Env = (*Env)(nil)
 // should not keep the simulation alive).
 func (e *Env) Spawn(name string, fn func(transport.Env)) {
 	node := e.node
+	tctx := e.tctx
 	spawn := node.net.K.Spawn
 	if e.daemon {
 		spawn = node.net.K.SpawnDaemon
 	}
 	node.trackProc(spawn(name, func(p *sim.Proc) {
 		defer node.untrackProc(p)
-		fn(&Env{node: node, p: p, daemon: e.daemon})
+		fn(&Env{node: node, p: p, daemon: e.daemon, tctx: tctx})
 	}))
 }
 
@@ -39,9 +45,10 @@ func (e *Env) Spawn(name string, fn func(transport.Env)) {
 // the spawner's own status: service loops never count as pending work.
 func (e *Env) SpawnService(name string, fn func(transport.Env)) {
 	node := e.node
+	tctx := e.tctx
 	node.trackProc(node.net.K.SpawnDaemon(name, func(p *sim.Proc) {
 		defer node.untrackProc(p)
-		fn(&Env{node: node, p: p, daemon: true})
+		fn(&Env{node: node, p: p, daemon: true, tctx: tctx})
 	}))
 }
 
@@ -67,7 +74,7 @@ func (e *Env) Compute(d time.Duration) {
 }
 
 // Dial implements transport.Env.
-func (e *Env) Dial(addr string) (transport.Conn, error) { return e.node.dial(e.p, addr) }
+func (e *Env) Dial(addr string) (transport.Conn, error) { return e.node.dial(e.p, e.tctx, addr) }
 
 // Listen implements transport.Env.
 func (e *Env) Listen(port int) (transport.Listener, error) { return e.node.listen(port) }
@@ -84,6 +91,14 @@ func (e *Env) Observer() *obs.Observer { return e.node.net.Obs }
 // Rand draws from the kernel's seeded deterministic random stream; see
 // transport.RandOf for the portable extraction used by retry jitter.
 func (e *Env) Rand() uint64 { return e.node.net.K.Rand() }
+
+// TraceContext returns the process's ambient trace context; obs.CtxOf is
+// the portable extraction instrumentation sites use.
+func (e *Env) TraceContext() obs.TraceContext { return e.tctx }
+
+// SetTraceContext installs the process's ambient trace context (obs.SetCtx
+// is the portable setter). Processes spawned afterwards inherit it.
+func (e *Env) SetTraceContext(tc obs.TraceContext) { e.tctx = tc }
 
 // Node exposes the underlying host.
 func (e *Env) Node() *Node { return e.node }
