@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check chaos chaos-suite scenarios trace-goldens race race-parallel bench bench-json bench-diff experiments examples cover fuzz clean
+.PHONY: all build test check chaos chaos-suite scenarios fleet-smoke trace-goldens race race-parallel bench bench-json bench-diff experiments examples cover fuzz clean
 
 all: build check
 
@@ -15,11 +15,11 @@ test:
 # check is the default verification gate: vet, the end-to-end chaos
 # scenarios, the declarative gray-failure suite gated against its committed
 # baseline, the declarative scenario library (validate + run + coverage
-# gate), the full test suite under the race detector (the parallel
-# sweep makes race coverage load-bearing), a focused race pass over the
-# parallel-DES kernel paths, a short fuzz smoke over the wire-facing
-# parsers, and the coverage floor.
-check: chaos chaos-suite scenarios trace-goldens
+# gate), the fleet-scale smoke run, the full test suite under the race
+# detector (the parallel sweep makes race coverage load-bearing), a focused
+# race pass over the parallel-DES kernel paths, a short fuzz smoke over the
+# wire-facing parsers, and the coverage floor.
+check: chaos chaos-suite scenarios fleet-smoke trace-goldens
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) race-parallel
@@ -58,6 +58,14 @@ scenarios:
 	$(GO) run ./cmd/simulator run -json SCENARIOS_new.json scenarios/*.yaml
 	$(GO) run ./cmd/benchdiff -scenarios-old SCENARIOS_suite.json -scenarios-new SCENARIOS_new.json
 
+# fleet-smoke is the seconds-scale fleet gate: the open-loop engine's
+# end-to-end and determinism tests (fresh, uncached), then a 20k-job fleet
+# run through the real CLI. The full 10k-host / 1M-job scale point lives in
+# scenarios/fleet-10k.yaml and runs under `make scenarios`.
+fleet-smoke:
+	$(GO) test -count=1 -run 'TestEngine' ./internal/fleet/
+	$(GO) run ./cmd/experiments -run fleet -fleet-sites 8 -fleet-hosts 16 -fleet-jobs 20000
+
 # trace-goldens re-runs (uncached) the byte-exact observability goldens —
 # the Chrome trace_event and JSONL exports, the HTML time-series report —
 # plus the causal-analysis and tracer CLI tests. Regenerate intentional
@@ -76,7 +84,7 @@ bench:
 # stretches each benchmark enough that the ~100ms/op parallel-DES runs get
 # a stable sample.
 BENCHTIME ?= 2s
-BENCH_PAT = KernelStep|KernelTimerStop|ObsSpan|SimnetThroughput|MPIPingPong|TransferSingle|TransferParallel8|ParallelTable4
+BENCH_PAT = KernelStep|KernelTimerStop|ObsSpan|SimnetThroughput|MPIPingPong|TransferSingle|TransferParallel8|ParallelTable4|FleetSweep
 
 bench-json:
 	$(GO) test -run NONE -bench '$(BENCH_PAT)' -benchtime $(BENCHTIME) -benchmem . | $(GO) run ./cmd/benchjson > BENCH_kernel.json

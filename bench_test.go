@@ -22,6 +22,7 @@ import (
 
 	"nxcluster/internal/bench"
 	"nxcluster/internal/cluster"
+	"nxcluster/internal/fleet"
 	"nxcluster/internal/knapsack"
 	"nxcluster/internal/mpi"
 	"nxcluster/internal/obs"
@@ -191,10 +192,21 @@ func BenchmarkObsSpan(b *testing.B) {
 			o.End(at+1, id, "rmf", "job", "bench")
 		}
 	})
+	// The enabled/traced leaves reset the observer every 64k spans, outside
+	// the timer: otherwise the event buffer grows with b.N and the measured
+	// cost is dominated by slice-doubling copies and GC scans of an
+	// ever-larger live buffer — a number that depends on -benchtime, not on
+	// the span hot path.
+	const resetMask = 1<<16 - 1
 	b.Run("enabled", func(b *testing.B) {
 		b.ReportAllocs()
 		o := obs.New()
 		for i := 0; i < b.N; i++ {
+			if i&resetMask == resetMask {
+				b.StopTimer()
+				o = obs.New()
+				b.StartTimer()
+			}
 			at := time.Duration(i)
 			id := o.Begin(at, "rmf", "job", "bench")
 			o.End(at+1, id, "rmf", "job", "bench")
@@ -205,6 +217,12 @@ func BenchmarkObsSpan(b *testing.B) {
 		o := obs.New()
 		root := o.BeginTrace(0, "rmf", "job", "bench")
 		for i := 0; i < b.N; i++ {
+			if i&resetMask == resetMask {
+				b.StopTimer()
+				o = obs.New()
+				root = o.BeginTrace(0, "rmf", "job", "bench")
+				b.StartTimer()
+			}
 			at := time.Duration(i)
 			child := o.BeginChild(at, root, "gram", "submit", "bench")
 			o.EndSpan(at+1, child, "gram", "submit", "bench")
@@ -508,6 +526,54 @@ func BenchmarkParallelTable4(b *testing.B) {
 		// '=' instead of '-' so benchjson's -GOMAXPROCS suffix stripping
 		// cannot eat the worker count.
 		b.Run(intName("site-workers=", sites), run(sites))
+	}
+}
+
+// BenchmarkFleetSweep measures fleet-scale simulator throughput: each leaf
+// runs one complete open-loop fleet workload (sites x hosts topology, Poisson
+// arrivals with bounded-Pareto sizes, sharded allocation, batched control
+// plane) and reports simulated events per wall second — the figure of merit
+// that says whether the 10k-host / 1M-job scenario fits in minutes. The '='
+// leaf names keep benchjson's -GOMAXPROCS suffix stripping away from the
+// shape parameters.
+func BenchmarkFleetSweep(b *testing.B) {
+	shapes := []struct {
+		name  string
+		sites int
+		hosts int
+		jobs  int
+	}{
+		{"sites=16/hosts=32/jobs=50k", 16, 32, 50_000},
+		{"sites=64/hosts=64/jobs=200k", 64, 64, 200_000},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		b.Run(sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			// Rate sized to ~0.85 utilization: capacity = sites*hosts*2 slots
+			// over a 10s mean job.
+			rate := 0.85 * float64(sh.sites*sh.hosts*2) / 10.0
+			var r *bench.FleetReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				r, err = bench.RunFleet(fleet.Config{
+					Sites:        sh.sites,
+					HostsPerSite: sh.hosts,
+					Jobs:         sh.jobs,
+					Seed:         1,
+					Arrivals:     fleet.RateShape{Kind: fleet.RateConstant, Rate: rate},
+					Sizes: fleet.SizeDist{Kind: fleet.DistPareto,
+						Alpha: 1.5, Min: time.Second, Max: 5 * time.Minute},
+					Heartbeat: 30 * time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.EventsPerSec/1e6, "Mevents/sec")
+			b.ReportMetric(r.JobsPerSec/1e3, "kjobs/sec")
+			b.ReportMetric(r.Result.Makespan.Seconds(), "vsec-makespan")
+		})
 	}
 }
 

@@ -4,7 +4,9 @@
 //	go test -bench 'KernelStep' -benchmem . | go run ./cmd/benchjson
 //
 // Recognized per-line metrics: iterations, ns/op, B/op, allocs/op, MB/s.
-// Non-benchmark lines (goos/goarch/pkg/PASS/ok) are ignored.
+// Custom b.ReportMetric units (e.g. the fleet sweep's Mevents/sec) are
+// collected under "metrics". Non-benchmark lines (goos/goarch/pkg/PASS/ok)
+// are ignored.
 package main
 
 import (
@@ -24,6 +26,8 @@ type Record struct {
 	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics holds custom b.ReportMetric units verbatim.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -81,6 +85,11 @@ func parseLine(line string) (Record, bool) {
 			rec.BytesPerOp = int64(v)
 		case "allocs/op":
 			rec.AllocsPerOp = int64(v)
+		default:
+			if rec.Metrics == nil {
+				rec.Metrics = map[string]float64{}
+			}
+			rec.Metrics[fields[i+1]] = v
 		}
 	}
 	return rec, true

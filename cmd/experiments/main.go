@@ -15,7 +15,10 @@
 // site-worker counts on a wide grid; needs a multi-core host to show
 // speedup > 1), chaos-suite (the declarative gray-failure scenario library
 // with end-of-run invariants; exits nonzero on any violation and writes a
-// JSON summary with -chaos-json), all.
+// JSON summary with -chaos-json), fleet (open-loop fleet-scale run:
+// -fleet-sites x -fleet-hosts hosts absorbing -fleet-jobs heavy-tailed jobs
+// at ~0.85 utilization, reporting jobs/sec, events/sec and p50/p99 job
+// latency from sampled causal traces), all.
 //
 // -parallel-sim N partitions the simulation kernel by site and runs it on N
 // worker threads with lookahead synchronization (see DESIGN.md, "Parallel
@@ -51,6 +54,7 @@ import (
 	"nxcluster/internal/bench"
 	"nxcluster/internal/chaos"
 	"nxcluster/internal/cluster"
+	"nxcluster/internal/fleet"
 	"nxcluster/internal/knapsack"
 	"nxcluster/internal/obs"
 )
@@ -69,6 +73,10 @@ func main() {
 	monitorJSONL := flag.String("monitor-jsonl", "", "write the monitor run's time-series as JSONL to this file")
 	monitorAll := flag.Bool("monitor-all", false, "show every series on the dashboard, not just the wide-area headline set")
 	chaosJSON := flag.String("chaos-json", "", "write the chaos suite's per-scenario results as JSON (-run chaos-suite)")
+	fleetSites := flag.Int("fleet-sites", 32, "sites in the -run fleet topology")
+	fleetHosts := flag.Int("fleet-hosts", 32, "hosts per site in the -run fleet topology")
+	fleetJobs := flag.Int("fleet-jobs", 100_000, "open-loop jobs for -run fleet")
+	fleetSeed := flag.Uint64("fleet-seed", 1, "arrival/size RNG seed for -run fleet")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -314,6 +322,30 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *run == "fleet" {
+		sizes := fleet.SizeDist{Kind: fleet.DistPareto, Alpha: 1.5, Min: time.Second, Max: 5 * time.Minute}
+		// Open-loop rate sized to ~0.85 fleet utilization: slots over the
+		// distribution's analytic mean service time.
+		slots := float64(*fleetSites) * float64(*fleetHosts) * 2
+		rate := 0.85 * slots / sizes.MeanDuration().Seconds()
+		start := time.Now()
+		rep, err := bench.RunFleet(fleet.Config{
+			Sites:        *fleetSites,
+			HostsPerSite: *fleetHosts,
+			Jobs:         *fleetJobs,
+			Seed:         *fleetSeed,
+			Arrivals:     fleet.RateShape{Kind: fleet.RateConstant, Rate: rate},
+			Sizes:        sizes,
+			Heartbeat:    30 * time.Second,
+			TraceSample:  100,
+		})
+		if err != nil {
+			log.Fatalf("experiments: fleet: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[fleet run: %d sites x %d hosts, %d jobs, host time %v]\n",
+			*fleetSites, *fleetHosts, *fleetJobs, time.Since(start).Round(time.Millisecond))
+		fmt.Println(bench.FormatFleet(rep))
+	}
 	if want("table4") {
 		fmt.Println(bench.FormatTable4(needKnap()))
 	}
@@ -326,7 +358,7 @@ func main() {
 
 	switch *run {
 	case "all", "sweep", "table2", "table3", "table4", "table5", "table6",
-		"figure1", "figure2", "figure3", "figure4", "figure5", "decomp", "ktrace", "monitor", "gridftp", "speedup", "chaos-suite":
+		"figure1", "figure2", "figure3", "figure4", "figure5", "decomp", "ktrace", "monitor", "gridftp", "speedup", "chaos-suite", "fleet":
 	default:
 		log.Fatalf("experiments: unknown -run %q", *run)
 	}

@@ -6,7 +6,9 @@
 //	simulator list [dir]                inventory a scenario directory
 //
 // A scenario file (YAML subset or JSON, see internal/scenario) declares the
-// topology, the workload kind, a fault schedule, and end-of-run assertions.
+// topology, the workload kind (chaos, table2, table4, monitor, gridftp,
+// grid, or fleet — the open-loop fleet-scale workload that stamps its own
+// sites x hosts tree), a fault schedule, and end-of-run assertions.
 // Every run is executed twice and must reproduce bit-identically — the
 // implicit determinism invariant every scenario carries.
 package main

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nxcluster/internal/fleet"
+)
+
+func fleetTestConfig() fleet.Config {
+	return fleet.Config{
+		Sites:        4,
+		HostsPerSite: 8,
+		Jobs:         500,
+		Seed:         7,
+		Arrivals:     fleet.RateShape{Kind: fleet.RateConstant, Rate: 50},
+		Sizes:        fleet.SizeDist{Kind: fleet.DistFixed, Mean: time.Second},
+		Heartbeat:    5 * time.Second,
+		TraceSample:  25,
+	}
+}
+
+// TestRunFleetReport: the harness completes a run, derives throughput from
+// the wall clock, fills the causal percentiles from sampled spans, and the
+// formatted table carries the headline figures.
+func TestRunFleetReport(t *testing.T) {
+	r, err := RunFleet(fleetTestConfig())
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	if r.Result.Jobs != 500 {
+		t.Fatalf("completed %d jobs, want 500", r.Result.Jobs)
+	}
+	if r.Wall <= 0 || r.EventsPerSec <= 0 || r.JobsPerSec <= 0 {
+		t.Fatalf("throughput not derived: wall=%v ev/s=%.0f jobs/s=%.0f",
+			r.Wall, r.EventsPerSec, r.JobsPerSec)
+	}
+	if r.CausalP50 <= 0 || r.CausalP99 < r.CausalP50 {
+		t.Fatalf("causal percentiles missing or unordered: p50=%v p99=%v",
+			r.CausalP50, r.CausalP99)
+	}
+	// The independent causal measurement must agree with the engine's own
+	// accounting to within the sampling error (same population, 1/25 sample).
+	if r.CausalP50 > 2*r.Result.P99Lat {
+		t.Fatalf("causal p50 %v wildly above engine p99 %v", r.CausalP50, r.Result.P99Lat)
+	}
+
+	out := FormatFleet(r)
+	for _, want := range []string{"Fleet run: 4 sites x 8 hosts", "events/sec",
+		"job latency:", "causal job spans (1/25 sampled)", "fingerprint:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatFleet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFleetDeterministicFingerprint: the harness does not perturb the
+// engine's determinism (wall-clock timing stays out of the fingerprint).
+func TestRunFleetDeterministicFingerprint(t *testing.T) {
+	a, err := RunFleet(fleetTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(fleetTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Fingerprint != b.Result.Fingerprint {
+		t.Fatalf("fingerprints diverged: %016x vs %016x",
+			a.Result.Fingerprint, b.Result.Fingerprint)
+	}
+}

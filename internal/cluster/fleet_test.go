@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// TestFleetTopology: the builder stamps the expected names, parents, and
+// path costs — a cross-site host pair is exactly 4 hops (host, gateway,
+// core, gateway, host) at 2×LAN + 2×WAN latency.
+func TestFleetTopology(t *testing.T) {
+	f := NewFleet(FleetOptions{Sites: 3, HostsPerSite: 4, CPUsPerHost: 2})
+	if f.TotalHosts() != 12 || f.TotalCPUs() != 24 {
+		t.Fatalf("TotalHosts=%d TotalCPUs=%d, want 12 and 24", f.TotalHosts(), f.TotalCPUs())
+	}
+	if len(f.Gateways) != 3 || len(f.Hosts) != 3 || len(f.Hosts[0]) != 4 {
+		t.Fatalf("name slices misshaped: %d gateways, %d sites", len(f.Gateways), len(f.Hosts))
+	}
+	if f.Gateways[1] != "fs001-gw" || f.Hosts[2][3] != "fs002h003" {
+		t.Fatalf("naming scheme drifted: gw=%s host=%s", f.Gateways[1], f.Hosts[2][3])
+	}
+
+	hops, err := f.Net.Hops(f.Hosts[0][0], f.Hosts[2][3])
+	if err != nil || hops != 4 {
+		t.Fatalf("cross-site Hops = %d, %v; want 4", hops, err)
+	}
+	lat, err := f.Net.PathLatency(f.Hosts[0][0], f.Hosts[2][3])
+	want := 2*LANHostLatency + 2*WANLatency
+	if err != nil || lat != want {
+		t.Fatalf("cross-site PathLatency = %v, %v; want %v", lat, err, want)
+	}
+
+	// Intra-site: host -> gateway -> host, 2 hops, 2×LAN.
+	hops, _ = f.Net.Hops(f.Hosts[1][0], f.Hosts[1][3])
+	lat, _ = f.Net.PathLatency(f.Hosts[1][0], f.Hosts[1][3])
+	if hops != 2 || lat != 2*LANHostLatency {
+		t.Fatalf("intra-site: %d hops at %v; want 2 at %v", hops, lat, 2*LANHostLatency)
+	}
+
+	// Control datagrams actually deliver over the built tree.
+	delivered := false
+	f.K.After(0, func() {
+		err := f.Net.SendMessage(FleetCore, f.Hosts[2][0], 256, func() { delivered = true })
+		if err != nil {
+			t.Errorf("SendMessage: %v", err)
+		}
+	})
+	if err := f.K.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !delivered {
+		t.Fatal("core -> host datagram never delivered")
+	}
+}
+
+// TestFleetDefaultsAndGuards: CPUs default to 2; degenerate shapes panic.
+func TestFleetDefaultsAndGuards(t *testing.T) {
+	f := NewFleet(FleetOptions{Sites: 1, HostsPerSite: 1})
+	if f.Opts.CPUsPerHost != 2 {
+		t.Fatalf("CPUsPerHost defaulted to %d, want 2", f.Opts.CPUsPerHost)
+	}
+	for _, opts := range []FleetOptions{
+		{Sites: 0, HostsPerSite: 1},
+		{Sites: 1, HostsPerSite: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewFleet(%+v) did not panic", opts)
+				}
+			}()
+			NewFleet(opts)
+		}()
+	}
+}

@@ -1,0 +1,215 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestParetoShape: for a fixed seed, the empirical mean of the bounded
+// Pareto sits within tolerance of the analytic mean, and the empirical tail
+// quantile matches the inverse CDF — the distribution really is heavy-tailed
+// with the configured bounds.
+func TestParetoShape(t *testing.T) {
+	d := SizeDist{Kind: DistPareto, Alpha: 1.3, Min: time.Second, Max: 20 * time.Minute}
+	r := NewRNG(42)
+	const n = 200_000
+	samples := make([]float64, n)
+	var sum float64
+	for i := range samples {
+		x := d.Sample(r).Seconds()
+		if x < d.Min.Seconds()-1e-9 || x > d.Max.Seconds()+1e-9 {
+			t.Fatalf("sample %g outside bounds [%g, %g]", x, d.Min.Seconds(), d.Max.Seconds())
+		}
+		samples[i] = x
+		sum += x
+	}
+	mean := sum / n
+	want := d.MeanDuration().Seconds()
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("empirical mean %.3fs vs analytic %.3fs (>5%% off)", mean, want)
+	}
+	// Tail check at p = 0.99: invert the bounded-Pareto CDF.
+	sort.Float64s(samples)
+	q99 := samples[int(0.99*n)]
+	l, h, a := d.Min.Seconds(), d.Max.Seconds(), d.Alpha
+	wantQ := l / math.Pow(1-0.99*(1-math.Pow(l/h, a)), 1/a)
+	if math.Abs(q99-wantQ)/wantQ > 0.10 {
+		t.Errorf("empirical q99 %.2fs vs analytic %.2fs (>10%% off)", q99, wantQ)
+	}
+	// Heavy tail: the q99 must dwarf the median.
+	if q99 < 10*samples[n/2] {
+		t.Errorf("tail not heavy: q99 %.2fs < 10x median %.2fs", q99, samples[n/2])
+	}
+}
+
+// TestLognormalShape: empirical mean and median against the analytic
+// lognormal values for a fixed seed.
+func TestLognormalShape(t *testing.T) {
+	d := SizeDist{Kind: DistLognormal, Mu: 2.0, Sigma: 1.0}
+	r := NewRNG(7)
+	const n = 200_000
+	samples := make([]float64, n)
+	var sum float64
+	for i := range samples {
+		x := d.Sample(r).Seconds()
+		samples[i] = x
+		sum += x
+	}
+	mean := sum / n
+	want := d.MeanDuration().Seconds() // exp(mu + sigma^2/2)
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("empirical mean %.3fs vs analytic %.3fs (>5%% off)", mean, want)
+	}
+	sort.Float64s(samples)
+	median := samples[n/2]
+	wantMed := math.Exp(d.Mu) // lognormal median
+	if math.Abs(median-wantMed)/wantMed > 0.05 {
+		t.Errorf("empirical median %.3fs vs analytic %.3fs (>5%% off)", median, wantMed)
+	}
+}
+
+// TestFixedAndClamp: fixed sizes pass through; degenerate draws floor at 1µs.
+func TestFixedAndClamp(t *testing.T) {
+	d := SizeDist{Kind: DistFixed, Mean: 3 * time.Second}
+	r := NewRNG(1)
+	if got := d.Sample(r); got != 3*time.Second {
+		t.Fatalf("fixed sample = %v", got)
+	}
+	if clampSize(0) != time.Microsecond || clampSize(-time.Second) != time.Microsecond {
+		t.Fatal("clampSize did not floor at 1µs")
+	}
+}
+
+// TestSizeDistValidate is the strict-decode error table the scenario DSL
+// relies on.
+func TestSizeDistValidate(t *testing.T) {
+	bad := []SizeDist{
+		{},
+		{Kind: "weibull"},
+		{Kind: DistFixed},
+		{Kind: DistFixed, Mean: -time.Second},
+		{Kind: DistPareto, Alpha: 0, Min: time.Second, Max: time.Minute},
+		{Kind: DistPareto, Alpha: 1.2, Min: 0, Max: time.Minute},
+		{Kind: DistPareto, Alpha: 1.2, Min: time.Minute, Max: time.Second},
+		{Kind: DistLognormal, Sigma: 0},
+	}
+	for i, d := range bad {
+		if d.Validate() == nil {
+			t.Errorf("case %d (%+v): Validate accepted a malformed distribution", i, d)
+		}
+	}
+	good := []SizeDist{
+		{Kind: DistFixed, Mean: time.Second},
+		{Kind: DistPareto, Alpha: 1.1, Min: time.Second, Max: time.Hour},
+		{Kind: DistLognormal, Mu: 0, Sigma: 0.5},
+	}
+	for i, d := range good {
+		if err := d.Validate(); err != nil {
+			t.Errorf("case %d: Validate rejected a good distribution: %v", i, err)
+		}
+	}
+}
+
+// TestRateShapeValidate covers the malformed-rate errors.
+func TestRateShapeValidate(t *testing.T) {
+	bad := []RateShape{
+		{},
+		{Kind: RateConstant, Rate: 0},
+		{Kind: RateConstant, Rate: -5},
+		{Kind: "bursty", Rate: 1},
+		{Kind: RateDiurnal, Rate: 1, Amplitude: 1.5, Period: time.Hour},
+		{Kind: RateDiurnal, Rate: 1, Amplitude: 0.5},
+		{Kind: RateFlashCrowd, Rate: 1, Peak: 1},
+		{Kind: RateFlashCrowd, Rate: 1, Peak: 4, From: 10 * time.Second, To: 5 * time.Second},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d (%+v): Validate accepted a malformed shape", i, s)
+		}
+	}
+}
+
+// countArrivals draws arrivals until horizon and buckets them.
+func countArrivals(shape RateShape, seed uint64, horizon, bucket time.Duration) []int {
+	a := NewArrivals(shape, NewRNG(seed))
+	counts := make([]int, int(horizon/bucket))
+	for {
+		at := a.Next()
+		if at >= horizon {
+			return counts
+		}
+		counts[int(at/bucket)]++
+	}
+}
+
+// TestConstantRate: arrivals over a long window integrate to ~rate*T.
+func TestConstantRate(t *testing.T) {
+	counts := countArrivals(RateShape{Kind: RateConstant, Rate: 50}, 9, 200*time.Second, time.Second)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	want := 50 * 200
+	if math.Abs(float64(total-want))/float64(want) > 0.05 {
+		t.Errorf("constant rate: %d arrivals over 200s at 50/s (want ~%d)", total, want)
+	}
+}
+
+// TestDiurnalRate: the peak quarter of the cycle must out-arrive the trough
+// quarter by roughly the modulation ratio.
+func TestDiurnalRate(t *testing.T) {
+	shape := RateShape{Kind: RateDiurnal, Rate: 40, Amplitude: 0.8, Period: 100 * time.Second}
+	counts := countArrivals(shape, 3, 400*time.Second, 25*time.Second)
+	// sin(2πt/100) is positive over buckets 0-1 and negative over 2-3 of each
+	// cycle; compare bucket 1 (avg sin = 2/π) against bucket 3 (avg -2/π).
+	var peak, trough int
+	for i, c := range counts {
+		switch i % 4 {
+		case 1:
+			peak += c
+		case 3:
+			trough += c
+		}
+	}
+	if peak <= trough {
+		t.Fatalf("diurnal: peak quarter %d <= trough quarter %d", peak, trough)
+	}
+	// Analytic ratio of mean rates over the quarters: (1 + 0.8*avg sin) vs
+	// (1 - 0.8*avg sin) with avg sin over the peak quarter [π/2, π] = 2/π.
+	ratio := float64(peak) / float64(trough)
+	avgSin := 2 / math.Pi
+	wantRatio := (1 + 0.8*avgSin) / (1 - 0.8*avgSin)
+	if math.Abs(ratio-wantRatio)/wantRatio > 0.15 {
+		t.Errorf("diurnal peak/trough ratio %.2f, want ~%.2f", ratio, wantRatio)
+	}
+}
+
+// TestFlashCrowdRate: inside the spike window the arrival rate multiplies
+// by Peak; outside it stays at base.
+func TestFlashCrowdRate(t *testing.T) {
+	shape := RateShape{Kind: RateFlashCrowd, Rate: 30, Peak: 5,
+		From: 40 * time.Second, To: 60 * time.Second}
+	counts := countArrivals(shape, 11, 100*time.Second, 20*time.Second)
+	// Buckets: [0,20) base, [20,40) base, [40,60) spike, [60,80) base, [80,100) base.
+	spike := counts[2]
+	base := (counts[0] + counts[1] + counts[3] + counts[4]) / 4
+	ratio := float64(spike) / float64(base)
+	if ratio < 4 || ratio > 6 {
+		t.Fatalf("flash-crowd spike/base ratio %.2f, want ~5 (spike %d, base %d)", ratio, spike, base)
+	}
+}
+
+// TestArrivalsDeterminism: the arrival stream is a pure function of the
+// seed and shape.
+func TestArrivalsDeterminism(t *testing.T) {
+	shape := RateShape{Kind: RateFlashCrowd, Rate: 10, Peak: 3, From: time.Second, To: 2 * time.Second}
+	a := NewArrivals(shape, NewRNG(99))
+	b := NewArrivals(shape, NewRNG(99))
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("arrival %d diverged: %v vs %v", i, x, y)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package hbm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBeatBatch: a batch beat registers and beats every named process under
+// one lock, equivalently to individual beats — the fleet control plane
+// coalesces a whole site per tick this way.
+func TestBeatBatch(t *testing.T) {
+	m := NewMonitor(10 * time.Second)
+	names := []string{"h0", "h1", "h2"}
+
+	m.BeatBatch(1*time.Second, names)
+	for _, n := range names {
+		if got, err := m.Status(n, 2*time.Second); err != nil || got != Up {
+			t.Fatalf("Status(%s) after batch = %v, %v; want UP", n, got, err)
+		}
+		if m.Beats(n) != 1 {
+			t.Fatalf("Beats(%s) = %d after one batch", n, m.Beats(n))
+		}
+	}
+
+	// A second batch advances every record together.
+	m.BeatBatch(11*time.Second, names)
+	for _, n := range names {
+		if m.Beats(n) != 2 {
+			t.Fatalf("Beats(%s) = %d after two batches", n, m.Beats(n))
+		}
+	}
+
+	// A host dropped from the batch goes LATE then DOWN on schedule, while
+	// batched hosts stay UP.
+	m.BeatBatch(21*time.Second, names[:2])
+	m.BeatBatch(31*time.Second, names[:2])
+	m.BeatBatch(41*time.Second, names[:2])
+	m.BeatBatch(51*time.Second, names[:2])
+	// At t=55s: h0/h1 are 4s overdue (UP, threshold 10s); h2 last beat at
+	// 11s is 44s overdue, past the 40s DOWN threshold.
+	snap := m.Snapshot(55 * time.Second)
+	if snap["h0"] != Up || snap["h1"] != Up {
+		t.Fatalf("batched hosts not UP: %v", snap)
+	}
+	if snap["h2"] != Down {
+		t.Fatalf("dropped host h2 = %v, want DOWN", snap["h2"])
+	}
+
+	// Empty batch is a no-op.
+	m.BeatBatch(56*time.Second, nil)
+	if len(m.Snapshot(56*time.Second)) != 3 {
+		t.Fatal("empty batch changed registration set")
+	}
+}

@@ -126,6 +126,24 @@ func NewMonitor(interval time.Duration) *Monitor {
 func (m *Monitor) beat(name string, now time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.beatLocked(name, now)
+}
+
+// BeatBatch records one coalesced heartbeat for each named process at time
+// now, equivalent to beating each name in order but under a single lock
+// acquisition and without per-host wire traffic. Fleet-scale site gateways
+// report all their hosts in one batch per interval, so monitor cost scales
+// with the site count rather than the host count.
+func (m *Monitor) BeatBatch(now time.Duration, names []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, name := range names {
+		m.beatLocked(name, now)
+	}
+}
+
+// beatLocked is beat's body; callers hold m.mu.
+func (m *Monitor) beatLocked(name string, now time.Duration) {
 	r := m.procs[name]
 	if r == nil {
 		r = &record{name: name}

@@ -33,11 +33,32 @@ type Publisher struct {
 	TTL time.Duration
 
 	last map[string]time.Duration // normalized DN -> last refresh
+	// norm memoizes name -> normalized DN so the per-tick Refresh path —
+	// every unchanged host, every tick, at fleet scale — does not rebuild
+	// and re-normalize the DN string each time.
+	norm map[string]string
 }
 
 // NewPublisher creates a publisher writing under base into dir.
 func NewPublisher(dir *Directory, base string, ttl time.Duration) *Publisher {
-	return &Publisher{Dir: dir, Base: base, TTL: ttl, last: make(map[string]time.Duration)}
+	return &Publisher{
+		Dir: dir, Base: base, TTL: ttl,
+		last: make(map[string]time.Duration),
+		norm: make(map[string]string),
+	}
+}
+
+// normName returns the normalized DN for a row name, memoized.
+func (p *Publisher) normName(name string) (string, error) {
+	if n, ok := p.norm[name]; ok {
+		return n, nil
+	}
+	n, err := normalizeDN("hn=" + name + ", " + p.Base)
+	if err != nil {
+		return "", err
+	}
+	p.norm[name] = n
+	return n, nil
 }
 
 // Publish upserts rows at virtual time now (stamping each with a lastUpdate
@@ -56,12 +77,40 @@ func (p *Publisher) Publish(now time.Duration, rows []StatusRow) int {
 		if err := p.Dir.Add(dn, attrs); err != nil {
 			continue // malformed name; skip rather than poison the tick
 		}
-		norm, _ := normalizeDN(dn)
+		norm, _ := p.normName(r.Name)
 		p.last[norm] = now
 	}
 	if p.TTL <= 0 {
 		return 0
 	}
+	return p.prune(now)
+}
+
+// Refresh renews the TTL of previously-published rows without rewriting
+// them, then prunes as Publish does. Delta publishers — the fleet control
+// plane publishes one aggregate row per site plus per-host rows only when a
+// host's state class changes — use it so unchanged entries do not age out
+// between deltas. Names that were never published are ignored. Returns the
+// number of entries pruned.
+func (p *Publisher) Refresh(now time.Duration, names []string) int {
+	for _, name := range names {
+		norm, err := p.normName(name)
+		if err != nil {
+			continue
+		}
+		if _, ok := p.last[norm]; ok {
+			p.last[norm] = now
+		}
+	}
+	if p.TTL <= 0 {
+		return 0
+	}
+	return p.prune(now)
+}
+
+// prune deletes entries whose last refresh is older than TTL, in sorted DN
+// order for deterministic traces.
+func (p *Publisher) prune(now time.Duration) int {
 	// Deterministic prune order: sorted DNs, so traces and tests are stable.
 	var stale []string
 	for dn, at := range p.last {

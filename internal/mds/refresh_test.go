@@ -1,0 +1,53 @@
+package mds
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPublisherRefreshWithoutRewrite: Refresh renews TTLs without touching
+// entry contents — the delta-publishing contract the fleet control plane
+// depends on (per-host rows written once, kept alive by refresh ticks).
+func TestPublisherRefreshWithoutRewrite(t *testing.T) {
+	dir := NewDirectory()
+	p := NewPublisher(dir, "ou=fleet, o=grid", 3*time.Second)
+
+	p.Publish(1*time.Second, []StatusRow{
+		{Name: "h0", Attrs: map[string][]string{"class": {"idle"}}},
+		{Name: "h1", Attrs: map[string][]string{"class": {"busy"}}},
+	})
+
+	// Refresh both past the original TTL horizon; neither may be pruned,
+	// and h0's stamped attributes must be untouched (no rewrite).
+	if pruned := p.Refresh(3*time.Second, []string{"h0", "h1"}); pruned != 0 {
+		t.Fatalf("refresh pruned %d live entries", pruned)
+	}
+	if pruned := p.Refresh(5*time.Second, []string{"h0", "h1"}); pruned != 0 {
+		t.Fatalf("refresh at 5s pruned %d entries", pruned)
+	}
+	e, err := dir.Get("hn=h0, ou=fleet, o=grid")
+	if err != nil {
+		t.Fatalf("Get after refresh: %v", err)
+	}
+	if got := e.Attrs["lastupdate"][0]; got != "1000000000" {
+		t.Fatalf("refresh rewrote lastupdate to %s; want original 1s stamp", got)
+	}
+
+	// Stop refreshing h1: it ages out on the next refresh past TTL, while
+	// the still-refreshed h0 survives.
+	if pruned := p.Refresh(9*time.Second, []string{"h0"}); pruned != 1 {
+		t.Fatalf("expected 1 pruned (h1), got %d", pruned)
+	}
+	if _, err := dir.Get("hn=h1, ou=fleet, o=grid"); err == nil {
+		t.Fatal("stale h1 still present after prune")
+	}
+	if _, err := dir.Get("hn=h0, ou=fleet, o=grid"); err != nil {
+		t.Fatalf("refreshed h0 was pruned: %v", err)
+	}
+
+	// Refreshing a never-published name is ignored, not an implicit Add.
+	p.Refresh(9*time.Second, []string{"ghost"})
+	if dir.Len() != 1 {
+		t.Fatalf("directory has %d entries after ghost refresh, want 1", dir.Len())
+	}
+}

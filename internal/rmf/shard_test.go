@@ -1,0 +1,125 @@
+package rmf
+
+import (
+	"testing"
+)
+
+// TestShardLeastLoaded: allocation always lands on the host with the lowest
+// fractional load, ties to the lowest index — verified against a brute-force
+// scan over a mixed-capacity shard through a full fill/drain cycle.
+func TestShardLeastLoaded(t *testing.T) {
+	cpus := []int32{4, 2, 8, 1, 2}
+	s := NewShard(cpus)
+	var total int
+	for _, c := range cpus {
+		total += int(c)
+	}
+
+	bruteMin := func(load []int32) int {
+		best := -1
+		for i := range cpus {
+			if load[i] >= cpus[i] {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			li, lb := int64(load[i])*int64(cpus[best]), int64(load[best])*int64(cpus[i])
+			if li < lb {
+				best = i
+			}
+		}
+		return best
+	}
+
+	load := make([]int32, len(cpus))
+	var order []int
+	for i := 0; i < total; i++ {
+		want := bruteMin(load)
+		got, ok := s.Allocate()
+		if !ok {
+			t.Fatalf("Allocate %d: saturated early (running %d)", i, s.Running())
+		}
+		if got != want {
+			t.Fatalf("Allocate %d: got host %d, brute-force says %d (loads %v)", i, got, want, load)
+		}
+		load[got]++
+		order = append(order, got)
+	}
+	if _, ok := s.Allocate(); ok {
+		t.Fatal("Allocate succeeded on a saturated shard")
+	}
+	if s.Running() != total || s.Free() != 0 {
+		t.Fatalf("Running=%d Free=%d, want %d and 0", s.Running(), s.Free(), total)
+	}
+	// Drain in allocation order; every release must restore allocatability.
+	for _, h := range order {
+		s.Release(h)
+	}
+	if s.Running() != 0 || s.Free() != total {
+		t.Fatalf("after drain: Running=%d Free=%d", s.Running(), s.Free())
+	}
+}
+
+// TestShardUniform matches NewUniformShard against NewShard with an
+// explicit capacity slice.
+func TestShardUniform(t *testing.T) {
+	a := NewUniformShard(5, 3)
+	b := NewShard([]int32{3, 3, 3, 3, 3})
+	for i := 0; i < 15; i++ {
+		ha, oka := a.Allocate()
+		hb, okb := b.Allocate()
+		if ha != hb || oka != okb {
+			t.Fatalf("step %d: uniform (%d,%v) vs explicit (%d,%v)", i, ha, oka, hb, okb)
+		}
+	}
+}
+
+// TestShardReleasePanics: releasing an idle host is a contract violation.
+func TestShardReleasePanics(t *testing.T) {
+	s := NewUniformShard(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release on idle host did not panic")
+		}
+	}()
+	s.Release(0)
+}
+
+// TestShardAllocateZeroAlloc is the fleet-scale regression gate mirroring
+// the kernel-step alloc tests: the sharded allocate/release path — the
+// per-job hot path of every site gateway — must not allocate at all in
+// steady state.
+func TestShardAllocateZeroAlloc(t *testing.T) {
+	s := NewUniformShard(256, 2)
+	hosts := make([]int, 0, 512)
+	avg := testing.AllocsPerRun(100, func() {
+		hosts = hosts[:0]
+		for i := 0; i < 300; i++ { // fill past half, interleave releases
+			h, ok := s.Allocate()
+			if !ok {
+				t.Fatal("unexpected saturation")
+			}
+			hosts = append(hosts, h)
+		}
+		for _, h := range hosts {
+			s.Release(h)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("sharded allocate/release path allocates %.1f allocs/run, want 0", avg)
+	}
+}
+
+func BenchmarkShardAllocate(b *testing.B) {
+	s := NewUniformShard(1024, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h, ok := s.Allocate()
+		if !ok {
+			b.Fatal("saturated")
+		}
+		s.Release(h)
+	}
+}

@@ -430,6 +430,81 @@ func otherCheck(kind Kind, a AssertSpec, path string) (check, error) {
 			}}, nil
 		}
 		return zero, fmt.Errorf("%s: unknown grid assertion (one of: exact-optimum, all-work-done, elapsed-ceiling)", path)
+
+	case KindFleet:
+		switch a.Name {
+		case "all-jobs-done":
+			return check{a.Name, func(v any) error {
+				fr := v.(*fleetRun)
+				if fr.res.Jobs != fr.cfg.Jobs {
+					return fmt.Errorf("completed %d of %d jobs", fr.res.Jobs, fr.cfg.Jobs)
+				}
+				return nil
+			}}, argNone(a, path)
+		case "p99-ceiling":
+			d, err := argDuration(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				fr := v.(*fleetRun)
+				if fr.res.P99Lat > d {
+					return fmt.Errorf("p99 latency %v > ceiling %v", fr.res.P99Lat, d)
+				}
+				return nil
+			}}, nil
+		case "max-queued":
+			n, err := argInt(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				fr := v.(*fleetRun)
+				if fr.res.QueuedPeak > n {
+					return fmt.Errorf("gateway queue peaked at %d, ceiling %d", fr.res.QueuedPeak, n)
+				}
+				return nil
+			}}, nil
+		case "min-queued":
+			// Overload scenarios assert the queues actually filled — proof
+			// the flash crowd exceeded capacity rather than being absorbed.
+			n, err := argInt(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				fr := v.(*fleetRun)
+				if fr.res.QueuedPeak < n {
+					return fmt.Errorf("gateway queue peaked at %d, want >= %d", fr.res.QueuedPeak, n)
+				}
+				return nil
+			}}, nil
+		case "min-events":
+			n, err := argInt(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				fr := v.(*fleetRun)
+				if fr.res.Events < uint64(n) {
+					return fmt.Errorf("kernel stamped %d events, want >= %d", fr.res.Events, n)
+				}
+				return nil
+			}}, nil
+		case "makespan-ceiling":
+			d, err := argDuration(a, path)
+			if err != nil {
+				return zero, err
+			}
+			return check{a.Name, func(v any) error {
+				fr := v.(*fleetRun)
+				if fr.res.Makespan > d {
+					return fmt.Errorf("makespan %v > ceiling %v", fr.res.Makespan, d)
+				}
+				return nil
+			}}, nil
+		}
+		return zero, fmt.Errorf("%s: unknown fleet assertion (one of: all-jobs-done, p99-ceiling, max-queued, min-queued, min-events, makespan-ceiling)", path)
 	}
 	return zero, fmt.Errorf("%s: no assertions defined for kind %s", path, kind)
 }

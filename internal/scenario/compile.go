@@ -7,6 +7,7 @@ import (
 	"nxcluster/internal/bench"
 	"nxcluster/internal/chaos"
 	"nxcluster/internal/cluster"
+	"nxcluster/internal/fleet"
 	"nxcluster/internal/knapsack"
 	"nxcluster/internal/proxy"
 	"nxcluster/internal/rmf"
@@ -280,6 +281,10 @@ func (s *Spec) checkShape() error {
 		if s.Topology != (TopologySpec{}) {
 			return fmt.Errorf("scenario %s: kind gridftp builds its own congestion-modeled testbed per point; the topology section must be empty", s.Name)
 		}
+	case KindFleet:
+		if s.Topology != (TopologySpec{}) {
+			return fmt.Errorf("scenario %s: kind fleet stamps its own sites x hosts tree from the workload block; the topology section must be empty", s.Name)
+		}
 	}
 	return nil
 }
@@ -346,6 +351,40 @@ func (s *Spec) gridConfig() (bench.GridConfig, error) {
 		Plan:     plan,
 		Trace:    true,
 	}, nil
+}
+
+// fleetConfig compiles a fleet-kind spec into the engine config. Validation
+// happens at decode time (decodeFleetWorkload calls Config.Validate), so by
+// Run the config is known-good.
+func (s *Spec) fleetConfig() fleet.Config {
+	w := s.Fleet
+	return fleet.Config{
+		Sites:        w.Sites,
+		HostsPerSite: w.HostsPerSite,
+		CPUsPerHost:  w.CPUsPerHost,
+		Jobs:         w.Jobs,
+		Seed:         w.Seed,
+		Heartbeat:    w.Heartbeat,
+		TraceSample:  w.TraceSample,
+		Arrivals: fleet.RateShape{
+			Kind:      w.Arrivals.Kind,
+			Rate:      w.Arrivals.Rate,
+			Amplitude: w.Arrivals.Amplitude,
+			Period:    w.Arrivals.Period,
+			Peak:      w.Arrivals.Peak,
+			From:      w.Arrivals.From,
+			To:        w.Arrivals.To,
+		},
+		Sizes: fleet.SizeDist{
+			Kind:  w.Sizes.Kind,
+			Mean:  w.Sizes.Mean,
+			Alpha: w.Sizes.Alpha,
+			Min:   w.Sizes.Min,
+			Max:   w.Sizes.Max,
+			Mu:    w.Sizes.Mu,
+			Sigma: w.Sizes.Sigma,
+		},
+	}
 }
 
 // wantBest computes the normalized instance's known optimum (the capacity

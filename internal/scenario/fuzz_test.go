@@ -20,6 +20,12 @@ func FuzzScenario(f *testing.F) {
 		"name: t\nkind: gridftp\nworkload:\n  file_size: 1024\n  streams: [1, 8]\n  loss_rates: [0, 0.02]\n",
 		"name: t\nkind: chaos\nworkload:\n  items: 8\n  capacity: 2\n  horizon: 30s\nfaults:\n  - crash: {host: compas00, from: 1s, to: 3s}\n  - flap: {a: rwcp-gw, b: rwcp-outer, period: 1s, duty: 0.4, from: 2s, to: 6s}\n  - partition: {a: [\"$rwcp-side\"], b: [\"$etl-side\"], from: 2s, to: 4s}\n",
 		"name: t\nkind: chaos\nworkload:\n  items: 8\n  capacity: 2\n  horizon: 30s\nassert:\n  - exact-optimum\n  - registrations: {min: 1, max: 1}\n  - elapsed-ceiling: 60s\nbaseline:\n  workload:\n    recovery: null\n",
+		// Fleet blocks: a valid flash-crowd spec with asserts, and the strict-
+		// decode rejections (unknown distribution, non-positive rate, host-cap
+		// overflow) that must come back as errors, not panics.
+		"name: t\nkind: fleet\nworkload:\n  sites: 2\n  hosts_per_site: 4\n  jobs: 100\n  arrivals: {kind: flash-crowd, rate: 10, peak: 3, from: 1s, to: 5s}\n  sizes: {kind: pareto, alpha: 1.5, min: 100ms, max: 10s}\nassert:\n  - all-jobs-done\n  - p99-ceiling: 60s\n",
+		"name: t\nkind: fleet\nworkload:\n  sites: 2\n  hosts_per_site: 4\n  jobs: 100\n  arrivals: {kind: constant, rate: -3}\n  sizes: {kind: weibull, mean: 1s}\n",
+		"name: t\nkind: fleet\nworkload:\n  sites: 99999\n  hosts_per_site: 99999\n  jobs: 1\n  arrivals: {kind: constant, rate: 1}\n  sizes: {kind: fixed, mean: 1s}\n",
 		// Sharp edges: negative durations, inverted windows, unknown keys,
 		// type confusion, deep flow nesting, stray tabs, unterminated quotes.
 		"name: t\nkind: chaos\nworkload:\n  horizon: -5s\n",

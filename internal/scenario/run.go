@@ -10,6 +10,7 @@ import (
 
 	"nxcluster/internal/bench"
 	"nxcluster/internal/chaos"
+	"nxcluster/internal/fleet"
 )
 
 // Result is the outcome of running one scenario. The JSON shape is the one
@@ -61,6 +62,12 @@ func (r *SuiteResult) Counts() (scenarios, invariants, failures int) {
 type gridRun struct {
 	items, capacity int
 	res             *bench.GridResult
+}
+
+// fleetRun carries a fleet result plus the config its assertions need.
+type fleetRun struct {
+	cfg fleet.Config
+	res fleet.Result
 }
 
 // Run executes one validated scenario: the workload twice (the implicit
@@ -138,6 +145,20 @@ func Run(s *Spec) (*Result, error) {
 				fmt.Fprintf(h, "%016x ", th)
 			}
 			return gr, fp, h.Sum64(), res.Elapsed, nil
+		case KindFleet:
+			cfg := s.fleetConfig()
+			e, err := fleet.New(cfg)
+			if err != nil {
+				return nil, "", 0, 0, err
+			}
+			if err := e.Run(); err != nil {
+				return nil, "", 0, 0, err
+			}
+			res := e.Result()
+			fr := &fleetRun{cfg: cfg, res: res}
+			// The engine's own FNV fingerprint is the trace hash: it folds in
+			// event counts, latency percentiles, and per-site completions.
+			return fr, fingerprintFleet(res), res.Fingerprint, res.Makespan, nil
 		}
 		return nil, "", 0, 0, fmt.Errorf("scenario %s: unknown kind %q", s.Name, s.Kind)
 	}
@@ -292,6 +313,13 @@ func fingerprintTransfer(pts []bench.TransferPoint) string {
 			p.Drops, p.Retransmits, p.Cuts)
 	}
 	return b.String()
+}
+
+func fingerprintFleet(res fleet.Result) string {
+	return fmt.Sprintf("jobs=%d hosts=%d events=%d makespan=%d p50=%d p99=%d max=%d queued=%d ticks=%d dir=%d fp=%016x",
+		res.Jobs, res.Hosts, res.Events, res.Makespan.Nanoseconds(),
+		res.P50Lat.Nanoseconds(), res.P99Lat.Nanoseconds(), res.MaxLat.Nanoseconds(),
+		res.QueuedPeak, res.Ticks, res.DirEntries, res.Fingerprint)
 }
 
 func fingerprintGrid(res *bench.GridResult) string {

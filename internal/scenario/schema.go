@@ -31,10 +31,14 @@ const (
 	// KindGrid runs one wide-grid knapsack solve, monolithic or partitioned
 	// across site sub-kernels (bench.RunGridKnapsack).
 	KindGrid Kind = "grid"
+	// KindFleet runs the open-loop fleet-scale workload engine: N sites x M
+	// hosts behind hierarchical routing, sharded allocation, and a batched
+	// control plane (fleet.New / bench.RunFleet).
+	KindFleet Kind = "fleet"
 )
 
 // validKinds lists every kind for error messages, in display order.
-var validKinds = []Kind{KindChaos, KindTable2, KindTable4, KindMonitor, KindGridFTP, KindGrid}
+var validKinds = []Kind{KindChaos, KindTable2, KindTable4, KindMonitor, KindGridFTP, KindGrid, KindFleet}
 
 // Spec is a fully decoded scenario file.
 type Spec struct {
@@ -57,6 +61,7 @@ type Spec struct {
 	Monitor *MonitorWorkload
 	GridFTP *GridFTPWorkload
 	Grid    *GridWorkload
+	Fleet   *FleetWorkload
 
 	// Baseline, for chaos scenarios, is a second spec produced by deep-
 	// merging the file's `baseline:` patch over the scenario document —
@@ -183,6 +188,42 @@ type GridWorkload struct {
 	Items    int
 	Capacity int
 	UseProxy bool
+}
+
+// FleetWorkload mirrors fleet.Config. The nested arrival and size blocks
+// are decoded strictly and the whole block is validated with
+// fleet.Config.Validate at parse time, so malformed fleet scenarios —
+// unknown distribution, non-positive rate, sites x hosts past the host cap —
+// fail `simulator validate` with a field-named error.
+type FleetWorkload struct {
+	Sites        int
+	HostsPerSite int
+	CPUsPerHost  int
+	Jobs         int
+	Seed         uint64
+	Heartbeat    time.Duration
+	TraceSample  int
+	Arrivals     ArrivalsSpec
+	Sizes        SizesSpec
+}
+
+// ArrivalsSpec mirrors fleet.RateShape.
+type ArrivalsSpec struct {
+	Kind      string
+	Rate      float64
+	Amplitude float64
+	Period    time.Duration
+	Peak      float64
+	From, To  time.Duration
+}
+
+// SizesSpec mirrors fleet.SizeDist.
+type SizesSpec struct {
+	Kind      string
+	Mean      time.Duration
+	Alpha     float64
+	Min, Max  time.Duration
+	Mu, Sigma float64
 }
 
 // FaultSpec is one declarative fault-schedule entry.
@@ -689,6 +730,8 @@ func decodeWorkload(o *object, s *Spec) error {
 		return decodeGridFTPWorkload(o, s)
 	case KindGrid:
 		return decodeGridWorkload(o, s)
+	case KindFleet:
+		return decodeFleetWorkload(o, s)
 	}
 	return fmt.Errorf("scenario %s: unknown kind %q", s.Name, s.Kind)
 }
@@ -944,6 +987,115 @@ func decodeGridWorkload(o *object, s *Spec) error {
 		return err
 	}
 	s.Grid = w
+	return nil
+}
+
+func decodeFleetWorkload(o *object, s *Spec) error {
+	w := &FleetWorkload{}
+	var err error
+	var n int64
+	if n, err = o.integer("sites", 0); err != nil {
+		return err
+	}
+	w.Sites = int(n)
+	if n, err = o.integer("hosts_per_site", 0); err != nil {
+		return err
+	}
+	w.HostsPerSite = int(n)
+	if n, err = o.integer("cpus_per_host", 0); err != nil {
+		return err
+	}
+	w.CPUsPerHost = int(n)
+	if n, err = o.integer("jobs", 0); err != nil {
+		return err
+	}
+	w.Jobs = int(n)
+	if n, err = o.integer("seed", 0); err != nil {
+		return err
+	}
+	w.Seed = uint64(n)
+	if w.Heartbeat, err = o.duration("heartbeat", 0); err != nil {
+		return err
+	}
+	if n, err = o.integer("trace_sample", 0); err != nil {
+		return err
+	}
+	w.TraceSample = int(n)
+
+	arr, err := o.child("arrivals")
+	if err != nil {
+		return err
+	}
+	if arr == nil {
+		return fmt.Errorf("scenario %s: workload.arrivals required (the open-loop rate process)", s.Name)
+	}
+	if w.Arrivals.Kind, err = arr.str("kind", "constant"); err != nil {
+		return err
+	}
+	if w.Arrivals.Rate, err = arr.float("rate", 0); err != nil {
+		return err
+	}
+	if w.Arrivals.Amplitude, err = arr.float("amplitude", 0); err != nil {
+		return err
+	}
+	if w.Arrivals.Period, err = arr.duration("period", 0); err != nil {
+		return err
+	}
+	if w.Arrivals.Peak, err = arr.float("peak", 0); err != nil {
+		return err
+	}
+	if w.Arrivals.From, err = arr.duration("from", 0); err != nil {
+		return err
+	}
+	if w.Arrivals.To, err = arr.duration("to", 0); err != nil {
+		return err
+	}
+	if err = arr.finish(); err != nil {
+		return err
+	}
+
+	sz, err := o.child("sizes")
+	if err != nil {
+		return err
+	}
+	if sz == nil {
+		return fmt.Errorf("scenario %s: workload.sizes required (the job service-time distribution)", s.Name)
+	}
+	if w.Sizes.Kind, err = sz.str("kind", "fixed"); err != nil {
+		return err
+	}
+	if w.Sizes.Mean, err = sz.duration("mean", 0); err != nil {
+		return err
+	}
+	if w.Sizes.Alpha, err = sz.float("alpha", 0); err != nil {
+		return err
+	}
+	if w.Sizes.Min, err = sz.duration("min", 0); err != nil {
+		return err
+	}
+	if w.Sizes.Max, err = sz.duration("max", 0); err != nil {
+		return err
+	}
+	if w.Sizes.Mu, err = sz.float("mu", 0); err != nil {
+		return err
+	}
+	if w.Sizes.Sigma, err = sz.float("sigma", 0); err != nil {
+		return err
+	}
+	if err = sz.finish(); err != nil {
+		return err
+	}
+
+	if err = o.finish(); err != nil {
+		return err
+	}
+	s.Fleet = w
+	// Strict decode: a fleet block that parses but cannot run (unknown
+	// distribution, rate <= 0, sites x hosts past the host cap) is a parse
+	// error, not a deferred run failure.
+	if err := s.fleetConfig().Validate(); err != nil {
+		return fmt.Errorf("scenario %s: workload: %w", s.Name, err)
+	}
 	return nil
 }
 

@@ -581,6 +581,12 @@ func (k *Kernel) liveProcs() int {
 // Live reports the number of non-daemon processes that have not exited.
 func (k *Kernel) Live() int { return k.liveProcs() }
 
+// Events reports the total number of events stamped since the kernel was
+// created — every timer, wakeup, and network hop increments it exactly once.
+// It is the simulator's natural work metric: fleet-scale throughput is
+// reported as stamped events per wall-clock second.
+func (k *Kernel) Events() uint64 { return k.seq }
+
 // Kill terminates a single process: it is resumed with a kill signal and
 // unwinds its stack immediately (deferred functions run), exactly like one
 // process's share of Shutdown. Pending timers referencing the process become

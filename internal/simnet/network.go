@@ -70,8 +70,10 @@ type Network struct {
 	// guards on the nil check before building an event.
 	Obs   *obs.Observer
 	nodes map[string]*Node
-	// routes caches computed paths keyed by "src dst".
-	routes    map[string][]*linkDir
+	// routes caches computed paths. The key is the node-pointer pair so a
+	// cache hit — every data- and control-plane send after the first — does
+	// not allocate a concatenated string key.
+	routes    map[routeKey][]*linkDir
 	firewalls map[string]*firewall.Firewall
 	nextConn  int
 	// Free lists for the data plane: in-flight transfer records and
@@ -109,7 +111,7 @@ func New(k *sim.Kernel) *Network {
 		K:         k,
 		MTU:       DefaultMTU,
 		nodes:     make(map[string]*Node),
-		routes:    make(map[string][]*linkDir),
+		routes:    make(map[routeKey][]*linkDir),
 		firewalls: make(map[string]*firewall.Firewall),
 	}
 }
@@ -128,6 +130,10 @@ type Node struct {
 	links     []*linkDir
 	listeners map[int]*listener
 	nextPort  int
+	// parent, when set (SetParent), places the node in a tree-shaped routing
+	// hierarchy: paths between parented nodes compose by LCA walk instead of
+	// Dijkstra. Nil everywhere keeps routing exactly as before.
+	parent *Node
 
 	// Crash/restart state: every process spawned on the host and every open
 	// connection endpoint is tracked so CrashHost can take them down, and
@@ -193,7 +199,7 @@ func (n *Network) addNode(node *Node) {
 		panic(fmt.Sprintf("simnet: duplicate node %q", node.name))
 	}
 	n.nodes[node.name] = node
-	n.routes = make(map[string][]*linkDir) // invalidate cache
+	n.routes = make(map[routeKey][]*linkDir) // invalidate cache
 }
 
 // Node returns the named node, or nil.
@@ -228,7 +234,7 @@ func (n *Network) Connect(a, b string, cfg LinkConfig) {
 	ab.rev, ba.rev = ba, ab
 	na.links = append(na.links, ab)
 	nb.links = append(nb.links, ba)
-	n.routes = make(map[string][]*linkDir)
+	n.routes = make(map[routeKey][]*linkDir)
 }
 
 // route computes (with caching) the minimum-latency path between two nodes
@@ -238,14 +244,20 @@ func (n *Network) route(src, dst *Node) []*linkDir {
 	if src == dst {
 		return []*linkDir{}
 	}
-	key := src.name + " " + dst.name
+	key := routeKey{src, dst}
 	if p, ok := n.routes[key]; ok {
 		return p
 	}
-	p := n.dijkstra(src, dst)
+	p := n.hierPath(src, dst)
+	if p == nil {
+		p = n.dijkstra(src, dst)
+	}
 	n.routes[key] = p
 	return p
 }
+
+// routeKey identifies a cached path by its endpoint nodes.
+type routeKey struct{ src, dst *Node }
 
 type pqItem struct {
 	node *Node
